@@ -1,0 +1,59 @@
+// E6 — why Psrcs(k) must be perpetual: the ♦Psrcs counterexample.
+//
+// For each n, play the run whose prefix isolates every process
+// (self-loops only) before a star topology satisfying even Psrcs(1)
+// appears. Per the paper's indistinguishability argument, the prefix
+// forces every process to decide its own value: n distinct decisions,
+// regardless of how good the suffix is. The zero-isolation control row
+// shows the same suffix *perpetually* yields consensus.
+#include <iostream>
+
+#include "adversary/eventual.hpp"
+#include "kset/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sskel;
+  std::cout << "=====================================================\n"
+            << " E6: eventual-only synchrony is useless — ♦Psrcs run\n"
+            << "=====================================================\n\n";
+
+  Table table("distinct decisions vs isolation-prefix length",
+              {"n", "isolation rounds", "distinct values", "expected",
+               "ok", "last decision round"});
+  bool all_ok = true;
+  struct Row {
+    ProcId n;
+    Round isolation;
+    int expected;
+  };
+  std::vector<Row> rows;
+  for (ProcId n : {4, 6, 8, 12, 16}) {
+    rows.push_back({n, 0, 1});            // control: perpetual star
+    rows.push_back({n, 1, static_cast<int>(n)});   // even 1 round kills PT
+    rows.push_back({n, 2 * n, static_cast<int>(n)});  // the paper's prefix
+  }
+  for (const Row& row : rows) {
+    auto source = make_eventual_source(row.n, row.isolation);
+    KSetRunConfig config;
+    config.k = 1;
+    config.max_rounds = 8 * row.n + 4 * row.isolation + 32;
+    const KSetRunReport report = run_kset(*source, config);
+    const bool ok =
+        report.all_decided && report.distinct_values == row.expected;
+    all_ok = all_ok && ok;
+    table.add_row({cell(row.n),
+                   cell(static_cast<std::int64_t>(row.isolation)),
+                   cell(report.distinct_values), cell(row.expected),
+                   ok ? "yes" : "NO",
+                   cell(static_cast<std::int64_t>(
+                       report.last_decision_round))});
+  }
+  table.print(std::cout);
+  std::cout
+      << (all_ok
+              ? "RESULT: any isolated prefix yields n values; the perpetual\n"
+                "star yields consensus — perpetual synchrony is essential.\n"
+              : "RESULT: MISMATCH (see table).\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+// E9 — microbenchmarks (google-benchmark): the graph and skeleton
+// kernels that dominate simulation cost, plus end-to-end round
+// throughput of Algorithm 1.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "adversary/random_psrcs.hpp"
+#include "graph/reach.hpp"
+#include "graph/scc.hpp"
+#include "kset/runner.hpp"
+#include "kset/skeleton_kset.hpp"
+#include "rounds/simulator.hpp"
+#include "skeleton/codec.hpp"
+#include "skeleton/tracker.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sskel;
+
+Digraph random_digraph(ProcId n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g(n);
+  g.add_self_loops();
+  for (ProcId q = 0; q < n; ++q) {
+    for (ProcId p = 0; p < n; ++p) {
+      if (q != p && rng.next_bool(density)) g.add_edge(q, p);
+    }
+  }
+  return g;
+}
+
+LabeledDigraph random_labeled(ProcId n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  LabeledDigraph g(n, 0);
+  for (ProcId q = 0; q < n; ++q) {
+    for (ProcId p = 0; p < n; ++p) {
+      if (rng.next_bool(density)) {
+        g.set_edge(q, p, static_cast<Round>(1 + rng.next_below(64)));
+      }
+    }
+  }
+  return g;
+}
+
+void BM_SccDecomposition(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const Digraph g = random_digraph(n, 4.0 / static_cast<double>(n), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strongly_connected_components(g));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SccDecomposition)->Range(8, 512)->Complexity();
+
+void BM_RootComponents(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const Digraph g = random_digraph(n, 4.0 / static_cast<double>(n), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(root_components(g));
+  }
+}
+BENCHMARK(BM_RootComponents)->Range(8, 512);
+
+void BM_SkeletonIntersect(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const Digraph g = random_digraph(n, 0.5, 3);
+  for (auto _ : state) {
+    Digraph skel = Digraph::complete(n);
+    skel.intersect_with(g);
+    benchmark::DoNotOptimize(skel);
+  }
+}
+BENCHMARK(BM_SkeletonIntersect)->Range(8, 512);
+
+void BM_ApproxMergeMax(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const LabeledDigraph a = random_labeled(n, 0.3, 4);
+  const LabeledDigraph b = random_labeled(n, 0.3, 5);
+  for (auto _ : state) {
+    LabeledDigraph merged = a;
+    merged.merge_max(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_ApproxMergeMax)->Range(8, 256);
+
+void BM_PruneNotReaching(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const LabeledDigraph g = random_labeled(n, 0.1, 6);
+  for (auto _ : state) {
+    LabeledDigraph pruned = g;
+    pruned.prune_not_reaching(0);
+    benchmark::DoNotOptimize(pruned);
+  }
+}
+BENCHMARK(BM_PruneNotReaching)->Range(8, 256);
+
+void BM_StronglyConnectedCheck(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const LabeledDigraph g = random_labeled(n, 0.2, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.strongly_connected());
+  }
+}
+BENCHMARK(BM_StronglyConnectedCheck)->Range(8, 256);
+
+void BM_CodecEncode(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const LabeledDigraph g = random_labeled(n, 0.3, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_graph(g));
+  }
+  state.SetBytesProcessed(state.iterations() * encoded_graph_size(g));
+}
+BENCHMARK(BM_CodecEncode)->Range(8, 256);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const LabeledDigraph g = random_labeled(n, 0.3, 9);
+  const auto bytes = encode_graph(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_graph(bytes));
+  }
+}
+BENCHMARK(BM_CodecRoundTrip)->Range(8, 256);
+
+/// End-to-end: one full round of Algorithm 1 for n processes on a
+/// stable hub topology (send + deliver + transition for all n).
+void BM_AlgorithmOneRound(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = 2;
+  params.root_components = 2;
+  params.noise_probability = 0.2;
+  RandomPsrcsSource source(10, params);
+  std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> procs;
+  for (ProcId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<SkeletonKSetProcess>(n, p, p + 1));
+  }
+  Simulator<SkeletonMessage> sim(source, std::move(procs));
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AlgorithmOneRound)->Range(4, 128);
+
+/// Whole-run throughput: a complete k-set agreement instance.
+void BM_FullRun(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = 2;
+  params.root_components = 2;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    RandomPsrcsSource source(mix_seed(11, seed++), params);
+    KSetRunConfig config;
+    config.k = 2;
+    benchmark::DoNotOptimize(run_kset(source, config));
+  }
+}
+BENCHMARK(BM_FullRun)->Range(4, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

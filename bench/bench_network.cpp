@@ -1,0 +1,92 @@
+// E11 — the round abstraction over a real (simulated) network: how the
+// synchronizer's timeout D trades skeleton density against liveness.
+//
+// Fixed physical network (k timely hubs with delays in [100, 700]us,
+// flaky remainder, 200us max clock skew), swept round duration D:
+//
+//   * D too small (< max timely delay + skew): even "timely" links
+//     miss deadlines, the hub cover dissolves, the skeleton shatters
+//     and more values survive (Psrcs(k) may fail on the derived run).
+//   * D comfortable: the hub cover holds, Psrcs(k) holds on the
+//     derived skeleton, <= k values; larger D wastes wall-clock time
+//     per round but changes nothing structurally.
+//
+// This is the engineering face of the paper's model: the predicate is
+// a property you *buy* with the timeout.
+#include <iostream>
+
+#include "graph/scc.hpp"
+#include "net/kset_net.hpp"
+#include "predicates/psrcs.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sskel;
+  std::cout << "========================================================\n"
+            << " E11: synchronizer timeout vs derived-skeleton quality\n"
+            << " (n=9, k=3 timely hubs: delays 100-700us, skew <= 200us)\n"
+            << "========================================================\n\n";
+
+  const ProcId n = 9;
+  const int k = 3;
+  const int trials = 15;
+
+  Digraph stable(n);
+  stable.add_self_loops();
+  for (ProcId p = 0; p < n; ++p) {
+    stable.add_edge(p % static_cast<ProcId>(k), p);
+  }
+
+  Table table("round duration sweep (15 trials per row)",
+              {"D (us)", "Psrcs(3) holds", "mean skel edges",
+               "mean roots", "values max", ">k viol", "mean dec. round",
+               "mean sim time (ms)", "late msgs/run"});
+  for (SimTime d : {400, 550, 650, 700, 950, 1500, 4000}) {
+    int psrcs_holds = 0, over_k = 0, values_max = 0;
+    Accumulator edges, roots, dec_round, sim_ms, late;
+    for (int t = 0; t < trials; ++t) {
+      LinkMatrix links = LinkMatrix::all_flaky(n, 0.35);
+      links.upgrade_to_timely(stable, 100, 700);
+
+      NetKSetConfig config;
+      config.k = k;
+      config.net.round_duration = d;
+      config.net.seed = mix_seed(0xE11, static_cast<std::uint64_t>(t));
+      for (ProcId p = 0; p < n; ++p) {
+        config.net.skews.push_back((static_cast<SimTime>(p) * 37) % 201);
+      }
+      const NetKSetReport r = run_kset_over_network(links, config);
+      if (!r.all_decided) continue;
+
+      if (check_psrcs_exact(r.final_skeleton, k).holds) ++psrcs_holds;
+      if (r.distinct_values > k) ++over_k;
+      values_max = std::max(values_max, r.distinct_values);
+      edges.add(static_cast<double>(r.final_skeleton.edge_count()));
+      roots.add(static_cast<double>(
+          root_components(r.final_skeleton).size()));
+      dec_round.add(r.last_decision_round);
+      sim_ms.add(static_cast<double>(r.wall_clock) / 1000.0);
+      late.add(static_cast<double>(r.late_messages));
+    }
+    table.add_row({cell(static_cast<std::int64_t>(d)),
+                   cell(psrcs_holds) + "/" + cell(trials),
+                   cell(edges.mean(), 1), cell(roots.mean(), 2),
+                   cell(values_max), cell(over_k), cell(dec_round.mean(), 1),
+                   cell(sim_ms.mean(), 1), cell(late.mean(), 0)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "Reading: a hub link with delay d is on time iff\n"
+         "d <= D + skew(member) - skew(hub); with this skew assignment\n"
+         "the worst adverse pair differs by 21us, so the hub cover needs\n"
+         "D >= ~680us. Below that (D = 400us) hub links miss deadlines,\n"
+         "the derived skeleton shatters into singleton roots, Psrcs(3)\n"
+         "fails and more than 3 values appear. At D >= 700us Psrcs(3)\n"
+         "holds in every trial and the k ceiling is honored; growing D\n"
+         "further only stretches simulated wall-clock time per round —\n"
+         "the predicate is a property you buy with the timeout, priced\n"
+         "in latency.\n";
+  return 0;
+}

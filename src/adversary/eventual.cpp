@@ -1,0 +1,21 @@
+#include "adversary/eventual.hpp"
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+std::unique_ptr<GraphSource> make_eventual_source(ProcId n,
+                                                  Round isolation_rounds) {
+  SSKEL_REQUIRE(n > 0);
+  SSKEL_REQUIRE(isolation_rounds >= 0);
+  Digraph isolated = Digraph::self_loops_only(n);
+  Digraph star = Digraph::self_loops_only(n);
+  for (ProcId p = 0; p < n; ++p) star.add_edge(0, p);
+  return std::make_unique<FunctionSource>(
+      n, [isolated = std::move(isolated), star = std::move(star),
+          isolation_rounds](Round r) {
+        return r <= isolation_rounds ? isolated : star;
+      });
+}
+
+}  // namespace sskel

@@ -1,0 +1,32 @@
+// The ♦Psrcs(k) counterexample (Sec. III, introduction of the
+// predicate).
+//
+// The paper argues that the *perpetual* nature of Psrcs(k) is
+// essential: the eventual variant ♦Psrcs(k) admits runs in which every
+// process is alone (hears only itself) for an arbitrary finite prefix.
+// By an indistinguishability argument, any algorithm that must decide
+// ends up deciding its own value during a long enough prefix — so up
+// to n different values are decided even though ♦Psrcs(k) holds in
+// the limit.
+//
+// This source plays that scenario: isolation (self-loops only) for
+// rounds 1..isolation_rounds, then a star rooted at process 0, which
+// satisfies even Psrcs(1) from that point on. Running Algorithm 1 on
+// it demonstrates the claim mechanically (experiment E6): if the
+// isolation prefix outlasts the decision guard, all n processes decide
+// their own proposals.
+#pragma once
+
+#include <memory>
+
+#include "graph/digraph.hpp"
+#include "rounds/graph_source.hpp"
+
+namespace sskel {
+
+/// Source for the ♦Psrcs counterexample. `isolation_rounds` is the
+/// length of the all-alone prefix.
+[[nodiscard]] std::unique_ptr<GraphSource> make_eventual_source(
+    ProcId n, Round isolation_rounds);
+
+}  // namespace sskel

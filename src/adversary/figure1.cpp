@@ -1,0 +1,57 @@
+#include "adversary/figure1.hpp"
+
+#include <vector>
+
+namespace sskel {
+
+namespace {
+
+// 0-based ids for the paper's p1..p6.
+constexpr ProcId kP1 = 0, kP2 = 1, kP3 = 2, kP4 = 3, kP5 = 4, kP6 = 5;
+
+Digraph stable_edges() {
+  Digraph g(kFigure1N);
+  g.add_self_loops();
+  // Root component A: 2-cycle {p1, p2}.
+  g.add_edge(kP1, kP2);
+  g.add_edge(kP2, kP1);
+  // Root component B: 3-cycle {p3, p4, p5}.
+  g.add_edge(kP3, kP4);
+  g.add_edge(kP4, kP5);
+  g.add_edge(kP5, kP3);
+  // Follower p6 hears p2 and p5 perpetually.
+  g.add_edge(kP2, kP6);
+  g.add_edge(kP5, kP6);
+  return g;
+}
+
+Digraph with_transients() {
+  // The transient edges flow only *into* root component A or into the
+  // follower p6, so the run's minima stay one-per-root and the decided
+  // values match the one-value-per-root-component reading of Fig. 1b.
+  Digraph g = stable_edges();
+  g.add_edge(kP4, kP2);  // p4 -> p2 (into A)
+  g.add_edge(kP6, kP1);  // p6 -> p1 (into A)
+  g.add_edge(kP3, kP6);  // p3 -> p6 (into the follower)
+  return g;
+}
+
+}  // namespace
+
+Digraph figure1_stable_skeleton() { return stable_edges(); }
+
+Digraph figure1_round2_skeleton() { return with_transients(); }
+
+ProcSet figure1_root_a() { return ProcSet::of(kFigure1N, {kP1, kP2}); }
+
+ProcSet figure1_root_b() { return ProcSet::of(kFigure1N, {kP3, kP4, kP5}); }
+
+std::unique_ptr<GraphSource> make_figure1_source() {
+  // Rounds 1-2 carry the transient edges; the final schedule entry
+  // repeats forever.
+  std::vector<Digraph> prefix{with_transients(), with_transients(),
+                              stable_edges()};
+  return std::make_unique<ScheduleSource>(std::move(prefix));
+}
+
+}  // namespace sskel

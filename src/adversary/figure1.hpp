@@ -1,0 +1,51 @@
+// The Figure 1 run of the paper, reconstructed.
+//
+// Six processes p1..p6 (ids 0..5) in a run where Psrcs(3) holds. The
+// arXiv text does not include the figure's edge lists, so we
+// reconstruct a run consistent with every stated property:
+//   * the stable skeleton G∩∞ has exactly the two root components the
+//     caption names: {p1, p2} (a 2-cycle) and {p3, p4, p5} (a 3-cycle),
+//   * p6 is a follower that perpetually hears p2 and p5,
+//   * G∩2 (Fig. 1a) strictly contains G∩∞: three transient edges are
+//     timely during rounds 1-2 and die in round 3 (so r_ST = 3),
+//   * Psrcs(3) holds (checked exhaustively in tests),
+//   * self-loops are implicit ("for simplicity, we omit self-loops").
+//
+// Stable edges (besides self-loops):
+//   p1 -> p2, p2 -> p1          (root component A)
+//   p3 -> p4, p4 -> p5, p5 -> p3 (root component B)
+//   p2 -> p6, p5 -> p6          (p6 the follower)
+// Transient edges (rounds 1-2 only; chosen to flow only into A or into
+// the follower, so each root component keeps its own minimum):
+//   p4 -> p2, p6 -> p1, p3 -> p6
+#pragma once
+
+#include <memory>
+
+#include "graph/digraph.hpp"
+#include "rounds/graph_source.hpp"
+
+namespace sskel {
+
+inline constexpr ProcId kFigure1N = 6;
+inline constexpr int kFigure1K = 3;
+/// r_ST of the reconstructed run: the round from which G∩r = G∩∞.
+inline constexpr Round kFigure1StabilizationRound = 3;
+
+/// The stable skeleton G∩∞ (self-loops included).
+[[nodiscard]] Digraph figure1_stable_skeleton();
+
+/// G∩2: the stable skeleton plus the transient edges (Fig. 1a).
+[[nodiscard]] Digraph figure1_round2_skeleton();
+
+/// Root component {p1, p2}.
+[[nodiscard]] ProcSet figure1_root_a();
+
+/// Root component {p3, p4, p5}.
+[[nodiscard]] ProcSet figure1_root_b();
+
+/// The communication-graph source of the run: transient edges present
+/// in rounds 1-2, exactly the stable graph from round 3 on.
+[[nodiscard]] std::unique_ptr<GraphSource> make_figure1_source();
+
+}  // namespace sskel

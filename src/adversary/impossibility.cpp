@@ -1,0 +1,34 @@
+#include "adversary/impossibility.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+Digraph impossibility_graph(ProcId n, int k) {
+  SSKEL_REQUIRE(k > 1 && k < n);
+  Digraph g(n);
+  g.add_self_loops();
+  const ProcId s = impossibility_source_process(k);
+  for (ProcId p = s; p < n; ++p) g.add_edge(s, p);
+  return g;
+}
+
+ProcSet impossibility_loners(ProcId n, int k) {
+  SSKEL_REQUIRE(k > 1 && k < n);
+  ProcSet loners(n);
+  for (ProcId p = 0; p < static_cast<ProcId>(k - 1); ++p) loners.insert(p);
+  return loners;
+}
+
+ProcId impossibility_source_process(int k) {
+  return static_cast<ProcId>(k - 1);
+}
+
+std::unique_ptr<GraphSource> make_impossibility_source(ProcId n, int k) {
+  std::vector<Digraph> prefix{impossibility_graph(n, k)};
+  return std::make_unique<ScheduleSource>(std::move(prefix));
+}
+
+}  // namespace sskel

@@ -1,0 +1,37 @@
+// The Theorem 2 run: Psrcs(k) cannot solve (k-1)-set agreement.
+//
+// The proof constructs a run with a set L of k-1 "loners" that hear
+// only themselves (PT(p) = {p}) and one 2-source s heard by every
+// process outside L (PT(p) = {p, s} for p not in L). Validity +
+// termination force every process in L ∪ {s} to decide its own value,
+// yielding k distinct decisions — yet the run satisfies Psrcs(k),
+// because in any (k+1)-set S at least two members of S \ L hear s.
+//
+// This module materializes that run as a GraphSource so experiment E3
+// can (i) verify Psrcs(k) mechanically on the skeleton and (ii) watch
+// Algorithm 1 produce exactly k values, the tight ceiling.
+#pragma once
+
+#include <memory>
+
+#include "graph/digraph.hpp"
+#include "rounds/graph_source.hpp"
+
+namespace sskel {
+
+/// The (constant) communication graph of the Theorem 2 run for given
+/// n and k (requires 1 < k < n): self-loops, plus s -> p for every
+/// p outside L, where L = {0, .., k-2} and s = k-1.
+[[nodiscard]] Digraph impossibility_graph(ProcId n, int k);
+
+/// The loner set L.
+[[nodiscard]] ProcSet impossibility_loners(ProcId n, int k);
+
+/// The 2-source s.
+[[nodiscard]] ProcId impossibility_source_process(int k);
+
+/// Constant source replaying impossibility_graph every round.
+[[nodiscard]] std::unique_ptr<GraphSource> make_impossibility_source(ProcId n,
+                                                                     int k);
+
+}  // namespace sskel

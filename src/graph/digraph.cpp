@@ -1,0 +1,152 @@
+#include "graph/digraph.hpp"
+
+#include <sstream>
+
+namespace sskel {
+
+Digraph::Digraph(ProcId n)
+    : n_(n),
+      nodes_(ProcSet::full(n)),
+      out_(static_cast<std::size_t>(n), ProcSet(n)),
+      in_(static_cast<std::size_t>(n), ProcSet(n)) {
+  SSKEL_REQUIRE(n >= 0);
+}
+
+Digraph Digraph::complete(ProcId n) {
+  Digraph g(n);
+  const ProcSet all = ProcSet::full(n);
+  for (ProcId p = 0; p < n; ++p) {
+    g.out_[static_cast<std::size_t>(p)] = all;
+    g.in_[static_cast<std::size_t>(p)] = all;
+  }
+  return g;
+}
+
+Digraph Digraph::self_loops_only(ProcId n) {
+  Digraph g(n);
+  for (ProcId p = 0; p < n; ++p) g.add_edge(p, p);
+  return g;
+}
+
+void Digraph::add_node(ProcId p) {
+  check_node(p);
+  nodes_.insert(p);
+}
+
+void Digraph::remove_node(ProcId p) {
+  check_node(p);
+  if (!nodes_.contains(p)) return;
+  nodes_.erase(p);
+  // Remove incident edges in both directions.
+  for (ProcId q : out_[static_cast<std::size_t>(p)]) {
+    in_[static_cast<std::size_t>(q)].erase(p);
+  }
+  out_[static_cast<std::size_t>(p)].clear();
+  for (ProcId q : in_[static_cast<std::size_t>(p)]) {
+    out_[static_cast<std::size_t>(q)].erase(p);
+  }
+  in_[static_cast<std::size_t>(p)].clear();
+}
+
+void Digraph::add_edge(ProcId q, ProcId p) {
+  check_node(q);
+  check_node(p);
+  nodes_.insert(q);
+  nodes_.insert(p);
+  out_[static_cast<std::size_t>(q)].insert(p);
+  in_[static_cast<std::size_t>(p)].insert(q);
+}
+
+void Digraph::remove_edge(ProcId q, ProcId p) {
+  check_node(q);
+  check_node(p);
+  out_[static_cast<std::size_t>(q)].erase(p);
+  in_[static_cast<std::size_t>(p)].erase(q);
+}
+
+std::int64_t Digraph::edge_count() const {
+  std::int64_t total = 0;
+  for (ProcId p : nodes_) total += out_[static_cast<std::size_t>(p)].count();
+  return total;
+}
+
+void Digraph::add_self_loops() {
+  for (ProcId p : nodes_) add_edge(p, p);
+}
+
+void Digraph::intersect_with(const Digraph& other) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  nodes_ &= other.nodes_;
+  for (ProcId p = 0; p < n_; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    if (!nodes_.contains(p)) {
+      out_[i].clear();
+      in_[i].clear();
+      continue;
+    }
+    out_[i] &= other.out_[i];
+    in_[i] &= other.in_[i];
+    // Edges must stay within the (possibly shrunken) node set.
+    out_[i] &= nodes_;
+    in_[i] &= nodes_;
+  }
+}
+
+void Digraph::union_with(const Digraph& other) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  nodes_ |= other.nodes_;
+  for (ProcId p = 0; p < n_; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    out_[i] |= other.out_[i];
+    in_[i] |= other.in_[i];
+  }
+}
+
+Digraph Digraph::induced(const ProcSet& keep) const {
+  SSKEL_REQUIRE(keep.universe() == n_);
+  Digraph g(n_);
+  g.nodes_ = nodes_ & keep;
+  for (ProcId p : g.nodes_) {
+    const auto i = static_cast<std::size_t>(p);
+    g.out_[i] = out_[i] & g.nodes_;
+    g.in_[i] = in_[i] & g.nodes_;
+  }
+  return g;
+}
+
+bool Digraph::is_subgraph_of(const Digraph& other) const {
+  SSKEL_REQUIRE(n_ == other.n_);
+  if (!nodes_.is_subset_of(other.nodes_)) return false;
+  for (ProcId p : nodes_) {
+    const auto i = static_cast<std::size_t>(p);
+    if (!out_[i].is_subset_of(other.out_[i])) return false;
+  }
+  return true;
+}
+
+std::string Digraph::to_string() const {
+  std::ostringstream os;
+  os << "Digraph(n=" << n_ << ", nodes=" << nodes_.to_string() << ")\n";
+  for (ProcId p : nodes_) {
+    os << "  p" << p << " <- "
+       << in_[static_cast<std::size_t>(p)].to_string() << '\n';
+  }
+  return os.str();
+}
+
+std::string Digraph::to_dot(const std::string& name,
+                            bool include_self_loops) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (ProcId p : nodes_) os << "  p" << p << ";\n";
+  for (ProcId q : nodes_) {
+    for (ProcId p : out_[static_cast<std::size_t>(q)]) {
+      if (!include_self_loops && q == p) continue;
+      os << "  p" << q << " -> p" << p << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sskel

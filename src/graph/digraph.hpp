@@ -1,0 +1,110 @@
+// Digraph: directed graphs over the process universe.
+//
+// This is the representation used for per-round communication graphs
+// G^r, skeletons G∩r, and stable skeletons G∩∞ (Sec. II of the paper).
+// Nodes are process ids; a node-presence set supports induced
+// subgraphs and strongly connected components as first-class graphs.
+// Adjacency is stored as ProcSet rows in both directions so that
+//   * skeleton intersection is a word-parallel AND per row, and
+//   * PT(p, r) (the timely in-neighborhood) is a direct row read.
+//
+// Invariant maintained by every mutator: edges exist only between
+// present nodes, and in_/out_ stay mirror images of each other.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/proc_set.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+class Digraph {
+ public:
+  /// Graph over an empty universe.
+  Digraph() = default;
+
+  /// Graph with all n nodes present and no edges.
+  explicit Digraph(ProcId n);
+
+  /// All n nodes, every edge including self-loops (the complete graph;
+  /// the skeleton tracker starts from this and intersects downward).
+  static Digraph complete(ProcId n);
+
+  /// All n nodes, exactly the self-loops (a fully partitioned round).
+  static Digraph self_loops_only(ProcId n);
+
+  [[nodiscard]] ProcId n() const { return n_; }
+  [[nodiscard]] const ProcSet& nodes() const { return nodes_; }
+  [[nodiscard]] bool has_node(ProcId p) const { return nodes_.contains(p); }
+  [[nodiscard]] int node_count() const { return nodes_.count(); }
+
+  /// Inserts node p (no edges).
+  void add_node(ProcId p);
+
+  /// Removes node p and every incident edge.
+  void remove_node(ProcId p);
+
+  /// Adds edge (q -> p): "p hears from q". Both endpoints are added if
+  /// absent.
+  void add_edge(ProcId q, ProcId p);
+
+  void remove_edge(ProcId q, ProcId p);
+
+  [[nodiscard]] bool has_edge(ProcId q, ProcId p) const {
+    return out_[static_cast<std::size_t>(q)].contains(p);
+  }
+
+  /// Successors of q: processes that hear from q.
+  [[nodiscard]] const ProcSet& out_neighbors(ProcId q) const {
+    return out_[static_cast<std::size_t>(q)];
+  }
+
+  /// Predecessors of p: processes p hears from. In paper terms the row
+  /// of G∩r giving PT(p, r).
+  [[nodiscard]] const ProcSet& in_neighbors(ProcId p) const {
+    return in_[static_cast<std::size_t>(p)];
+  }
+
+  [[nodiscard]] std::int64_t edge_count() const;
+
+  /// Ensures (p -> p) for every present node. Models the paper's
+  /// convention that a process always hears from itself.
+  void add_self_loops();
+
+  /// Edge-and-node intersection, the G ∩ G' of footnote 3. Requires
+  /// equal universes.
+  void intersect_with(const Digraph& other);
+
+  /// Edge-and-node union. Requires equal universes.
+  void union_with(const Digraph& other);
+
+  /// The subgraph induced by `keep` (within the present nodes).
+  [[nodiscard]] Digraph induced(const ProcSet& keep) const;
+
+  /// True when `other` has every node and edge of *this (subgraph
+  /// relation of Eq. (1)).
+  [[nodiscard]] bool is_subgraph_of(const Digraph& other) const;
+
+  bool operator==(const Digraph& other) const = default;
+
+  /// Multi-line listing "p3 <- {p1, p5}" per node, for logs and tests.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Graphviz rendering (self-loops omitted by default, as in Fig. 1).
+  [[nodiscard]] std::string to_dot(const std::string& name,
+                                   bool include_self_loops = false) const;
+
+ private:
+  void check_node(ProcId p) const {
+    SSKEL_REQUIRE(p >= 0 && p < n_);
+  }
+
+  ProcId n_ = 0;
+  ProcSet nodes_;
+  std::vector<ProcSet> out_;
+  std::vector<ProcSet> in_;
+};
+
+}  // namespace sskel

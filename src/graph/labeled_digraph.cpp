@@ -1,0 +1,173 @@
+#include "graph/labeled_digraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/reach.hpp"
+#include "graph/scc.hpp"
+
+namespace sskel {
+
+LabeledDigraph::LabeledDigraph(ProcId n, ProcId owner)
+    : n_(n),
+      nodes_(n),
+      labels_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0),
+      rows_(static_cast<std::size_t>(n), ProcSet(n)) {
+  SSKEL_REQUIRE(n > 0);
+  SSKEL_REQUIRE(owner >= 0 && owner < n);
+  nodes_.insert(owner);
+}
+
+void LabeledDigraph::reset(ProcId owner) {
+  SSKEL_REQUIRE(owner >= 0 && owner < n_);
+  nodes_.clear();
+  nodes_.insert(owner);
+  // Clearing by rows touches only cells that are actually set.
+  for (ProcId q = 0; q < n_; ++q) {
+    ProcSet& row = rows_[static_cast<std::size_t>(q)];
+    for (ProcId p : row) labels_[index(q, p)] = 0;
+    row.clear();
+  }
+}
+
+void LabeledDigraph::add_node(ProcId p) {
+  SSKEL_REQUIRE(p >= 0 && p < n_);
+  nodes_.insert(p);
+}
+
+void LabeledDigraph::set_edge(ProcId q, ProcId p, Round label) {
+  SSKEL_REQUIRE(label > 0);
+  nodes_.insert(q);
+  nodes_.insert(p);
+  labels_[index(q, p)] = label;
+  rows_[static_cast<std::size_t>(q)].insert(p);
+}
+
+void LabeledDigraph::remove_edge(ProcId q, ProcId p) {
+  labels_[index(q, p)] = 0;
+  rows_[static_cast<std::size_t>(q)].erase(p);
+}
+
+void LabeledDigraph::merge_max(const LabeledDigraph& other) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  nodes_ |= other.nodes_;
+  // Hybrid merge: approximation graphs in real runs are usually
+  // sparse (skeletons hover around O(n) edges), where walking the
+  // other graph's edge bitsets wins; when the other graph is dense,
+  // the branch-free whole-matrix max is faster than bit scanning.
+  const std::int64_t dense_threshold =
+      static_cast<std::int64_t>(labels_.size() / 8);
+  if (other.edge_count() >= dense_threshold) {
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+      labels_[i] = std::max(labels_[i], other.labels_[i]);
+    }
+    for (ProcId q = 0; q < n_; ++q) {
+      rows_[static_cast<std::size_t>(q)] |=
+          other.rows_[static_cast<std::size_t>(q)];
+    }
+    return;
+  }
+  for (ProcId q : other.nodes_) {
+    const ProcSet& other_row = other.rows_[static_cast<std::size_t>(q)];
+    for (ProcId p : other_row) {
+      const Round incoming = other.labels_[other.index(q, p)];
+      Round& cell = labels_[index(q, p)];
+      if (incoming > cell) cell = incoming;
+    }
+    rows_[static_cast<std::size_t>(q)] |= other_row;
+  }
+}
+
+void LabeledDigraph::purge_labels_up_to(Round cutoff) {
+  if (cutoff <= 0) return;
+  for (ProcId q = 0; q < n_; ++q) {
+    ProcSet& row = rows_[static_cast<std::size_t>(q)];
+    for (ProcId p : row) {
+      Round& cell = labels_[index(q, p)];
+      if (cell <= cutoff) {
+        cell = 0;
+        row.erase(p);
+      }
+    }
+  }
+}
+
+void LabeledDigraph::prune_not_reaching(ProcId owner) {
+  SSKEL_REQUIRE(nodes_.contains(owner));
+  const ProcSet keep = reaching(unlabeled(), owner);
+  for (ProcId q = 0; q < n_; ++q) {
+    ProcSet& row = rows_[static_cast<std::size_t>(q)];
+    if (row.empty()) continue;
+    if (!keep.contains(q)) {
+      for (ProcId p : row) labels_[index(q, p)] = 0;
+      row.clear();
+      continue;
+    }
+    for (ProcId p : row) {
+      if (!keep.contains(p)) {
+        labels_[index(q, p)] = 0;
+        row.erase(p);
+      }
+    }
+  }
+  nodes_ &= keep;
+  nodes_.insert(owner);
+}
+
+std::int64_t LabeledDigraph::edge_count() const {
+  std::int64_t total = 0;
+  for (const ProcSet& row : rows_) total += row.count();
+  return total;
+}
+
+Round LabeledDigraph::min_label() const {
+  Round best = 0;
+  for (ProcId q = 0; q < n_; ++q) {
+    for (ProcId p : rows_[static_cast<std::size_t>(q)]) {
+      const Round l = labels_[index(q, p)];
+      if (best == 0 || l < best) best = l;
+    }
+  }
+  return best;
+}
+
+Round LabeledDigraph::max_label() const {
+  Round best = 0;
+  for (ProcId q = 0; q < n_; ++q) {
+    for (ProcId p : rows_[static_cast<std::size_t>(q)]) {
+      best = std::max(best, labels_[index(q, p)]);
+    }
+  }
+  return best;
+}
+
+Digraph LabeledDigraph::unlabeled() const {
+  Digraph g(n_);
+  g = g.induced(nodes_);
+  for (ProcId q : nodes_) {
+    for (ProcId p : rows_[static_cast<std::size_t>(q)]) g.add_edge(q, p);
+  }
+  return g;
+}
+
+bool LabeledDigraph::strongly_connected() const {
+  return is_strongly_connected(unlabeled());
+}
+
+std::string LabeledDigraph::to_string(bool include_self_loops) const {
+  std::ostringstream os;
+  os << "G(nodes=" << nodes_.to_string() << "; ";
+  bool first = true;
+  for (ProcId q : nodes_) {
+    for (ProcId p : rows_[static_cast<std::size_t>(q)]) {
+      if (!include_self_loops && q == p) continue;
+      if (!first) os << ", ";
+      os << 'p' << q << " -" << labels_[index(q, p)] << "-> p" << p;
+      first = false;
+    }
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace sskel

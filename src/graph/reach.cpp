@@ -1,0 +1,103 @@
+#include "graph/reach.hpp"
+
+#include <algorithm>
+
+namespace sskel {
+
+namespace {
+
+/// Generic BFS closure: repeatedly folds the neighbor rows of the
+/// frontier into the visited set until a fixpoint.
+template <typename NeighborRow>
+ProcSet closure(const Digraph& g, ProcId start, NeighborRow row) {
+  ProcSet visited(g.n());
+  if (!g.has_node(start)) return visited;
+  visited.insert(start);
+  ProcSet frontier = visited;
+  while (!frontier.empty()) {
+    ProcSet next(g.n());
+    for (ProcId v : frontier) next |= row(v);
+    next -= visited;
+    next &= g.nodes();
+    visited |= next;
+    frontier = std::move(next);
+  }
+  return visited;
+}
+
+}  // namespace
+
+ProcSet reachable_from(const Digraph& g, ProcId start) {
+  return closure(g, start,
+                 [&](ProcId v) -> const ProcSet& { return g.out_neighbors(v); });
+}
+
+ProcSet reaching(const Digraph& g, ProcId target) {
+  return closure(g, target,
+                 [&](ProcId v) -> const ProcSet& { return g.in_neighbors(v); });
+}
+
+std::optional<int> shortest_path_length(const Digraph& g, ProcId from,
+                                        ProcId to) {
+  if (!g.has_node(from) || !g.has_node(to)) return std::nullopt;
+  if (from == to) return 0;
+  ProcSet visited = ProcSet::singleton(g.n(), from);
+  ProcSet frontier = visited;
+  int dist = 0;
+  while (!frontier.empty()) {
+    ++dist;
+    ProcSet next(g.n());
+    for (ProcId v : frontier) next |= g.out_neighbors(v);
+    next -= visited;
+    next &= g.nodes();
+    if (next.contains(to)) return dist;
+    visited |= next;
+    frontier = std::move(next);
+  }
+  return std::nullopt;
+}
+
+std::vector<ProcId> shortest_path(const Digraph& g, ProcId from, ProcId to) {
+  if (!g.has_node(from) || !g.has_node(to)) return {};
+  // BFS recording parents.
+  std::vector<ProcId> parent(static_cast<std::size_t>(g.n()), -2);
+  parent[static_cast<std::size_t>(from)] = -1;
+  std::vector<ProcId> queue{from};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const ProcId v = queue[head];
+    if (v == to) break;
+    for (ProcId w : g.out_neighbors(v)) {
+      if (!g.has_node(w)) continue;
+      if (parent[static_cast<std::size_t>(w)] != -2) continue;
+      parent[static_cast<std::size_t>(w)] = v;
+      queue.push_back(w);
+    }
+  }
+  if (parent[static_cast<std::size_t>(to)] == -2) return {};
+  std::vector<ProcId> path;
+  for (ProcId v = to; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int max_distance_to(const Digraph& g, ProcId target) {
+  if (!g.has_node(target)) return 0;
+  // Backward BFS level count.
+  ProcSet visited = ProcSet::singleton(g.n(), target);
+  ProcSet frontier = visited;
+  int levels = 0;
+  while (true) {
+    ProcSet next(g.n());
+    for (ProcId v : frontier) next |= g.in_neighbors(v);
+    next -= visited;
+    next &= g.nodes();
+    if (next.empty()) return levels;
+    ++levels;
+    visited |= next;
+    frontier = std::move(next);
+  }
+}
+
+}  // namespace sskel

@@ -1,0 +1,40 @@
+// Reachability and path queries on digraphs.
+//
+// Lemma 4 and Theorem 8 of the paper argue about directed paths of
+// bounded length in skeleton graphs; Line 25 of Algorithm 1 prunes
+// nodes from which the owner is unreachable. All queries here are
+// BFS-based and word-parallel where the frontier allows.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sskel {
+
+/// Set of nodes reachable from `start` by directed edges (includes
+/// `start` itself when present in g).
+[[nodiscard]] ProcSet reachable_from(const Digraph& g, ProcId start);
+
+/// Set of nodes that can reach `target` (includes `target`). This is
+/// reachability in the reversed graph and implements Line 25's keep
+/// set.
+[[nodiscard]] ProcSet reaching(const Digraph& g, ProcId target);
+
+/// Length (edge count) of a shortest directed path from `from` to
+/// `to`; nullopt when unreachable. A node reaches itself in 0 steps.
+[[nodiscard]] std::optional<int> shortest_path_length(const Digraph& g,
+                                                      ProcId from, ProcId to);
+
+/// One shortest directed path from `from` to `to` as a node sequence
+/// (both endpoints included); empty when unreachable.
+[[nodiscard]] std::vector<ProcId> shortest_path(const Digraph& g, ProcId from,
+                                                ProcId to);
+
+/// Eccentricity-style bound: the longest shortest-path distance from
+/// any node to `target` among nodes that reach it. Used to validate
+/// the "paths have length <= n-1" facts in Lemma 4 / Theorem 8.
+[[nodiscard]] int max_distance_to(const Digraph& g, ProcId target);
+
+}  // namespace sskel

@@ -1,0 +1,134 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace sskel {
+
+namespace {
+
+/// Explicit-stack Tarjan state for one root of the DFS forest.
+struct Frame {
+  ProcId node;
+  ProcId next_candidate;  // resume point in the out-neighbor scan
+};
+
+}  // namespace
+
+SccDecomposition strongly_connected_components(const Digraph& g) {
+  const ProcId n = g.n();
+  SccDecomposition result;
+  result.component_of.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<ProcId> stack;
+  std::vector<Frame> dfs;
+  int next_index = 0;
+
+  for (ProcId root : g.nodes()) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+
+    dfs.push_back({root, -1});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const ProcId v = frame.node;
+      const auto vi = static_cast<std::size_t>(v);
+      if (frame.next_candidate == -1) {
+        // First visit of v.
+        index[vi] = lowlink[vi] = next_index++;
+        stack.push_back(v);
+        on_stack[vi] = true;
+      } else {
+        // Returned from the recursive visit of next_candidate.
+        const auto wi = static_cast<std::size_t>(frame.next_candidate);
+        lowlink[vi] = std::min(lowlink[vi], lowlink[wi]);
+      }
+
+      // Scan remaining out-neighbors, descending into the first
+      // unvisited one.
+      ProcId w = g.out_neighbors(v).next_after(frame.next_candidate);
+      bool descended = false;
+      for (; w != -1; w = g.out_neighbors(v).next_after(w)) {
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == -1) {
+          frame.next_candidate = w;
+          dfs.push_back({w, -1});
+          descended = true;
+          break;
+        }
+        if (on_stack[wi]) {
+          lowlink[vi] = std::min(lowlink[vi], index[wi]);
+        }
+      }
+      if (descended) continue;
+
+      // v is fully explored.
+      if (lowlink[vi] == index[vi]) {
+        ProcSet comp(n);
+        ProcId u;
+        do {
+          u = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(u)] = false;
+          comp.insert(u);
+          result.component_of[static_cast<std::size_t>(u)] =
+              static_cast<int>(result.components.size());
+        } while (u != v);
+        result.components.push_back(std::move(comp));
+      }
+      // Lowlink propagates to the parent at the top of the loop: the
+      // parent frame reads lowlink[next_candidate] when it resumes.
+      dfs.pop_back();
+    }
+  }
+  return result;
+}
+
+Digraph condensation(const Digraph& g, const SccDecomposition& scc) {
+  const ProcId c = static_cast<ProcId>(scc.count());
+  Digraph dag(c);
+  for (ProcId q : g.nodes()) {
+    const int a = scc.component_of[static_cast<std::size_t>(q)];
+    for (ProcId p : g.out_neighbors(q)) {
+      const int b = scc.component_of[static_cast<std::size_t>(p)];
+      if (a != b) dag.add_edge(static_cast<ProcId>(a), static_cast<ProcId>(b));
+    }
+  }
+  return dag;
+}
+
+std::vector<int> root_component_indices(const Digraph& g,
+                                        const SccDecomposition& scc) {
+  const Digraph dag = condensation(g, scc);
+  std::vector<int> roots;
+  for (ProcId comp : dag.nodes()) {
+    if (dag.in_neighbors(comp).empty()) roots.push_back(comp);
+  }
+  return roots;
+}
+
+std::vector<ProcSet> root_components(const Digraph& g) {
+  const SccDecomposition scc = strongly_connected_components(g);
+  std::vector<ProcSet> out;
+  for (int idx : root_component_indices(g, scc)) {
+    out.push_back(scc.components[static_cast<std::size_t>(idx)]);
+  }
+  return out;
+}
+
+ProcSet component_of(const Digraph& g, ProcId p) {
+  if (!g.has_node(p)) return ProcSet(g.n());
+  const SccDecomposition scc = strongly_connected_components(g);
+  const int idx = scc.component_of[static_cast<std::size_t>(p)];
+  SSKEL_ASSERT(idx >= 0);
+  return scc.components[static_cast<std::size_t>(idx)];
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.nodes().empty()) return false;
+  const SccDecomposition scc = strongly_connected_components(g);
+  return scc.count() == 1;
+}
+
+}  // namespace sskel

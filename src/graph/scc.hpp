@@ -1,0 +1,61 @@
+// Strongly connected components, condensation DAGs, and root
+// components.
+//
+// These are the central graph-theoretic tools of the paper: Algorithm 1
+// decides when its approximation graph is strongly connected, Theorem 1
+// bounds the number of *root components* (SCCs without incoming edges
+// from outside), and Lemma 11's termination argument walks the
+// condensation DAG. Tarjan's algorithm (iterative, to survive large n)
+// yields components in reverse topological order of the condensation,
+// which we exploit when building the contraction.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sskel {
+
+/// The SCC decomposition of (the present nodes of) a digraph.
+struct SccDecomposition {
+  /// component_of[p] is the component index of node p, or -1 when p is
+  /// not present in the graph.
+  std::vector<int> component_of;
+
+  /// Member sets, indexed by component id. Components are emitted in
+  /// *reverse topological* order of the condensation: if the
+  /// condensation has an edge C_a -> C_b then b < a.
+  std::vector<ProcSet> components;
+
+  [[nodiscard]] int count() const {
+    return static_cast<int>(components.size());
+  }
+};
+
+/// Tarjan SCC over the present nodes of g.
+[[nodiscard]] SccDecomposition strongly_connected_components(const Digraph& g);
+
+/// The condensation (contraction of SCCs): a DAG with one node per
+/// component, edge a->b iff some edge of g crosses from component a to
+/// component b (a != b). Node ids of the result are component indices.
+[[nodiscard]] Digraph condensation(const Digraph& g,
+                                   const SccDecomposition& scc);
+
+/// Indices of root components: components with no incoming edge from a
+/// different component. Nonempty for every nonempty graph (the
+/// condensation is a DAG — Lemma 11's first step).
+[[nodiscard]] std::vector<int> root_component_indices(
+    const Digraph& g, const SccDecomposition& scc);
+
+/// Member sets of the root components of g.
+[[nodiscard]] std::vector<ProcSet> root_components(const Digraph& g);
+
+/// The strongly connected component C_p containing process p (empty
+/// set if p is not a node of g).
+[[nodiscard]] ProcSet component_of(const Digraph& g, ProcId p);
+
+/// True iff g is nonempty and every present node can reach every
+/// other, i.e. the whole graph is one SCC (Line 28's test).
+[[nodiscard]] bool is_strongly_connected(const Digraph& g);
+
+}  // namespace sskel

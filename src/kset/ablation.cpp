@@ -1,0 +1,120 @@
+#include "kset/ablation.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "kset/runner.hpp"
+#include "kset/verify.hpp"
+#include "rounds/simulator.hpp"
+
+namespace sskel {
+
+AblationKSetProcess::AblationKSetProcess(ProcId n, ProcId id, Value proposal,
+                                         AblationFlags flags,
+                                         DecisionGuard guard)
+    : Algorithm(n, id),
+      proposal_(proposal),
+      x_(proposal),
+      pt_(ProcSet::full(n)),
+      g_(n, id),
+      flags_(flags),
+      guard_(guard) {
+  SSKEL_REQUIRE(proposal != kNoValue);
+}
+
+SkeletonMessage AblationKSetProcess::send(Round /*r*/) {
+  return SkeletonMessage{decided_, x_, g_};
+}
+
+void AblationKSetProcess::transition(Round r,
+                                     const Inbox<SkeletonMessage>& inbox) {
+  pt_ &= inbox.senders();
+
+  if (flags_.forward_decides && !decided_) {
+    Value adopted = kNoValue;
+    for (ProcId q : pt_) {
+      const SkeletonMessage& m = inbox.from(q);
+      if (m.decide && (adopted == kNoValue || m.x < adopted)) adopted = m.x;
+    }
+    if (adopted != kNoValue) {
+      x_ = adopted;
+      decided_ = true;
+      decision_round_ = r;
+    }
+  }
+
+  if (flags_.reset_graph) g_.reset(id());
+  for (ProcId q : pt_) {
+    g_.set_edge(q, id(), r);
+    g_.merge_max(inbox.from(q).graph);
+  }
+  if (flags_.purge_old) g_.purge_labels_up_to(r - n());
+  if (flags_.prune_unreachable) g_.prune_not_reaching(id());
+
+  if (!decided_) {
+    Value best = kNoValue;
+    for (ProcId q : pt_) {
+      const Value xq = inbox.from(q).x;
+      if (best == kNoValue || xq < best) best = xq;
+    }
+    SSKEL_ASSERT(best != kNoValue);
+    x_ = best;
+    if (guard_passed(r) && g_.strongly_connected()) {
+      decided_ = true;
+      decision_round_ = r;
+    }
+  }
+}
+
+Value AblationKSetProcess::decision() const {
+  SSKEL_REQUIRE(decided_);
+  return x_;
+}
+
+AblationRunResult run_ablation(GraphSource& source, AblationFlags flags,
+                               int k, Round max_rounds) {
+  SSKEL_REQUIRE(k >= 1);
+  const ProcId n = source.n();
+  const std::vector<Value> proposals = default_proposals(n);
+
+  std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> procs;
+  std::vector<AblationKSetProcess*> views;
+  for (ProcId p = 0; p < n; ++p) {
+    auto proc = std::make_unique<AblationKSetProcess>(
+        n, p, proposals[static_cast<std::size_t>(p)], flags);
+    views.push_back(proc.get());
+    procs.push_back(std::move(proc));
+  }
+  Simulator<SkeletonMessage> sim(source, std::move(procs));
+
+  AblationRunResult result;
+  while (sim.current_round() < max_rounds) {
+    sim.step();
+    bool all = true;
+    for (const AblationKSetProcess* v : views) all = all && v->decided();
+    if (all) break;
+  }
+  result.rounds_executed = sim.current_round();
+
+  std::vector<Outcome> outcomes;
+  result.all_decided = true;
+  for (const AblationKSetProcess* v : views) {
+    Outcome o;
+    o.proposal = v->proposal();
+    o.decided = v->decided();
+    if (v->decided()) {
+      o.decision = v->decision();
+      o.decision_round = v->decision_round();
+      ++result.decided_count;
+      result.last_decision_round =
+          std::max(result.last_decision_round, v->decision_round());
+    } else {
+      result.all_decided = false;
+    }
+    outcomes.push_back(o);
+  }
+  result.distinct_values = distinct_decisions(outcomes);
+  return result;
+}
+
+}  // namespace sskel

@@ -1,0 +1,89 @@
+// Ablation variant of Algorithm 1: every structurally interesting line
+// of the pseudocode can be switched off.
+//
+// DESIGN.md calls out the design choices the paper bakes into
+// Algorithm 1. This process makes them measurable (experiment E10):
+//
+//   * reset_graph (Line 15) — without the per-round reset, G_p keeps
+//     accumulating stale structure and the prune step loses meaning.
+//   * purge_old (Line 24) — without aging out labels <= r - n, edges
+//     of dead links persist forever; approximations of root-component
+//     members never shrink back to their component, so Line 28 never
+//     fires in runs with transient prefixes: termination breaks.
+//   * prune_unreachable (Line 25) — without pruning, nodes that
+//     cannot reach p stay in G_p; since strong connectivity is tested
+//     over the whole node set, decisions are again delayed/blocked.
+//   * forward_decides (Lines 10-13) — without adopting decide
+//     messages, processes outside root components can never decide.
+//
+// With all flags on, the behavior is the faithful Algorithm 1 (tested
+// equivalent against SkeletonKSetProcess run for run).
+#pragma once
+
+#include "kset/message.hpp"
+#include "kset/skeleton_kset.hpp"
+#include "rounds/algorithm.hpp"
+#include "rounds/graph_source.hpp"
+#include "util/proc_set.hpp"
+
+namespace sskel {
+
+struct AblationFlags {
+  bool reset_graph = true;        // Line 15
+  bool purge_old = true;          // Line 24
+  bool prune_unreachable = true;  // Line 25
+  bool forward_decides = true;    // Lines 10-13
+
+  [[nodiscard]] bool faithful() const {
+    return reset_graph && purge_old && prune_unreachable && forward_decides;
+  }
+};
+
+class AblationKSetProcess final : public Algorithm<SkeletonMessage> {
+ public:
+  AblationKSetProcess(ProcId n, ProcId id, Value proposal,
+                      AblationFlags flags,
+                      DecisionGuard guard = DecisionGuard::kAfterRoundN);
+
+  [[nodiscard]] SkeletonMessage send(Round r) override;
+  void transition(Round r, const Inbox<SkeletonMessage>& inbox) override;
+
+  [[nodiscard]] Value proposal() const { return proposal_; }
+  [[nodiscard]] Value estimate() const { return x_; }
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] Value decision() const;
+  [[nodiscard]] Round decision_round() const { return decision_round_; }
+  [[nodiscard]] const LabeledDigraph& approximation() const { return g_; }
+  [[nodiscard]] const AblationFlags& flags() const { return flags_; }
+
+ private:
+  [[nodiscard]] bool guard_passed(Round r) const {
+    return guard_ == DecisionGuard::kAfterRoundN ? r > n() : r >= n();
+  }
+
+  Value proposal_;
+  Value x_;
+  ProcSet pt_;
+  LabeledDigraph g_;
+  bool decided_ = false;
+  Round decision_round_ = 0;
+  AblationFlags flags_;
+  DecisionGuard guard_;
+};
+
+/// Outcome summary of one ablation run (all processes share flags).
+struct AblationRunResult {
+  bool all_decided = false;
+  int decided_count = 0;
+  int distinct_values = 0;
+  Round last_decision_round = 0;
+  Round rounds_executed = 0;
+};
+
+/// Runs the ablated algorithm over the source until everyone decides
+/// or max_rounds elapses.
+[[nodiscard]] AblationRunResult run_ablation(GraphSource& source,
+                                             AblationFlags flags, int k,
+                                             Round max_rounds);
+
+}  // namespace sskel

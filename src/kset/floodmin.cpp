@@ -1,0 +1,38 @@
+#include "kset/floodmin.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+FloodMinProcess::FloodMinProcess(ProcId n, ProcId id, Value proposal, int f,
+                                 int k)
+    : Algorithm(n, id),
+      proposal_(proposal),
+      min_(proposal),
+      rounds_needed_(static_cast<Round>(f / k + 1)) {
+  SSKEL_REQUIRE(proposal != kNoValue);
+  SSKEL_REQUIRE(f >= 0 && f < n);
+  SSKEL_REQUIRE(k >= 1);
+}
+
+Value FloodMinProcess::send(Round /*r*/) { return min_; }
+
+void FloodMinProcess::transition(Round r, const Inbox<Value>& inbox) {
+  if (decided_) return;  // the decision is irrevocable
+  for (ProcId q : inbox.senders()) {
+    min_ = std::min(min_, inbox.from(q));
+  }
+  if (r >= rounds_needed_) {
+    decided_ = true;
+    decision_round_ = r;
+  }
+}
+
+Value FloodMinProcess::decision() const {
+  SSKEL_REQUIRE(decided_);
+  return min_;
+}
+
+}  // namespace sskel

@@ -1,0 +1,53 @@
+// FloodMin: the classic synchronous crash-tolerant k-set agreement
+// baseline (Chaudhuri; see also Lynch, "Distributed Algorithms",
+// Sec. 7.2 for k=1 FloodSet).
+//
+// Model: synchronous rounds, at most f crash failures, otherwise
+// reliable all-to-all delivery. Every process floods its current
+// minimum for floor(f/k) + 1 rounds and then decides it. With at most
+// f crashes there is at least one "clean" round among any f/k+1 in
+// which fewer than k processes crash, which bounds the surviving
+// minima by k.
+//
+// The paper itself has no experimental comparator; FloodMin is the
+// canonical baseline for experiment E7: it needs *stronger* assumptions
+// (bounded crashes, reliable delivery otherwise) but fewer rounds and
+// O(log v)-bit messages, while Algorithm 1 tolerates arbitrary
+// Psrcs(k) message loss at the cost of graph-sized messages and
+// r_ST + 2n - 1 rounds. Under a GraphSource that violates the crash
+// model (e.g. arbitrary Psrcs(k) link failures), FloodMin's guard does
+// not apply and it may — and in tests does — decide on more than k
+// values; that contrast is the point of the experiment.
+#pragma once
+
+#include "rounds/algorithm.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+class FloodMinProcess final : public Algorithm<Value> {
+ public:
+  /// k-set agreement tolerating up to f crashes: decides at the end of
+  /// round floor(f/k) + 1.
+  FloodMinProcess(ProcId n, ProcId id, Value proposal, int f, int k);
+
+  [[nodiscard]] Value send(Round r) override;
+  void transition(Round r, const Inbox<Value>& inbox) override;
+
+  [[nodiscard]] Value proposal() const { return proposal_; }
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] Value decision() const;
+  [[nodiscard]] Round decision_round() const { return decision_round_; }
+
+  /// Total rounds this instance runs before deciding.
+  [[nodiscard]] Round rounds_needed() const { return rounds_needed_; }
+
+ private:
+  Value proposal_;
+  Value min_;
+  Round rounds_needed_;
+  bool decided_ = false;
+  Round decision_round_ = 0;
+};
+
+}  // namespace sskel

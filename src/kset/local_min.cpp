@@ -1,0 +1,36 @@
+#include "kset/local_min.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+LocalMinProcess::LocalMinProcess(ProcId n, ProcId id, Value proposal,
+                                 Round decide_round)
+    : Algorithm(n, id),
+      proposal_(proposal),
+      min_(proposal),
+      decide_round_(decide_round) {
+  SSKEL_REQUIRE(proposal != kNoValue);
+  SSKEL_REQUIRE(decide_round >= 1);
+}
+
+Value LocalMinProcess::send(Round /*r*/) { return min_; }
+
+void LocalMinProcess::transition(Round r, const Inbox<Value>& inbox) {
+  for (ProcId q : inbox.senders()) {
+    min_ = std::min(min_, inbox.from(q));
+  }
+  if (!decided_ && r >= decide_round_) {
+    decided_ = true;
+    decision_round_ = r;
+  }
+}
+
+Value LocalMinProcess::decision() const {
+  SSKEL_REQUIRE(decided_);
+  return min_;
+}
+
+}  // namespace sskel

@@ -1,0 +1,36 @@
+// LocalMin: a deliberately naive strawman.
+//
+// Each process floods minima like FloodMin but decides after a fixed
+// number of rounds with no model justification. It exists as the
+// negative control for the experiment harness: under adversarial
+// Psrcs(k) communication it routinely decides on more than k values,
+// demonstrating that the skeleton approximation of Algorithm 1 — not
+// mere min-flooding — is what buys k-agreement.
+#pragma once
+
+#include "rounds/algorithm.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+class LocalMinProcess final : public Algorithm<Value> {
+ public:
+  LocalMinProcess(ProcId n, ProcId id, Value proposal, Round decide_round);
+
+  [[nodiscard]] Value send(Round r) override;
+  void transition(Round r, const Inbox<Value>& inbox) override;
+
+  [[nodiscard]] Value proposal() const { return proposal_; }
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] Value decision() const;
+  [[nodiscard]] Round decision_round() const { return decision_round_; }
+
+ private:
+  Value proposal_;
+  Value min_;
+  Round decide_round_;
+  bool decided_ = false;
+  Round decision_round_ = 0;
+};
+
+}  // namespace sskel

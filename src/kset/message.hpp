@@ -1,0 +1,30 @@
+// The round message of Algorithm 1.
+//
+// Line 6/8: a process broadcasts (decide, x_p, G_p) once decided and
+// (prop, x_p, G_p) otherwise — same payload, different tag.
+#pragma once
+
+#include "graph/labeled_digraph.hpp"
+#include "skeleton/codec.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+struct SkeletonMessage {
+  /// true = (decide, ...), false = (prop, ...).
+  bool decide = false;
+  /// The sender's estimate x_q (its decision value when decide).
+  Value x = kNoValue;
+  /// The sender's approximation graph G_q at the beginning of the
+  /// round (i.e. G_q^{r-1}).
+  LabeledDigraph graph;
+};
+
+/// Encoded wire size in bytes: 1 tag byte + 8 value bytes + the graph
+/// codec size. Used by the simulator's message sizer for experiment
+/// E5 (bit complexity).
+[[nodiscard]] inline std::int64_t encoded_size(const SkeletonMessage& m) {
+  return 1 + 8 + encoded_graph_size(m.graph);
+}
+
+}  // namespace sskel

@@ -1,0 +1,58 @@
+#include "kset/one_third_rule.hpp"
+
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+OneThirdRuleProcess::OneThirdRuleProcess(ProcId n, ProcId id, Value proposal)
+    : Algorithm(n, id), proposal_(proposal), x_(proposal) {
+  SSKEL_REQUIRE(proposal != kNoValue);
+}
+
+Value OneThirdRuleProcess::send(Round /*r*/) { return x_; }
+
+void OneThirdRuleProcess::transition(Round r, const Inbox<Value>& inbox) {
+  // Tally the received multiset of values.
+  std::map<Value, int> counts;
+  int received = 0;
+  for (ProcId q : inbox.senders()) {
+    ++counts[inbox.from(q)];
+    ++received;
+  }
+
+  const int threshold = 2 * n() / 3;  // "more than 2n/3" = > threshold
+
+  if (received > threshold) {
+    // Smallest among the most frequent received values.
+    int best_count = 0;
+    Value best = kNoValue;
+    for (const auto& [value, count] : counts) {
+      if (count > best_count) {  // map order: first max is the smallest
+        best_count = count;
+        best = value;
+      }
+    }
+    SSKEL_ASSERT(best != kNoValue);
+    x_ = best;
+  }
+
+  if (!decided_) {
+    for (const auto& [value, count] : counts) {
+      if (count > threshold) {
+        x_ = value;
+        decided_ = true;
+        decision_round_ = r;
+        break;
+      }
+    }
+  }
+}
+
+Value OneThirdRuleProcess::decision() const {
+  SSKEL_REQUIRE(decided_);
+  return x_;
+}
+
+}  // namespace sskel

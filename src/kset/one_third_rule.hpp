@@ -1,0 +1,43 @@
+// The One-Third Rule (OTR) consensus algorithm of the Heard-Of model
+// (Charron-Bost & Schiper, "The Heard-Of model", Distributed
+// Computing 2009) — a second baseline from the literature the paper
+// builds on.
+//
+// Per round, a process that hears from more than 2n/3 processes
+// updates its estimate to the smallest among the most frequent values
+// received; it decides v once more than 2n/3 of the *received* values
+// equal v. OTR solves consensus under HO predicates guaranteeing
+// recurring large uniform kernels — assumptions incomparable with
+// Psrcs(k): under all-to-all rounds OTR decides in two rounds with
+// 8-byte messages, while under a sparse Psrcs(k) skeleton (|PT| far
+// below 2n/3) it never fires at all. The contrast shows what the
+// skeleton approximation buys: termination from *any* stabilizing
+// pattern, however sparse.
+#pragma once
+
+#include "rounds/algorithm.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+class OneThirdRuleProcess final : public Algorithm<Value> {
+ public:
+  OneThirdRuleProcess(ProcId n, ProcId id, Value proposal);
+
+  [[nodiscard]] Value send(Round r) override;
+  void transition(Round r, const Inbox<Value>& inbox) override;
+
+  [[nodiscard]] Value proposal() const { return proposal_; }
+  [[nodiscard]] Value estimate() const { return x_; }
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] Value decision() const;
+  [[nodiscard]] Round decision_round() const { return decision_round_; }
+
+ private:
+  Value proposal_;
+  Value x_;
+  bool decided_ = false;
+  Round decision_round_ = 0;
+};
+
+}  // namespace sskel

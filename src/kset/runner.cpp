@@ -1,0 +1,134 @@
+#include "kset/runner.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "graph/scc.hpp"
+#include "rounds/simulator.hpp"
+#include "skeleton/tracker.hpp"
+
+namespace sskel {
+
+std::vector<Value> default_proposals(ProcId n) {
+  std::vector<Value> v(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    v[static_cast<std::size_t>(p)] = 100 * static_cast<Value>(p) + 7;
+  }
+  return v;
+}
+
+Round KSetRunReport::termination_bound(DecisionGuard guard) const {
+  const Round r_st = std::max<Round>(skeleton_last_change, 1);
+  const Round slack = guard == DecisionGuard::kAfterRoundN ? 1 : 0;
+  return r_st + 2 * n - 1 + slack;
+}
+
+KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
+  const ProcId n = source.n();
+  SSKEL_REQUIRE(n > 0);
+  SSKEL_REQUIRE(config.k >= 1);
+
+  const std::vector<Value> proposals =
+      config.proposals.empty() ? default_proposals(n) : config.proposals;
+  SSKEL_REQUIRE(proposals.size() == static_cast<std::size_t>(n));
+
+  std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> procs;
+  procs.reserve(static_cast<std::size_t>(n));
+  std::vector<SkeletonKSetProcess*> views;
+  for (ProcId p = 0; p < n; ++p) {
+    auto proc = std::make_unique<SkeletonKSetProcess>(
+        n, p, proposals[static_cast<std::size_t>(p)], config.guard);
+    views.push_back(proc.get());
+    procs.push_back(std::move(proc));
+  }
+
+  Simulator<SkeletonMessage> sim(source, std::move(procs));
+
+  SkeletonTracker tracker(n);
+  sim.add_observer(tracker.observer());
+
+  if (config.measure_bytes) {
+    sim.set_message_sizer(
+        [](const SkeletonMessage& m) { return encoded_size(m); });
+  }
+
+  std::unique_ptr<LemmaMonitor> monitor;
+  if (config.attach_lemma_monitor) {
+    monitor = std::make_unique<LemmaMonitor>(n, config.checks);
+  }
+
+  const Round max_rounds =
+      config.max_rounds > 0 ? config.max_rounds : 8 * n + 32;
+
+  auto all_decided = [&] {
+    return std::all_of(views.begin(), views.end(),
+                       [](const SkeletonKSetProcess* v) {
+                         return v->decided();
+                       });
+  };
+
+  auto feed_monitor = [&](Round r, const Digraph& g) {
+    if (!monitor) return;
+    std::vector<ProcessSnapshot> snaps;
+    snaps.reserve(static_cast<std::size_t>(n));
+    for (const SkeletonKSetProcess* v : views) {
+      ProcessSnapshot s;
+      s.approx = v->approximation();
+      s.pt = v->pt();
+      s.estimate = v->estimate();
+      s.decided = v->decided();
+      s.decided_via_message = v->decision_path() == DecisionPath::kForwarded;
+      s.decision_round = v->decision_round();
+      snaps.push_back(std::move(s));
+    }
+    monitor->observe_round(r, g, snaps);
+  };
+
+  Round executed = 0;
+  bool done = false;
+  while (executed < max_rounds) {
+    const Digraph& g = sim.step();
+    ++executed;
+    feed_monitor(executed, g);
+    if (all_decided()) {
+      done = true;
+      break;
+    }
+  }
+  for (Round t = 0; t < config.tail_rounds && executed < max_rounds; ++t) {
+    const Digraph& g = sim.step();
+    ++executed;
+    feed_monitor(executed, g);
+  }
+  if (monitor) monitor->finalize();
+
+  KSetRunReport report;
+  report.n = n;
+  report.all_decided = done || all_decided();
+  report.rounds_executed = executed;
+  for (const SkeletonKSetProcess* v : views) {
+    Outcome o;
+    o.proposal = v->proposal();
+    o.decided = v->decided();
+    if (v->decided()) {
+      o.decision = v->decision();
+      o.decision_round = v->decision_round();
+      report.last_decision_round =
+          std::max(report.last_decision_round, v->decision_round());
+    }
+    report.outcomes.push_back(o);
+    report.paths.push_back(v->decision_path());
+  }
+  report.verdict = verify_kset(report.outcomes, config.k);
+  report.distinct_values = report.verdict.distinct_decisions;
+  report.final_skeleton = tracker.skeleton();
+  report.skeleton_last_change = tracker.last_change_round();
+  report.root_components_final = tracker.current_root_components();
+  report.total_messages = sim.trace().total_messages();
+  report.total_bytes = sim.trace().total_bytes();
+  report.max_message_bytes = sim.trace().max_message_bytes();
+  if (monitor) report.lemma_violations = monitor->violations();
+  return report;
+}
+
+}  // namespace sskel

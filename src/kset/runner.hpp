@@ -1,0 +1,85 @@
+// KSetRunner: the one-call harness for running Algorithm 1 on a
+// GraphSource and collecting everything an experiment needs.
+//
+// Wires up the simulator, one SkeletonKSetProcess per process, a
+// skeleton tracker (for r_ST and root components), optional lemma
+// monitors, and optional message-size accounting; runs until every
+// process decides (plus an optional tail); and returns a structured
+// report. Examples, tests and benches all go through this entry point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "kset/skeleton_kset.hpp"
+#include "kset/verify.hpp"
+#include "rounds/graph_source.hpp"
+#include "skeleton/lemmas.hpp"
+
+namespace sskel {
+
+struct KSetRunConfig {
+  /// The k of k-set agreement (used for the verdict; the algorithm
+  /// itself is k-oblivious — k enters only through the predicate the
+  /// source satisfies).
+  int k = 1;
+
+  /// Proposals v_p; must have size n. Empty = distinct values 100*p+7.
+  std::vector<Value> proposals;
+
+  DecisionGuard guard = DecisionGuard::kAfterRoundN;
+
+  /// Hard stop; 0 selects 8n + 32 rounds.
+  Round max_rounds = 0;
+
+  /// Rounds to keep simulating after the last decision (exercises the
+  /// post-decision code paths and lets the skeleton settle).
+  Round tail_rounds = 0;
+
+  /// Attach the LemmaMonitor (O(n^3)/round; for tests and small n).
+  bool attach_lemma_monitor = false;
+  LemmaChecks checks;
+
+  /// Install the wire codec as message sizer (experiment E5).
+  bool measure_bytes = false;
+};
+
+struct KSetRunReport {
+  ProcId n = 0;
+  std::vector<Outcome> outcomes;
+  std::vector<DecisionPath> paths;
+  KSetVerdict verdict;  // k-agreement/validity/termination w.r.t. config.k
+  bool all_decided = false;
+  Round rounds_executed = 0;
+  Round last_decision_round = 0;
+  int distinct_values = 0;
+
+  /// Final skeleton G∩R of the run and the last round that changed it
+  /// (equals r_ST once the source has stabilized).
+  Digraph final_skeleton;
+  Round skeleton_last_change = 0;
+  std::vector<ProcSet> root_components_final;
+
+  /// Message accounting (bytes only when measure_bytes).
+  std::int64_t total_messages = 0;
+  std::int64_t total_bytes = 0;
+  std::int64_t max_message_bytes = 0;
+
+  std::vector<std::string> lemma_violations;
+
+  /// Lemma 11's termination bound for this run's guard:
+  /// max(r_ST, 1) + 2n - 1, plus 1 for the strict Line-28 guard.
+  [[nodiscard]] Round termination_bound(DecisionGuard guard) const;
+};
+
+/// Runs Algorithm 1 over the source until all processes decide (or
+/// max_rounds), plus tail_rounds. The report's verdict has no round
+/// bound applied; use termination_bound() to check Lemma 11.
+[[nodiscard]] KSetRunReport run_kset(GraphSource& source,
+                                     const KSetRunConfig& config);
+
+/// Default distinct proposals (100*p + 7) for n processes.
+[[nodiscard]] std::vector<Value> default_proposals(ProcId n);
+
+}  // namespace sskel

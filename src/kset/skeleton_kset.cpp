@@ -1,0 +1,91 @@
+#include "kset/skeleton_kset.hpp"
+
+#include <algorithm>
+
+namespace sskel {
+
+SkeletonKSetProcess::SkeletonKSetProcess(ProcId n, ProcId id, Value proposal,
+                                         DecisionGuard guard)
+    : Algorithm(n, id),
+      proposal_(proposal),
+      x_(proposal),            // Line 2: x_p initially v_p
+      pt_(ProcSet::full(n)),   // Line 1: PT_p initially Pi
+      g_(n, id),               // Line 3: G_p initially <{p}, {}>
+      guard_(guard) {
+  SSKEL_REQUIRE(proposal != kNoValue);
+}
+
+SkeletonMessage SkeletonKSetProcess::send(Round /*r*/) {
+  // Lines 5-8: the same payload is broadcast either as a decide or a
+  // prop message.
+  return SkeletonMessage{decided_, x_, g_};
+}
+
+void SkeletonKSetProcess::transition(Round r, const Inbox<SkeletonMessage>& inbox) {
+  // Line 9: update PT_p — a process stays timely only while it keeps
+  // delivering every round (Eq. (7)).
+  pt_ &= inbox.senders();
+  SSKEL_ASSERT(pt_.contains(id()));  // self-delivery is guaranteed
+
+  // Lines 10-13: adopt a decide message from a timely neighbor. When
+  // several timely neighbors decided, adopt the minimum value for
+  // determinism (any choice satisfies Lemma 13).
+  if (!decided_) {
+    Value adopted = kNoValue;
+    for (ProcId q : pt_) {
+      const SkeletonMessage& m = inbox.from(q);
+      if (m.decide && (adopted == kNoValue || m.x < adopted)) {
+        adopted = m.x;
+      }
+    }
+    if (adopted != kNoValue) {
+      x_ = adopted;           // Line 11
+      decided_ = true;        // Lines 12-13
+      decision_round_ = r;
+      path_ = DecisionPath::kForwarded;
+    }
+  }
+
+  // Lines 14-25: approximate the stable skeleton graph. This runs
+  // regardless of the decision state — decided processes keep serving
+  // fresh approximations to the rest of the system.
+  g_.reset(id());  // Line 15
+  for (ProcId q : pt_) {
+    g_.set_edge(q, id(), r);  // Line 17: (q -r-> p)
+    // Lines 18-23: union of node sets and max-label merge of the
+    // received graphs. Folding merge_max over the senders equals the
+    // paper's per-pair max over R_{i,j}, because max is associative
+    // and the received labels are all <= r - 1 < r (so the fresh
+    // Line-17 edges always win their cells).
+    g_.merge_max(inbox.from(q).graph);
+  }
+  g_.purge_labels_up_to(r - n());  // Line 24
+  g_.prune_not_reaching(id());     // Line 25
+
+  if (!decided_) {  // Line 26
+    // Line 27: x_p := min of the estimates heard from timely
+    // neighbors. p hears itself, so x_p can only decrease (Obs. 2).
+    Value best = kNoValue;
+    for (ProcId q : pt_) {
+      const Value xq = inbox.from(q).x;
+      if (best == kNoValue || xq < best) best = xq;
+    }
+    SSKEL_ASSERT(best != kNoValue);
+    x_ = best;
+
+    // Lines 28-30: decide once the approximation is strongly
+    // connected after the round guard.
+    if (guard_passed(r) && g_.strongly_connected()) {
+      decided_ = true;
+      decision_round_ = r;
+      path_ = DecisionPath::kConnected;
+    }
+  }
+}
+
+Value SkeletonKSetProcess::decision() const {
+  SSKEL_REQUIRE(decided_);
+  return x_;
+}
+
+}  // namespace sskel

@@ -1,0 +1,94 @@
+// Algorithm 1: approximating the stable skeleton graph and solving
+// k-set agreement with Psrcs(k).
+//
+// A faithful implementation of the paper's pseudocode. Per round r a
+// process p:
+//
+//   send:      (decide | prop, x_p, G_p)                    (L5-8)
+//   receive:   PT_p := PT_p cap senders                     (L9)
+//              adopt a decide message from PT_p             (L10-13)
+//              G_p := <{p}, {}>                             (L15)
+//              add (q -r-> p) for q in PT_p                 (L16-18)
+//              max-label merge of graphs from PT_p          (L19-23)
+//              purge labels <= r - n                        (L24)
+//              prune nodes not reaching p                   (L25)
+//              if undecided:                                (L26)
+//                x_p := min of estimates heard from PT_p    (L27)
+//                if r > n and G_p strongly connected:       (L28)
+//                  decide x_p                               (L29-30)
+//
+// The one deliberately configurable point is the Line-28 round guard:
+// the pseudocode reads "r > n", while Lemma 11's termination bound
+// needs decisions as early as round n when the skeleton is stable from
+// round 1. Both guards are safe (deciding later never breaks
+// k-agreement; Lemma 14 only needs "not before round n"), so the guard
+// is a constructor parameter with the literal pseudocode as default.
+// Tests exercise both.
+#pragma once
+
+#include "kset/message.hpp"
+#include "rounds/algorithm.hpp"
+#include "util/proc_set.hpp"
+
+namespace sskel {
+
+/// How a decision was reached.
+enum class DecisionPath {
+  kNone,        // undecided
+  kConnected,   // Line 29: own approximation strongly connected
+  kForwarded,   // Line 12: adopted a neighbor's decide message
+};
+
+/// Line-28 round guard variants.
+enum class DecisionGuard {
+  kAfterRoundN,  // r > n  (the paper's literal pseudocode)
+  kAtRoundN,     // r >= n (the earliest round Lemma 14 permits)
+};
+
+class SkeletonKSetProcess final : public Algorithm<SkeletonMessage> {
+ public:
+  /// `proposal` is v_p; `guard` selects the Line-28 variant.
+  SkeletonKSetProcess(ProcId n, ProcId id, Value proposal,
+                      DecisionGuard guard = DecisionGuard::kAfterRoundN);
+
+  [[nodiscard]] SkeletonMessage send(Round r) override;
+  void transition(Round r, const Inbox<SkeletonMessage>& inbox) override;
+
+  /// v_p, the initial proposal.
+  [[nodiscard]] Value proposal() const { return proposal_; }
+
+  /// Current estimate x_p.
+  [[nodiscard]] Value estimate() const { return x_; }
+
+  [[nodiscard]] bool decided() const { return decided_; }
+
+  /// The decided value; requires decided().
+  [[nodiscard]] Value decision() const;
+
+  /// Round in which the decision fired (0 when undecided).
+  [[nodiscard]] Round decision_round() const { return decision_round_; }
+
+  [[nodiscard]] DecisionPath decision_path() const { return path_; }
+
+  /// PT_p, the perceived perpetually-timely set.
+  [[nodiscard]] const ProcSet& pt() const { return pt_; }
+
+  /// G_p, the current approximation of the stable skeleton.
+  [[nodiscard]] const LabeledDigraph& approximation() const { return g_; }
+
+ private:
+  [[nodiscard]] bool guard_passed(Round r) const {
+    return guard_ == DecisionGuard::kAfterRoundN ? r > n() : r >= n();
+  }
+
+  Value proposal_;
+  Value x_;
+  ProcSet pt_;
+  LabeledDigraph g_;
+  bool decided_ = false;
+  Round decision_round_ = 0;
+  DecisionPath path_ = DecisionPath::kNone;
+  DecisionGuard guard_;
+};
+
+}  // namespace sskel

@@ -1,0 +1,71 @@
+#include "kset/verify.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+int distinct_decisions(const std::vector<Outcome>& outcomes) {
+  std::set<Value> values;
+  for (const Outcome& o : outcomes) {
+    if (o.decided) values.insert(o.decision);
+  }
+  return static_cast<int>(values.size());
+}
+
+KSetVerdict verify_kset(const std::vector<Outcome>& outcomes, int k,
+                        Round round_bound) {
+  SSKEL_REQUIRE(k >= 1);
+  KSetVerdict verdict;
+
+  std::set<Value> proposals;
+  for (const Outcome& o : outcomes) proposals.insert(o.proposal);
+
+  verdict.distinct_decisions = distinct_decisions(outcomes);
+  verdict.k_agreement = verdict.distinct_decisions <= k;
+  if (!verdict.k_agreement) {
+    std::ostringstream os;
+    os << "k-agreement violated: " << verdict.distinct_decisions
+       << " distinct values for k=" << k;
+    verdict.failures.push_back(os.str());
+  }
+
+  verdict.validity = true;
+  for (std::size_t p = 0; p < outcomes.size(); ++p) {
+    const Outcome& o = outcomes[p];
+    if (o.decided && proposals.count(o.decision) == 0) {
+      verdict.validity = false;
+      std::ostringstream os;
+      os << "validity violated: p" << p << " decided unproposed value "
+         << o.decision;
+      verdict.failures.push_back(os.str());
+    }
+  }
+
+  verdict.termination = true;
+  for (std::size_t p = 0; p < outcomes.size(); ++p) {
+    const Outcome& o = outcomes[p];
+    if (!o.decided) {
+      verdict.termination = false;
+      std::ostringstream os;
+      os << "termination violated: p" << p << " undecided";
+      verdict.failures.push_back(os.str());
+      continue;
+    }
+    verdict.last_decision_round =
+        std::max(verdict.last_decision_round, o.decision_round);
+    if (round_bound > 0 && o.decision_round > round_bound) {
+      verdict.termination = false;
+      std::ostringstream os;
+      os << "termination bound violated: p" << p << " decided in round "
+         << o.decision_round << " > bound " << round_bound;
+      verdict.failures.push_back(os.str());
+    }
+  }
+  return verdict;
+}
+
+}  // namespace sskel

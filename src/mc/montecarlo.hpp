@@ -1,0 +1,50 @@
+// Monte-Carlo aggregation over random Psrcs(k) runs.
+//
+// The statistical experiments (E2, E4, E5, parts of E8) all share one
+// shape: sample many seeded random adversaries, run Algorithm 1 on
+// each, and aggregate decision/skeleton/traffic metrics. This module
+// is that loop, parallelized over trials.
+#pragma once
+
+#include <cstdint>
+
+#include "adversary/random_psrcs.hpp"
+#include "kset/runner.hpp"
+#include "util/stats.hpp"
+
+namespace sskel {
+
+struct McSummary {
+  std::int64_t runs = 0;
+  /// Runs in which some process failed to decide within max_rounds.
+  std::int64_t undecided_runs = 0;
+  /// Runs violating k-agreement (must stay 0 under Psrcs(k)).
+  std::int64_t agreement_violations = 0;
+  /// Runs violating validity.
+  std::int64_t validity_violations = 0;
+  /// Runs whose last decision exceeded Lemma 11's bound.
+  std::int64_t bound_violations = 0;
+  /// Runs with lemma-monitor findings (when the monitor is attached).
+  std::int64_t lemma_violation_runs = 0;
+
+  Accumulator distinct_values;       // per run
+  Accumulator root_components;       // of the final skeleton
+  Accumulator last_decision_round;   // over decided runs
+  Accumulator stabilization_round;   // observed r_ST
+  Accumulator total_messages;
+  Accumulator total_bytes;           // 0 unless measure_bytes
+  Accumulator max_message_bytes;
+  IntHistogram distinct_histogram;
+  IntHistogram root_histogram;
+};
+
+/// Runs `trials` random-Psrcs trials. Trial t uses the adversary seed
+/// mix_seed(master_seed, t); proposals default to distinct values.
+/// Thread count 0 = hardware concurrency.
+[[nodiscard]] McSummary run_random_psrcs_trials(std::uint64_t master_seed,
+                                                int trials,
+                                                const RandomPsrcsParams& params,
+                                                const KSetRunConfig& config,
+                                                unsigned threads = 0);
+
+}  // namespace sskel

@@ -1,0 +1,38 @@
+#include "mc/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace sskel {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  unsigned threads) {
+  if (count == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(resolve_thread_count(threads), count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::jthread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  // jthreads join on destruction.
+}
+
+}  // namespace sskel

@@ -1,0 +1,42 @@
+// Thread-parallel fan-out for Monte-Carlo experiments.
+//
+// Simulation runs are embarrassingly parallel: each trial has its own
+// seed, its own GraphSource, and its own simulator, sharing nothing.
+// parallel_for hands trial indices to a fixed pool of std::jthread
+// workers via an atomic counter (dynamic scheduling — trial costs vary
+// wildly with the sampled topology, so static blocks would straggle).
+// Determinism: results are keyed by trial index, never by completion
+// order; with the seed-per-trial discipline (mix_seed(master, index))
+// any thread count produces bit-identical aggregates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sskel {
+
+/// Number of worker threads to use when `requested` is 0: the hardware
+/// concurrency, at least 1.
+[[nodiscard]] unsigned resolve_thread_count(unsigned requested);
+
+/// Invokes fn(i) for every i in [0, count), distributing indices over
+/// `threads` workers (0 = hardware concurrency). Runs inline when
+/// count <= 1 or only one thread is available. fn must not throw.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+/// Maps fn over [0, count) into an index-ordered vector.
+template <typename T>
+[[nodiscard]] std::vector<T> collect_parallel(
+    std::size_t count, const std::function<T(std::size_t)>& fn,
+    unsigned threads = 0) {
+  std::vector<T> results(count);
+  parallel_for(
+      count, [&](std::size_t i) { results[i] = fn(i); }, threads);
+  return results;
+}
+
+}  // namespace sskel

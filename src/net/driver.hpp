@@ -1,0 +1,280 @@
+// NetRoundDriver: the communication-closed round abstraction,
+// implemented on a simulated partially synchronous network.
+//
+// This is the "messaging boilerplate" beneath the paper's model. Each
+// process p has a local clock offset skew_p and a round duration D:
+// it starts round r at  start_p(r) = (r-1)*D + skew_p,  immediately
+// broadcasts its round-r message (after applying the round-(r-1)
+// transition), and closes the round at  start_p(r+1) = start_p(r) + D,
+// consuming exactly the round-r messages that arrived by then. A
+// message from q traveling d microseconds is on time for p iff
+//
+//     skew_q + d <= skew_p + D                       (*)
+//
+// so the *derived* communication graph of round r contains edge
+// (q -> p) iff (*) held for that message — asynchrony (slow links,
+// skewed clocks) and failures (drops) become missing edges and nothing
+// else, which is precisely the paper's unified model. Late messages
+// are discarded (communication closure) and counted.
+//
+// The driver reports each derived graph to observers (skeleton
+// trackers, predicate checkers), so the whole upper stack — Algorithm
+// 1, lemma monitors, Psrcs(k) analysis — runs unchanged on top of the
+// network substrate.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "net/event_queue.hpp"
+#include "net/link.hpp"
+#include "rounds/algorithm.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+
+struct NetConfig {
+  /// Round duration D in microseconds (the synchronizer's timeout).
+  SimTime round_duration = 1000;
+  /// Per-process clock offsets; empty = all zero. Offsets shift the
+  /// timeliness condition (*) per link direction.
+  std::vector<SimTime> skews;
+  /// Seed for all delay sampling.
+  std::uint64_t seed = 1;
+};
+
+template <typename Msg>
+class NetRoundDriver {
+ public:
+  using Process = Algorithm<Msg>;
+  using Observer = std::function<void(Round, const Digraph&)>;
+
+  NetRoundDriver(NetConfig config, LinkMatrix links,
+                 std::vector<std::unique_ptr<Process>> processes)
+      : config_(std::move(config)),
+        links_(std::move(links)),
+        processes_(std::move(processes)),
+        rng_(config_.seed) {
+    const std::size_t n = processes_.size();
+    SSKEL_REQUIRE(n > 0);
+    SSKEL_REQUIRE(links_.n() == static_cast<ProcId>(n));
+    SSKEL_REQUIRE(config_.round_duration > 0);
+    if (config_.skews.empty()) config_.skews.assign(n, 0);
+    SSKEL_REQUIRE(config_.skews.size() == n);
+    for (SimTime skew : config_.skews) {
+      // A skew beyond the round duration would let rounds overlap by
+      // more than one boundary; keep the synchronizer's invariant.
+      SSKEL_REQUIRE(skew >= 0 && skew < config_.round_duration);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      SSKEL_REQUIRE(processes_[i] != nullptr);
+      SSKEL_REQUIRE(processes_[i]->id() == static_cast<ProcId>(i));
+    }
+    inboxes_.resize(n);
+    finalized_round_.assign(n, 0);
+
+    // Bootstrap: every process starts round 1 at skew_p.
+    for (ProcId p = 0; p < this->n(); ++p) {
+      queue_.schedule(skew(p), [this, p] { start_round(p, 1); });
+    }
+  }
+
+  [[nodiscard]] ProcId n() const {
+    return static_cast<ProcId>(processes_.size());
+  }
+
+  [[nodiscard]] Process& process(ProcId p) {
+    return *processes_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const Process& process(ProcId p) const {
+    return *processes_[static_cast<std::size_t>(p)];
+  }
+
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  [[nodiscard]] SimTime now() const { return queue_.now(); }
+
+  /// Number of round-tagged messages that arrived after their deadline
+  /// and were discarded (the communication-closure drop path).
+  [[nodiscard]] std::int64_t late_messages() const { return late_; }
+  [[nodiscard]] std::int64_t lost_messages() const { return lost_; }
+  [[nodiscard]] std::int64_t delivered_messages() const { return delivered_; }
+
+  /// Completed rounds (min over processes).
+  [[nodiscard]] Round rounds_completed() const {
+    Round done = finalized_round_[0];
+    for (Round r : finalized_round_) done = std::min(done, r);
+    return done;
+  }
+
+  /// Runs the network until every process has finalized `rounds`
+  /// rounds.
+  void run_rounds(Round rounds) {
+    SSKEL_REQUIRE(rounds >= 0);
+    while (rounds_completed() < rounds) {
+      const bool progressed = queue_.step();
+      SSKEL_ASSERT(progressed);
+    }
+  }
+
+  /// Runs until `done()` holds (checked after each event) or
+  /// `max_rounds` rounds completed; returns whether done() fired.
+  bool run_until(const std::function<bool()>& done, Round max_rounds) {
+    while (rounds_completed() < max_rounds) {
+      if (done()) return true;
+      const bool progressed = queue_.step();
+      SSKEL_ASSERT(progressed);
+    }
+    return done();
+  }
+
+ private:
+  struct RoundInbox {
+    Round round = 0;
+    ProcSet senders;
+    std::vector<Msg> messages;
+  };
+
+  [[nodiscard]] SimTime skew(ProcId p) const {
+    return config_.skews[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] SimTime start_time(ProcId p, Round r) const {
+    return static_cast<SimTime>(r - 1) * config_.round_duration + skew(p);
+  }
+  [[nodiscard]] SimTime deadline(ProcId p, Round r) const {
+    return start_time(p, r) + config_.round_duration;
+  }
+
+  RoundInbox& inbox_for(ProcId p, Round r) {
+    // A process buffers at most two live rounds (its current one and
+    // the next, which early-clock peers may already be sending).
+    auto& slots = inboxes_[static_cast<std::size_t>(p)];
+    for (auto& slot : slots) {
+      if (slot.round == r) return slot;
+    }
+    RoundInbox fresh;
+    fresh.round = r;
+    fresh.senders = ProcSet(n());
+    fresh.messages.assign(static_cast<std::size_t>(n()), Msg{});
+    slots.push_back(std::move(fresh));
+    return slots.back();
+  }
+
+  void drop_inbox(ProcId p, Round r) {
+    auto& slots = inboxes_[static_cast<std::size_t>(p)];
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].round == r) {
+        slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Round boundary for p: broadcast round r (state is already the
+  /// beginning-of-round-r state) and schedule the round's close.
+  void start_round(ProcId p, Round r) {
+    const Msg msg = processes_[static_cast<std::size_t>(p)]->send(r);
+
+    // Self-delivery is immediate and always on time.
+    RoundInbox& own = inbox_for(p, r);
+    own.senders.insert(p);
+    own.messages[static_cast<std::size_t>(p)] = msg;
+
+    for (ProcId q = 0; q < n(); ++q) {
+      if (q == p) continue;
+      // Slack for on-time delivery on this pair, from (*).
+      const SimTime slack =
+          config_.round_duration + skew(q) - skew(p);
+      const SimTime delay = sample_delay(links_.at(p, q), slack, rng_);
+      if (delay == kLost) {
+        ++lost_;
+        continue;
+      }
+      const SimTime arrival = queue_.now() + delay;
+      queue_.schedule(arrival, [this, p, q, r, msg] {
+        deliver(/*from=*/p, /*to=*/q, r, msg);
+      });
+    }
+
+    queue_.schedule(deadline(p, r), [this, p, r] { close_round(p, r); });
+  }
+
+  void deliver(ProcId from, ProcId to, Round r, const Msg& msg) {
+    if (queue_.now() > deadline(to, r)) {
+      ++late_;  // communication closure: the round already ended
+      return;
+    }
+    ++delivered_;
+    RoundInbox& inbox = inbox_for(to, r);
+    inbox.senders.insert(from);
+    inbox.messages[static_cast<std::size_t>(from)] = msg;
+  }
+
+  void close_round(ProcId p, Round r) {
+    RoundInbox& inbox = inbox_for(p, r);
+    const ProcSet senders = inbox.senders;
+
+    const Inbox<Msg> view(inbox.senders, inbox.messages);
+    processes_[static_cast<std::size_t>(p)]->transition(r, view);
+    finalized_round_[static_cast<std::size_t>(p)] = r;
+
+    // Record the derived communication-graph row *after* the
+    // transition: when the last row of round r lands, every process is
+    // in its end-of-round-r state, so observers (skeleton trackers,
+    // lemma monitors) see a consistent cut.
+    derived_row(p, r, senders);
+    drop_inbox(p, r);
+
+    // The close of round r is the start of round r + 1.
+    start_round(p, r + 1);
+  }
+
+  struct PendingGraph {
+    Round round = 0;
+    Digraph graph;
+    ProcId rows = 0;
+  };
+
+  /// Collects per-process rows into whole derived graphs and fires the
+  /// observers once a round's last row lands. Rounds complete in
+  /// order: the last close of round r (at r*D + max skew) precedes the
+  /// first close of round r+1 (at (r+1)*D + min skew) because skews
+  /// are constrained below D.
+  void derived_row(ProcId p, Round r, const ProcSet& senders) {
+    PendingGraph* rec = nullptr;
+    for (PendingGraph& pg : pending_graphs_) {
+      if (pg.round == r) {
+        rec = &pg;
+        break;
+      }
+    }
+    if (rec == nullptr) {
+      pending_graphs_.push_back(PendingGraph{r, Digraph(n()), 0});
+      rec = &pending_graphs_.back();
+    }
+    for (ProcId q : senders) rec->graph.add_edge(q, p);
+    if (++rec->rows == n()) {
+      for (const Observer& obs : observers_) obs(r, rec->graph);
+      std::erase_if(pending_graphs_,
+                    [r](const PendingGraph& pg) { return pg.round == r; });
+    }
+  }
+
+  NetConfig config_;
+  LinkMatrix links_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Rng rng_;
+  EventQueue queue_;
+  std::vector<Observer> observers_;
+  std::vector<std::vector<RoundInbox>> inboxes_;
+  std::vector<Round> finalized_round_;
+  std::vector<PendingGraph> pending_graphs_;
+  std::int64_t late_ = 0;
+  std::int64_t lost_ = 0;
+  std::int64_t delivered_ = 0;
+};
+
+}  // namespace sskel

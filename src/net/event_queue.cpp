@@ -1,0 +1,31 @@
+#include "net/event_queue.hpp"
+
+#include <utility>
+
+namespace sskel {
+
+void EventQueue::schedule(SimTime t, Handler fn) {
+  SSKEL_REQUIRE(t >= now_);
+  SSKEL_REQUIRE(fn != nullptr);
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // Move the handler out before popping so the handler may schedule
+  // further events (priority_queue::top is const; copy the entry).
+  Entry entry = heap_.top();
+  heap_.pop();
+  SSKEL_ASSERT(entry.time >= now_);
+  now_ = entry.time;
+  entry.fn();
+  return true;
+}
+
+std::int64_t EventQueue::run(std::int64_t limit) {
+  std::int64_t executed = 0;
+  while (executed < limit && step()) ++executed;
+  return executed;
+}
+
+}  // namespace sskel

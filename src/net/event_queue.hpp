@@ -1,0 +1,60 @@
+// A deterministic discrete-event queue.
+//
+// The net substrate simulates a partially synchronous message-passing
+// network under the round abstraction (see net/driver.hpp). Events are
+// ordered by simulated time with FIFO tie-breaking on equal
+// timestamps (insertion sequence), which keeps runs bit-deterministic
+// regardless of how many events collide on a timestamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+/// Simulated time in microseconds.
+using SimTime = std::int64_t;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void schedule(SimTime t, Handler fn);
+
+  /// Current simulated time (time of the last executed event).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Executes the earliest event; returns false when none is pending.
+  bool step();
+
+  /// Executes events until the queue drains or `limit` events ran.
+  /// Returns the number of events executed.
+  std::int64_t run(std::int64_t limit);
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0;
+};
+
+}  // namespace sskel

@@ -1,0 +1,53 @@
+// One-call harness: Algorithm 1 running over the simulated partially
+// synchronous network instead of an abstract GraphSource.
+//
+// This closes the loop from the paper's abstract model back to a
+// concrete system: timely links realize the hub cover that implies
+// Psrcs(k) on the *derived* skeleton, and the decisions obey the same
+// k ceiling — measured end to end through real (simulated) message
+// timing, deadlines and discards.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "kset/skeleton_kset.hpp"
+#include "kset/verify.hpp"
+#include "net/driver.hpp"
+
+namespace sskel {
+
+struct NetKSetConfig {
+  int k = 1;
+  NetConfig net;
+  /// Proposals; empty = default distinct values.
+  std::vector<Value> proposals;
+  DecisionGuard guard = DecisionGuard::kAfterRoundN;
+  Round max_rounds = 0;  // 0 -> 8n + 32
+};
+
+struct NetKSetReport {
+  ProcId n = 0;
+  std::vector<Outcome> outcomes;
+  KSetVerdict verdict;
+  bool all_decided = false;
+  Round rounds_executed = 0;
+  Round last_decision_round = 0;
+  int distinct_values = 0;
+
+  /// Skeleton of the *derived* communication graphs.
+  Digraph final_skeleton;
+  Round skeleton_last_change = 0;
+
+  /// Network-level accounting.
+  std::int64_t delivered_messages = 0;
+  std::int64_t late_messages = 0;
+  std::int64_t lost_messages = 0;
+  SimTime wall_clock = 0;  // simulated microseconds
+};
+
+/// Runs Algorithm 1 over the network defined by `links`.
+[[nodiscard]] NetKSetReport run_kset_over_network(const LinkMatrix& links,
+                                                  const NetKSetConfig& config);
+
+}  // namespace sskel

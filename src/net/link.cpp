@@ -1,0 +1,98 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+#include "util/assert.hpp"
+
+namespace sskel {
+
+SimTime sample_delay(const LinkSpec& spec, SimTime deadline_slack, Rng& rng) {
+  switch (spec.kind) {
+    case LinkKind::kDown:
+      return kLost;
+    case LinkKind::kTimely: {
+      SSKEL_REQUIRE(spec.min_delay >= 0);
+      SSKEL_REQUIRE(spec.max_delay >= spec.min_delay);
+      const std::uint64_t span =
+          static_cast<std::uint64_t>(spec.max_delay - spec.min_delay) + 1;
+      return spec.min_delay + static_cast<SimTime>(rng.next_below(span));
+    }
+    case LinkKind::kFlaky: {
+      if (rng.next_bool(spec.on_time_probability)) {
+        // On-time attempt: sample within the budget (or the nominal
+        // range if that is tighter).
+        const SimTime hi = std::min(spec.max_delay, deadline_slack);
+        if (hi < spec.min_delay) return kLost;  // cannot make it
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - spec.min_delay) + 1;
+        return spec.min_delay + static_cast<SimTime>(rng.next_below(span));
+      }
+      // Late or lost, half/half: late arrivals exercise the
+      // communication-closed discard path.
+      if (rng.next_bool(0.5)) return kLost;
+      const SimTime base = std::max(deadline_slack + 1, spec.min_delay);
+      return base + static_cast<SimTime>(rng.next_below(1000));
+    }
+  }
+  SSKEL_ASSERT(false);
+  return kLost;
+}
+
+LinkMatrix::LinkMatrix(ProcId n)
+    : n_(n),
+      specs_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {
+  SSKEL_REQUIRE(n > 0);
+}
+
+const LinkSpec& LinkMatrix::at(ProcId q, ProcId p) const {
+  SSKEL_REQUIRE(q >= 0 && q < n_ && p >= 0 && p < n_);
+  return specs_[static_cast<std::size_t>(q) * static_cast<std::size_t>(n_) +
+                static_cast<std::size_t>(p)];
+}
+
+void LinkMatrix::set(ProcId q, ProcId p, const LinkSpec& spec) {
+  SSKEL_REQUIRE(q >= 0 && q < n_ && p >= 0 && p < n_);
+  specs_[static_cast<std::size_t>(q) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(p)] = spec;
+}
+
+LinkMatrix LinkMatrix::all_timely(ProcId n, SimTime min_delay,
+                                  SimTime max_delay) {
+  LinkMatrix m(n);
+  LinkSpec spec;
+  spec.kind = LinkKind::kTimely;
+  spec.min_delay = min_delay;
+  spec.max_delay = max_delay;
+  for (ProcId q = 0; q < n; ++q) {
+    for (ProcId p = 0; p < n; ++p) m.set(q, p, spec);
+  }
+  return m;
+}
+
+LinkMatrix LinkMatrix::all_flaky(ProcId n, double on_time_probability) {
+  LinkMatrix m(n);
+  LinkSpec spec;
+  spec.kind = LinkKind::kFlaky;
+  spec.on_time_probability = on_time_probability;
+  for (ProcId q = 0; q < n; ++q) {
+    for (ProcId p = 0; p < n; ++p) m.set(q, p, spec);
+  }
+  return m;
+}
+
+void LinkMatrix::upgrade_to_timely(const Digraph& stable, SimTime min_delay,
+                                   SimTime max_delay) {
+  SSKEL_REQUIRE(stable.n() == n_);
+  LinkSpec spec;
+  spec.kind = LinkKind::kTimely;
+  spec.min_delay = min_delay;
+  spec.max_delay = max_delay;
+  for (ProcId q : stable.nodes()) {
+    for (ProcId p : stable.out_neighbors(q)) {
+      if (q != p) set(q, p, spec);
+    }
+  }
+}
+
+}  // namespace sskel

@@ -1,0 +1,79 @@
+// Per-link delay models for the partially synchronous network.
+//
+// The paper's round model descends from partial synchrony (Dwork/
+// Lynch/Stockmeyer; Santoro/Widmayer): whether an edge (q -> p)
+// appears in the round-r communication graph is decided purely by
+// whether q's round-r message arrives before p closes the round. The
+// link layer makes that concrete:
+//
+//   kTimely — delay uniform in [min_delay, max_delay]; with
+//             max_delay + skew slack below the round duration the
+//             link is *perpetually* timely, i.e. a stable skeleton
+//             edge. These links realize the hub covers behind
+//             Psrcs(k).
+//   kFlaky  — on time with probability on_time_probability, otherwise
+//             late (delivered after the deadline and discarded) or
+//             dropped. Flaky links produce the transient edges that
+//             make skeletons shrink.
+//   kDown   — never delivers.
+//
+// Self-links are implicitly perfect (a process always hears itself).
+#pragma once
+
+#include <vector>
+
+#include "net/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+enum class LinkKind { kTimely, kFlaky, kDown };
+
+struct LinkSpec {
+  LinkKind kind = LinkKind::kDown;
+  SimTime min_delay = 100;   // microseconds
+  SimTime max_delay = 900;
+  /// kFlaky only: probability of an on-time delivery attempt.
+  double on_time_probability = 0.5;
+};
+
+/// Sentinel delay: the message never arrives.
+inline constexpr SimTime kLost = -1;
+
+/// Samples the delivery delay for one message on a link.
+/// `deadline_slack` is the delay budget that still counts as on time
+/// for this (sender, receiver) pair; flaky links use it to materialize
+/// "late" as a concrete arrival past the deadline.
+[[nodiscard]] SimTime sample_delay(const LinkSpec& spec,
+                                   SimTime deadline_slack, Rng& rng);
+
+/// Dense n x n link configuration (diagonal ignored).
+class LinkMatrix {
+ public:
+  explicit LinkMatrix(ProcId n);
+
+  [[nodiscard]] ProcId n() const { return n_; }
+  [[nodiscard]] const LinkSpec& at(ProcId q, ProcId p) const;
+  void set(ProcId q, ProcId p, const LinkSpec& spec);
+
+  /// All links timely with the given delay range.
+  static LinkMatrix all_timely(ProcId n, SimTime min_delay,
+                               SimTime max_delay);
+
+  /// All links flaky (default spec), then callers upgrade the stable
+  /// structure to timely.
+  static LinkMatrix all_flaky(ProcId n, double on_time_probability);
+
+  /// Upgrades every edge of `stable` (excluding self-loops) to a
+  /// timely link with the given delays. The usual recipe: start from
+  /// all_flaky / all-down, upgrade a hub-cover skeleton.
+  void upgrade_to_timely(const class Digraph& stable, SimTime min_delay,
+                         SimTime max_delay);
+
+ private:
+  ProcId n_;
+  std::vector<LinkSpec> specs_;
+};
+
+}  // namespace sskel

@@ -1,0 +1,49 @@
+#include "predicates/classic.hpp"
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+ProcSet round_kernel(const Digraph& g) {
+  ProcSet kernel = g.nodes();
+  for (ProcId p : g.nodes()) {
+    kernel &= g.in_neighbors(p);
+  }
+  return kernel;
+}
+
+bool has_nonempty_kernel(const Digraph& g) {
+  return !round_kernel(g).empty();
+}
+
+bool is_nonsplit(const Digraph& g) {
+  for (ProcId p : g.nodes()) {
+    for (ProcId q = g.nodes().next_after(p); q != -1;
+         q = g.nodes().next_after(q)) {
+      if (!g.in_neighbors(p).intersects(g.in_neighbors(q))) return false;
+    }
+  }
+  return true;
+}
+
+RunSynchronyProfile profile_run(const std::vector<Digraph>& graphs) {
+  SSKEL_REQUIRE(!graphs.empty());
+  const ProcId n = graphs.front().n();
+  RunSynchronyProfile profile;
+  profile.perpetual_kernel = ProcSet::full(n);
+  profile.skeleton = Digraph::complete(n);
+  for (const Digraph& raw : graphs) {
+    SSKEL_REQUIRE(raw.n() == n);
+    Digraph g = raw;
+    g.add_self_loops();
+    ++profile.rounds;
+    const ProcSet kernel = round_kernel(g);
+    if (!kernel.empty()) ++profile.rounds_with_kernel;
+    if (is_nonsplit(g)) ++profile.nonsplit_rounds;
+    profile.perpetual_kernel &= kernel;
+    profile.skeleton.intersect_with(g);
+  }
+  return profile;
+}
+
+}  // namespace sskel

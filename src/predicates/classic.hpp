@@ -1,0 +1,56 @@
+// Classic per-round communication-graph properties from the HO
+// literature (Charron-Bost & Schiper), alongside the paper's perpetual
+// Psrcs(k).
+//
+//   kernel(G)    = { q : every process hears q in G }            (the
+//                  intersection of all HO sets of the round)
+//   nonsplit(G)  = every two processes hear a *common* process
+//                  (exactly Psrc(p, {q,q'}) demanded per round —
+//                  the per-round shadow of Psrcs(1))
+//
+// Known implication, verified by property tests:
+//   nonempty kernel  =>  nonsplit.
+//
+// These properties ground experiment E12: a *rotating* star gives
+// every single round a nonempty kernel, yet its stable skeleton is
+// bare self-loops — per-round synchrony that never persists is
+// invisible to PT and therefore useless to Algorithm 1, which is
+// exactly why the paper quantifies over the *stable* skeleton.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+/// Processes heard by every process in this round's graph:
+/// { q : out(q) superset of nodes }. (With self-loops closed, members
+/// of the kernel reach everyone including themselves.)
+[[nodiscard]] ProcSet round_kernel(const Digraph& g);
+
+[[nodiscard]] bool has_nonempty_kernel(const Digraph& g);
+
+/// True iff every pair p != q has a common in-neighbor in g.
+[[nodiscard]] bool is_nonsplit(const Digraph& g);
+
+/// Round-by-round synchrony profile of a (finite prefix of a) run.
+struct RunSynchronyProfile {
+  Round rounds = 0;
+  Round rounds_with_kernel = 0;   // nonempty kernel
+  Round nonsplit_rounds = 0;
+  /// Processes that were in the kernel of *every* round — the
+  /// perpetual analogue; nonempty iff the run has a perpetual global
+  /// source (a very strong form of Psrcs(1)).
+  ProcSet perpetual_kernel;
+  /// The skeleton of the profiled prefix.
+  Digraph skeleton;
+};
+
+/// Profiles a graph sequence (self-loops are closed per round, as the
+/// simulator would).
+[[nodiscard]] RunSynchronyProfile profile_run(
+    const std::vector<Digraph>& graphs);
+
+}  // namespace sskel

@@ -1,0 +1,43 @@
+#include "predicates/ho_view.hpp"
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+HoRecorder::HoRecorder(ProcId n) : n_(n) { SSKEL_REQUIRE(n > 0); }
+
+void HoRecorder::record(Round r, const Digraph& graph) {
+  SSKEL_REQUIRE(graph.n() == n_);
+  SSKEL_REQUIRE(r == static_cast<Round>(per_round_ho_.size()) + 1);
+  std::vector<ProcSet> hos;
+  hos.reserve(static_cast<std::size_t>(n_));
+  for (ProcId p = 0; p < n_; ++p) hos.push_back(graph.in_neighbors(p));
+  per_round_ho_.push_back(std::move(hos));
+}
+
+const ProcSet& HoRecorder::ho(ProcId p, Round r) const {
+  SSKEL_REQUIRE(r >= 1 && r <= rounds());
+  SSKEL_REQUIRE(p >= 0 && p < n_);
+  return per_round_ho_[static_cast<std::size_t>(r - 1)]
+                      [static_cast<std::size_t>(p)];
+}
+
+ProcSet HoRecorder::d(ProcId p, Round r) const {
+  return ProcSet::full(n_) - ho(p, r);
+}
+
+ProcSet HoRecorder::pt_via_ho(ProcId p, Round r) const {
+  SSKEL_REQUIRE(r >= 1 && r <= rounds());
+  ProcSet pt = ProcSet::full(n_);
+  for (Round rr = 1; rr <= r; ++rr) pt &= ho(p, rr);
+  return pt;
+}
+
+ProcSet HoRecorder::pt_via_d(ProcId p, Round r) const {
+  SSKEL_REQUIRE(r >= 1 && r <= rounds());
+  ProcSet suspected(n_);
+  for (Round rr = 1; rr <= r; ++rr) suspected |= d(p, rr);
+  return ProcSet::full(n_) - suspected;
+}
+
+}  // namespace sskel

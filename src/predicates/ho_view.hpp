@@ -1,0 +1,56 @@
+// Heard-Of sets and Round-by-Round fault detector views (Eq. (6), (7)).
+//
+// The paper's skeleton formalism coincides with two classic models:
+//
+//   HO model:   HO(p, r)  = processes p hears from in round r
+//   RbR FDs:    D(p, r)   = processes p's detector suspects in round r
+//                           (p waits for everyone outside D(p, r))
+//
+// Eq. (6):  (q -> p) in E∩r  <=>  q in HO(p, r') for all r' <= r
+//                             <=>  q not in D(p, r') for all r' <= r
+// Eq. (7):  PT(p, r) = intersection of HO(p, r'), r' <= r
+//                    = Pi minus the union of D(p, r'), r' <= r
+//
+// HoRecorder materializes both views from a sequence of communication
+// graphs so tests can confirm the correspondence mechanically.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+class HoRecorder {
+ public:
+  explicit HoRecorder(ProcId n);
+
+  /// Records G^r; rounds must arrive in order 1, 2, 3, ...
+  void record(Round r, const Digraph& graph);
+
+  [[nodiscard]] Round rounds() const {
+    return static_cast<Round>(per_round_ho_.size());
+  }
+
+  /// HO(p, r): processes p heard from in round r (1-based).
+  [[nodiscard]] const ProcSet& ho(ProcId p, Round r) const;
+
+  /// D(p, r): the RbR fault-detector output = Pi \ HO(p, r).
+  [[nodiscard]] ProcSet d(ProcId p, Round r) const;
+
+  /// PT(p, r) computed via the HO form of Eq. (7): the running
+  /// intersection of heard-of sets.
+  [[nodiscard]] ProcSet pt_via_ho(ProcId p, Round r) const;
+
+  /// PT(p, r) computed via the fault-detector form of Eq. (7):
+  /// Pi \ union of D(p, r').
+  [[nodiscard]] ProcSet pt_via_d(ProcId p, Round r) const;
+
+ private:
+  ProcId n_;
+  // per_round_ho_[r-1][p] = HO(p, r)
+  std::vector<std::vector<ProcSet>> per_round_ho_;
+};
+
+}  // namespace sskel

@@ -1,0 +1,100 @@
+#include "predicates/psrcs.hpp"
+
+#include <algorithm>
+
+namespace sskel {
+
+std::optional<TwoSourceWitness> find_two_source(const Digraph& skeleton,
+                                                const ProcSet& s) {
+  SSKEL_REQUIRE(s.universe() == skeleton.n());
+  for (ProcId p : skeleton.nodes()) {
+    const ProcSet receivers = skeleton.out_neighbors(p) & s;
+    if (receivers.count() >= 2) {
+      const ProcId a = receivers.first();
+      const ProcId b = receivers.next_after(a);
+      return TwoSourceWitness{p, a, b};
+    }
+  }
+  return std::nullopt;
+}
+
+PsrcsCheck check_psrcs_exact(const Digraph& skeleton, int k) {
+  SSKEL_REQUIRE(k >= 1);
+  PsrcsCheck result;
+  result.holds = true;
+  for_each_subset(ProcSet::full(skeleton.n()), k + 1,
+                  [&](const ProcSet& subset) {
+                    ++result.subsets_checked;
+                    if (!find_two_source(skeleton, subset)) {
+                      result.holds = false;
+                      result.violating_subset = subset;
+                      return false;  // stop at the first counterexample
+                    }
+                    return true;
+                  });
+  return result;
+}
+
+PsrcsCheck check_psrcs_sampled(const Digraph& skeleton, int k, int samples,
+                               Rng& rng) {
+  SSKEL_REQUIRE(k >= 1);
+  SSKEL_REQUIRE(samples >= 0);
+  PsrcsCheck result;
+  result.holds = true;
+  const ProcId n = skeleton.n();
+  if (k + 1 > n) return result;  // vacuous
+
+  std::vector<ProcId> ids(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) ids[static_cast<std::size_t>(p)] = p;
+
+  for (int trial = 0; trial < samples; ++trial) {
+    // Partial Fisher-Yates: the first k+1 slots become a uniform
+    // (k+1)-subset.
+    for (int i = 0; i <= k; ++i) {
+      const std::size_t j =
+          static_cast<std::size_t>(i) +
+          static_cast<std::size_t>(rng.next_below(
+              static_cast<std::uint64_t>(n - i)));
+      std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+    }
+    ProcSet subset(n);
+    for (int i = 0; i <= k; ++i) subset.insert(ids[static_cast<std::size_t>(i)]);
+    ++result.subsets_checked;
+    if (!find_two_source(skeleton, subset)) {
+      result.holds = false;
+      result.violating_subset = subset;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::optional<ProcSet> greedy_hub_cover(const Digraph& skeleton) {
+  const ProcId n = skeleton.n();
+  ProcSet uncovered = skeleton.nodes();
+  ProcSet hubs(n);
+  while (!uncovered.empty()) {
+    // Pick the process covering the most uncovered receivers.
+    ProcId best = -1;
+    int best_cover = 0;
+    for (ProcId p : skeleton.nodes()) {
+      const int c = (skeleton.out_neighbors(p) & uncovered).count();
+      if (c > best_cover) {
+        best_cover = c;
+        best = p;
+      }
+    }
+    if (best == -1) return std::nullopt;  // some process hears nobody
+    hubs.insert(best);
+    uncovered -= skeleton.out_neighbors(best);
+  }
+  return hubs;
+}
+
+bool is_hub_cover(const Digraph& skeleton, const ProcSet& hubs) {
+  ProcSet covered(skeleton.n());
+  for (ProcId h : hubs) covered |= skeleton.out_neighbors(h);
+  return skeleton.nodes().is_subset_of(covered);
+}
+
+}  // namespace sskel

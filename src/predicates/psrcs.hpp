@@ -1,0 +1,72 @@
+// The communication predicate Psrcs(k) and its machinery (Sec. III).
+//
+// For a run with stable skeleton G∩∞:
+//
+//   Psrc(p, S)  ::  exists q != q' in S with p in PT(q) cap PT(q')
+//   Psrcs(k)    ::  for all S with |S| = k+1, exists p: Psrc(p, S)
+//
+// In graph terms: p is a *2-source* for S when p has stable edges to
+// two distinct members of S (p may itself be one of them — self-loops
+// count). Everything here operates on an explicit skeleton graph, so
+// the same checkers validate generated adversaries (against the
+// skeleton they promise) and recorded runs (against the skeleton the
+// tracker observed).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+
+/// Evidence that Psrc(p, S) holds.
+struct TwoSourceWitness {
+  ProcId source = -1;      // p
+  ProcId receiver_a = -1;  // q
+  ProcId receiver_b = -1;  // q' (distinct from q)
+};
+
+/// Finds a 2-source for the set S in the given skeleton: a process p
+/// (anywhere in Pi) with edges to two distinct members of S.
+[[nodiscard]] std::optional<TwoSourceWitness> find_two_source(
+    const Digraph& skeleton, const ProcSet& s);
+
+/// Result of an exact Psrcs(k) check.
+struct PsrcsCheck {
+  bool holds = false;
+  /// When violated: a (k+1)-subset with no 2-source.
+  std::optional<ProcSet> violating_subset;
+  /// Number of subsets examined (cost diagnostics).
+  std::int64_t subsets_checked = 0;
+};
+
+/// Exhaustive check of Psrcs(k) on a skeleton: enumerates every
+/// (k+1)-subset of Pi. Cost C(n, k+1); intended for the test/verify
+/// scales (n <= ~24 or small k). Checks Eq. (8) literally.
+[[nodiscard]] PsrcsCheck check_psrcs_exact(const Digraph& skeleton, int k);
+
+/// Randomized refutation search: samples `samples` subsets of size
+/// k+1 and reports a violation if one is found. Never proves the
+/// predicate, but scales to any n; used by large-n benches as a
+/// sanity screen.
+[[nodiscard]] PsrcsCheck check_psrcs_sampled(const Digraph& skeleton, int k,
+                                             int samples, Rng& rng);
+
+/// A *hub cover* of size m is a set H of m processes such that every
+/// process has a stable in-edge from some member of H. By pigeonhole,
+/// a hub cover of size <= k implies Psrcs(k): any k+1 processes
+/// include two sharing a hub. This is the constructive sufficient
+/// condition our random adversaries are built around.
+///
+/// Returns a greedy (not necessarily minimum) hub cover, or nullopt if
+/// some process has no stable in-edge at all (impossible once
+/// self-loops are closed: {p covers p} always works, so the greedy
+/// cover is at most n).
+[[nodiscard]] std::optional<ProcSet> greedy_hub_cover(const Digraph& skeleton);
+
+/// True iff `hubs` is a hub cover of the skeleton.
+[[nodiscard]] bool is_hub_cover(const Digraph& skeleton, const ProcSet& hubs);
+
+}  // namespace sskel

@@ -1,0 +1,79 @@
+// The round-based algorithm interface: sending + transition functions.
+//
+// Sec. II of the paper: "an algorithm is composed of two functions.
+// The sending function determines, for each process p and round r > 0,
+// the message p broadcasts in round r based on p's state at the
+// beginning of round r. The transition function determines ... the
+// state at the end of round r" from the messages received in r.
+//
+// We keep the message type a template parameter so algorithms exchange
+// real typed payloads (value + approximation graph for Algorithm 1, a
+// bare value for FloodMin) with zero serialization on the hot path;
+// encoded sizes for the bit-complexity experiments come from an
+// optional per-message sizer in the simulator.
+#pragma once
+
+#include <vector>
+
+#include "util/proc_set.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+/// The messages a process received in one round, indexed by sender.
+/// `senders` is exactly HO(p, r) for the receiving process p; for a
+/// sender q in `senders`, `from(q)` is q's round message.
+template <typename Msg>
+class Inbox {
+ public:
+  Inbox(const ProcSet& senders, const std::vector<Msg>& all_messages)
+      : senders_(senders), all_(all_messages) {}
+
+  [[nodiscard]] const ProcSet& senders() const { return senders_; }
+
+  [[nodiscard]] const Msg& from(ProcId q) const {
+    SSKEL_REQUIRE(senders_.contains(q));
+    return all_[static_cast<std::size_t>(q)];
+  }
+
+ private:
+  const ProcSet& senders_;
+  const std::vector<Msg>& all_;
+};
+
+/// A deterministic round-based process. One instance per process id.
+template <typename Msg>
+class Algorithm {
+ public:
+  using message_type = Msg;
+
+  virtual ~Algorithm() = default;
+
+  Algorithm(const Algorithm&) = delete;
+  Algorithm& operator=(const Algorithm&) = delete;
+
+  [[nodiscard]] ProcId id() const { return id_; }
+  [[nodiscard]] ProcId n() const { return n_; }
+
+  /// Sending function S_p^r: the message broadcast in round r,
+  /// computed from the state at the *beginning* of round r. Must not
+  /// mutate observable state (rounds are communication closed; the
+  /// simulator calls every send before any transition).
+  [[nodiscard]] virtual Msg send(Round r) = 0;
+
+  /// Transition function T_p^r: consumes the round-r inbox and moves
+  /// the process to its round r+1 state.
+  virtual void transition(Round r, const Inbox<Msg>& inbox) = 0;
+
+ protected:
+  Algorithm(ProcId n, ProcId id) : n_(n), id_(id) {
+    SSKEL_REQUIRE(n > 0);
+    SSKEL_REQUIRE(id >= 0 && id < n);
+  }
+
+ private:
+  ProcId n_;
+  ProcId id_;
+};
+
+}  // namespace sskel

@@ -1,0 +1,30 @@
+#include "rounds/graph_source.hpp"
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+ScheduleSource::ScheduleSource(std::vector<Digraph> prefix)
+    : prefix_(std::move(prefix)) {
+  SSKEL_REQUIRE(!prefix_.empty());
+  for (const Digraph& g : prefix_) {
+    SSKEL_REQUIRE(g.n() == prefix_.front().n());
+  }
+}
+
+ProcId ScheduleSource::n() const { return prefix_.front().n(); }
+
+Digraph ScheduleSource::graph(Round r) {
+  SSKEL_REQUIRE(r >= 1);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(r - 1), prefix_.size() - 1);
+  return prefix_[idx];
+}
+
+FunctionSource::FunctionSource(ProcId n, std::function<Digraph(Round)> fn)
+    : n_(n), fn_(std::move(fn)) {
+  SSKEL_REQUIRE(n > 0);
+  SSKEL_REQUIRE(fn_ != nullptr);
+}
+
+}  // namespace sskel

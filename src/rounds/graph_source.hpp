@@ -1,0 +1,67 @@
+// GraphSource: where per-round communication graphs come from.
+//
+// In the paper's model (Sec. II) a run is fully determined by the
+// processes' initial states and the sequence of communication graphs
+// G^1, G^2, ... — asynchrony and failures are *not* modelled
+// separately; both surface only as missing edges. A GraphSource is
+// that sequence: the simulator queries it once per round. Concrete
+// adversaries (random Psrcs(k) generators, the Theorem 2 construction,
+// crash adversaries, ...) live in src/adversary.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+class GraphSource {
+ public:
+  virtual ~GraphSource() = default;
+
+  /// Number of processes in the universe.
+  [[nodiscard]] virtual ProcId n() const = 0;
+
+  /// The communication graph of round r (r >= 1). Must be defined for
+  /// every r — runs are infinite; sources typically become periodic or
+  /// constant after a stabilization prefix. The simulator adds
+  /// self-loops on top of whatever is returned (a process always
+  /// hears from itself).
+  [[nodiscard]] virtual Digraph graph(Round r) = 0;
+};
+
+/// A fixed prefix of graphs followed by the last graph forever. The
+/// canonical way to script a run: the suffix graph is then exactly the
+/// communication graph of every late round, so the stable skeleton is
+/// the intersection of the prefix with the suffix graph.
+class ScheduleSource final : public GraphSource {
+ public:
+  /// `prefix` must be nonempty; all graphs must share one universe.
+  explicit ScheduleSource(std::vector<Digraph> prefix);
+
+  [[nodiscard]] ProcId n() const override;
+  [[nodiscard]] Digraph graph(Round r) override;
+
+  [[nodiscard]] std::size_t prefix_rounds() const { return prefix_.size(); }
+
+ private:
+  std::vector<Digraph> prefix_;
+};
+
+/// Wraps a callable `Round -> Digraph`; handy in tests.
+class FunctionSource final : public GraphSource {
+ public:
+  FunctionSource(ProcId n, std::function<Digraph(Round)> fn);
+
+  [[nodiscard]] ProcId n() const override { return n_; }
+  [[nodiscard]] Digraph graph(Round r) override { return fn_(r); }
+
+ private:
+  ProcId n_;
+  std::function<Digraph(Round)> fn_;
+};
+
+}  // namespace sskel

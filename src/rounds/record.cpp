@@ -1,0 +1,106 @@
+#include "rounds/record.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/varint.hpp"
+
+namespace sskel {
+
+RecordingSource::RecordingSource(GraphSource& inner) : inner_(inner) {}
+
+Digraph RecordingSource::graph(Round r) {
+  SSKEL_REQUIRE(r >= 1);
+  const auto idx = static_cast<std::size_t>(r - 1);
+  if (idx < recorded_.size()) return recorded_[idx];
+  SSKEL_REQUIRE(idx == recorded_.size());  // sequential first queries
+  recorded_.push_back(inner_.graph(r));
+  return recorded_.back();
+}
+
+ReplaySource::ReplaySource(std::vector<Digraph> capture)
+    : capture_(std::move(capture)) {
+  SSKEL_REQUIRE(!capture_.empty());
+  for (const Digraph& g : capture_) {
+    SSKEL_REQUIRE(g.n() == capture_.front().n());
+  }
+}
+
+ProcId ReplaySource::n() const { return capture_.front().n(); }
+
+Digraph ReplaySource::graph(Round r) {
+  SSKEL_REQUIRE(r >= 1);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(r - 1), capture_.size() - 1);
+  return capture_[idx];
+}
+
+namespace {
+
+void encode_bitmap(std::vector<std::uint8_t>& out, const ProcSet& set) {
+  const std::size_t bytes = (static_cast<std::size_t>(set.universe()) + 7) / 8;
+  std::vector<std::uint8_t> bitmap(bytes, 0);
+  for (ProcId p : set) {
+    bitmap[static_cast<std::size_t>(p) / 8] |=
+        static_cast<std::uint8_t>(1u << (static_cast<unsigned>(p) % 8));
+  }
+  out.insert(out.end(), bitmap.begin(), bitmap.end());
+}
+
+ProcSet decode_bitmap(const std::vector<std::uint8_t>& in, std::size_t& pos,
+                      ProcId n) {
+  const std::size_t bytes = (static_cast<std::size_t>(n) + 7) / 8;
+  SSKEL_REQUIRE(pos + bytes <= in.size());
+  ProcSet set(n);
+  for (ProcId p = 0; p < n; ++p) {
+    if (in[pos + static_cast<std::size_t>(p) / 8] &
+        (1u << (static_cast<unsigned>(p) % 8))) {
+      set.insert(p);
+    }
+  }
+  pos += bytes;
+  return set;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_run(const std::vector<Digraph>& graphs) {
+  SSKEL_REQUIRE(!graphs.empty());
+  const ProcId n = graphs.front().n();
+  std::vector<std::uint8_t> out;
+  put_varint(out, static_cast<std::uint64_t>(n));
+  put_varint(out, graphs.size());
+  for (const Digraph& g : graphs) {
+    SSKEL_REQUIRE(g.n() == n);
+    encode_bitmap(out, g.nodes());
+    for (ProcId q = 0; q < n; ++q) {
+      encode_bitmap(out, g.out_neighbors(q));
+    }
+  }
+  return out;
+}
+
+std::vector<Digraph> decode_run(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  const ProcId n = static_cast<ProcId>(get_varint(bytes, pos));
+  SSKEL_REQUIRE(n > 0);
+  const std::uint64_t rounds = get_varint(bytes, pos);
+  std::vector<Digraph> graphs;
+  graphs.reserve(rounds);
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    const ProcSet nodes = decode_bitmap(bytes, pos, n);
+    Digraph g(n);
+    // Restrict node presence first, then add edges (rows of absent
+    // nodes were recorded empty anyway).
+    g = g.induced(nodes);
+    for (ProcId q = 0; q < n; ++q) {
+      const ProcSet row = decode_bitmap(bytes, pos, n);
+      for (ProcId p : row) g.add_edge(q, p);
+    }
+    graphs.push_back(std::move(g));
+  }
+  SSKEL_REQUIRE(pos == bytes.size());
+  return graphs;
+}
+
+}  // namespace sskel

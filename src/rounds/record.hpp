@@ -1,0 +1,64 @@
+// Run recording and replay.
+//
+// A run in this model *is* its communication-graph sequence (plus
+// initial states), so capturing the sequence makes any run — random,
+// adversarial, or network-derived — perfectly reproducible and
+// shareable. RecordingSource taps a live source; ReplaySource plays a
+// capture back; the byte codec persists captures (e.g. to attach a
+// failing run to a bug report).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rounds/graph_source.hpp"
+
+namespace sskel {
+
+/// Decorator: forwards to an inner source and keeps every graph it
+/// served. Queries must arrive in round order (1, 2, 3, ...), as the
+/// simulator issues them; re-queries of past rounds are answered from
+/// the capture without touching the inner source.
+class RecordingSource final : public GraphSource {
+ public:
+  explicit RecordingSource(GraphSource& inner);
+
+  [[nodiscard]] ProcId n() const override { return inner_.n(); }
+  [[nodiscard]] Digraph graph(Round r) override;
+
+  [[nodiscard]] const std::vector<Digraph>& recorded() const {
+    return recorded_;
+  }
+
+ private:
+  GraphSource& inner_;
+  std::vector<Digraph> recorded_;
+};
+
+/// Replays a capture; rounds beyond the capture repeat the last graph
+/// (matching ScheduleSource semantics, which suits stabilized runs).
+class ReplaySource final : public GraphSource {
+ public:
+  explicit ReplaySource(std::vector<Digraph> capture);
+
+  [[nodiscard]] ProcId n() const override;
+  [[nodiscard]] Digraph graph(Round r) override;
+
+  [[nodiscard]] std::size_t capture_rounds() const {
+    return capture_.size();
+  }
+
+ private:
+  std::vector<Digraph> capture_;
+};
+
+/// Serializes a graph sequence (varint n, varint rounds, then one
+/// node-bitmap + out-row bitmaps per graph).
+[[nodiscard]] std::vector<std::uint8_t> encode_run(
+    const std::vector<Digraph>& graphs);
+
+/// Inverse of encode_run.
+[[nodiscard]] std::vector<Digraph> decode_run(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace sskel

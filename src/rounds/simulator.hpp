@@ -1,0 +1,130 @@
+// The deterministic round simulator.
+//
+// Executes communication-closed rounds over a fixed set of processes:
+// every round r, (1) query the GraphSource for G^r and close it under
+// self-loops, (2) invoke every sending function S_p^r, (3) deliver to
+// each p exactly the messages of its in-neighbors in G^r, (4) invoke
+// every transition function T_p^r. Step (2) completes before any step
+// (4) starts, so a message sent in round r can only be received in
+// round r — the communication-closed property of Sec. II.
+//
+// Observers (per-round callbacks receiving G^r) let higher layers —
+// skeleton trackers, lemma monitors, predicate checkers — watch a run
+// without the kernel depending on them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rounds/algorithm.hpp"
+#include "rounds/graph_source.hpp"
+#include "rounds/trace.hpp"
+#include "util/assert.hpp"
+
+namespace sskel {
+
+template <typename Msg>
+class Simulator {
+ public:
+  using Process = Algorithm<Msg>;
+  using Observer = std::function<void(Round, const Digraph&)>;
+  /// Optional encoded-size model: bytes for one message instance.
+  using MessageSizer = std::function<std::int64_t(const Msg&)>;
+
+  /// Takes ownership of the processes. `processes[i]` must have id i.
+  Simulator(GraphSource& source,
+            std::vector<std::unique_ptr<Process>> processes)
+      : source_(source), processes_(std::move(processes)) {
+    SSKEL_REQUIRE(!processes_.empty());
+    SSKEL_REQUIRE(static_cast<std::size_t>(source_.n()) == processes_.size());
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      SSKEL_REQUIRE(processes_[i] != nullptr);
+      SSKEL_REQUIRE(processes_[i]->id() == static_cast<ProcId>(i));
+    }
+    outbox_.resize(processes_.size());
+  }
+
+  [[nodiscard]] ProcId n() const { return source_.n(); }
+  [[nodiscard]] Round current_round() const { return round_; }
+  [[nodiscard]] const RunTrace& trace() const { return trace_; }
+
+  [[nodiscard]] Process& process(ProcId p) {
+    SSKEL_REQUIRE(p >= 0 && p < n());
+    return *processes_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] const Process& process(ProcId p) const {
+    SSKEL_REQUIRE(p >= 0 && p < n());
+    return *processes_[static_cast<std::size_t>(p)];
+  }
+
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  void set_message_sizer(MessageSizer sizer) { sizer_ = std::move(sizer); }
+
+  /// Executes one full round; returns the communication graph used
+  /// (after self-loop closure).
+  const Digraph& step() {
+    const Round r = ++round_;
+    graph_ = source_.graph(r);
+    SSKEL_REQUIRE(graph_.n() == n());
+    SSKEL_REQUIRE(graph_.nodes() == ProcSet::full(n()));
+    graph_.add_self_loops();
+
+    for (const Observer& obs : observers_) obs(r, graph_);
+
+    // Phase 1: all sends, from beginning-of-round state.
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+      outbox_[i] = processes_[i]->send(r);
+    }
+
+    // Phase 2: deliveries + transitions.
+    RoundStats stats;
+    stats.round = r;
+    for (ProcId p = 0; p < n(); ++p) {
+      const ProcSet& senders = graph_.in_neighbors(p);
+      stats.messages_delivered += senders.count();
+      if (sizer_) {
+        for (ProcId q : senders) {
+          const std::int64_t bytes =
+              sizer_(outbox_[static_cast<std::size_t>(q)]);
+          stats.bytes_delivered += bytes;
+          stats.max_message_bytes = std::max(stats.max_message_bytes, bytes);
+        }
+      }
+      const Inbox<Msg> inbox(senders, outbox_);
+      processes_[static_cast<std::size_t>(p)]->transition(r, inbox);
+    }
+    trace_.record(stats);
+    return graph_;
+  }
+
+  /// Runs `rounds` additional rounds.
+  void run(Round rounds) {
+    SSKEL_REQUIRE(rounds >= 0);
+    for (Round i = 0; i < rounds; ++i) step();
+  }
+
+  /// Runs until `done()` returns true (checked after every round) or
+  /// `max_rounds` total rounds have executed; returns true iff the
+  /// predicate fired.
+  bool run_until(const std::function<bool()>& done, Round max_rounds) {
+    while (round_ < max_rounds) {
+      step();
+      if (done()) return true;
+    }
+    return done();
+  }
+
+ private:
+  GraphSource& source_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<Observer> observers_;
+  MessageSizer sizer_;
+  std::vector<Msg> outbox_;
+  Digraph graph_;
+  Round round_ = 0;
+  RunTrace trace_;
+};
+
+}  // namespace sskel

@@ -1,0 +1,63 @@
+// Run traces: everything an experiment wants to know about a run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+/// Per-round accounting recorded by the simulator.
+struct RoundStats {
+  Round round = 0;
+  /// Edges of G^r (after self-loop closure) = messages delivered.
+  std::int64_t messages_delivered = 0;
+  /// Sum of encoded sizes (bytes) over delivered messages; 0 unless a
+  /// message sizer is installed.
+  std::int64_t bytes_delivered = 0;
+  /// Largest single encoded message this round (bytes).
+  std::int64_t max_message_bytes = 0;
+};
+
+/// Whole-run accounting. Graph retention is optional because storing
+/// every G^r is O(rounds * n^2 / 8) memory.
+class RunTrace {
+ public:
+  void record(RoundStats stats) { per_round_.push_back(stats); }
+
+  [[nodiscard]] const std::vector<RoundStats>& per_round() const {
+    return per_round_;
+  }
+
+  [[nodiscard]] Round rounds_executed() const {
+    return static_cast<Round>(per_round_.size());
+  }
+
+  [[nodiscard]] std::int64_t total_messages() const {
+    std::int64_t total = 0;
+    for (const RoundStats& s : per_round_) total += s.messages_delivered;
+    return total;
+  }
+
+  [[nodiscard]] std::int64_t total_bytes() const {
+    std::int64_t total = 0;
+    for (const RoundStats& s : per_round_) total += s.bytes_delivered;
+    return total;
+  }
+
+  [[nodiscard]] std::int64_t max_message_bytes() const {
+    std::int64_t best = 0;
+    for (const RoundStats& s : per_round_) {
+      best = std::max(best, s.max_message_bytes);
+    }
+    return best;
+  }
+
+ private:
+  std::vector<RoundStats> per_round_;
+};
+
+}  // namespace sskel

@@ -1,0 +1,85 @@
+#include "skeleton/codec.hpp"
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+std::vector<std::uint8_t> encode_graph(const LabeledDigraph& g) {
+  std::vector<std::uint8_t> out;
+  const ProcId n = g.n();
+  put_varint(out, static_cast<std::uint64_t>(n));
+
+  // Node bitmap.
+  const std::size_t bitmap_bytes = (static_cast<std::size_t>(n) + 7) / 8;
+  std::vector<std::uint8_t> bitmap(bitmap_bytes, 0);
+  for (ProcId p : g.nodes()) {
+    bitmap[static_cast<std::size_t>(p) / 8] |=
+        static_cast<std::uint8_t>(1u << (static_cast<unsigned>(p) % 8));
+  }
+  out.insert(out.end(), bitmap.begin(), bitmap.end());
+
+  put_varint(out, static_cast<std::uint64_t>(g.edge_count()));
+  for (ProcId q : g.nodes()) {
+    for (ProcId p : g.out_edges(q)) {
+      put_varint(out, static_cast<std::uint64_t>(q));
+      put_varint(out, static_cast<std::uint64_t>(p));
+      put_varint(out, static_cast<std::uint64_t>(g.label(q, p)));
+    }
+  }
+  return out;
+}
+
+LabeledDigraph decode_graph(const std::vector<std::uint8_t>& in) {
+  std::size_t pos = 0;
+  const ProcId n = static_cast<ProcId>(get_varint(in, pos));
+  SSKEL_REQUIRE(n > 0);
+
+  const std::size_t bitmap_bytes = (static_cast<std::size_t>(n) + 7) / 8;
+  SSKEL_REQUIRE(pos + bitmap_bytes <= in.size());
+
+  // An owner node is required by the constructor; find the first
+  // present node, then add the rest.
+  ProcId first_node = -1;
+  for (ProcId p = 0; p < n && first_node == -1; ++p) {
+    if (in[pos + static_cast<std::size_t>(p) / 8] &
+        (1u << (static_cast<unsigned>(p) % 8))) {
+      first_node = p;
+    }
+  }
+  SSKEL_REQUIRE(first_node != -1);
+  LabeledDigraph g(n, first_node);
+  for (ProcId p = 0; p < n; ++p) {
+    if (in[pos + static_cast<std::size_t>(p) / 8] &
+        (1u << (static_cast<unsigned>(p) % 8))) {
+      g.add_node(p);
+    }
+  }
+  pos += bitmap_bytes;
+
+  const std::uint64_t edges = get_varint(in, pos);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const ProcId q = static_cast<ProcId>(get_varint(in, pos));
+    const ProcId p = static_cast<ProcId>(get_varint(in, pos));
+    const Round l = static_cast<Round>(get_varint(in, pos));
+    g.set_edge(q, p, l);
+  }
+  SSKEL_REQUIRE(pos == in.size());
+  return g;
+}
+
+std::int64_t encoded_graph_size(const LabeledDigraph& g) {
+  const ProcId n = g.n();
+  std::int64_t size = varint_size(static_cast<std::uint64_t>(n));
+  size += static_cast<std::int64_t>((static_cast<std::size_t>(n) + 7) / 8);
+  size += varint_size(static_cast<std::uint64_t>(g.edge_count()));
+  for (ProcId q : g.nodes()) {
+    for (ProcId p : g.out_edges(q)) {
+      size += varint_size(static_cast<std::uint64_t>(q));
+      size += varint_size(static_cast<std::uint64_t>(p));
+      size += varint_size(static_cast<std::uint64_t>(g.label(q, p)));
+    }
+  }
+  return size;
+}
+
+}  // namespace sskel

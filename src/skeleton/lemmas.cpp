@@ -1,0 +1,155 @@
+#include "skeleton/lemmas.hpp"
+
+#include <sstream>
+
+#include "graph/reach.hpp"
+#include "graph/scc.hpp"
+#include "util/assert.hpp"
+
+namespace sskel {
+
+LemmaMonitor::LemmaMonitor(ProcId n, LemmaChecks checks)
+    : n_(n),
+      checks_(checks),
+      tracker_(n, SkeletonTracker::History::kKeepAll),
+      prev_estimates_(static_cast<std::size_t>(n), kNoValue),
+      first_sc_(static_cast<std::size_t>(n), {0, LabeledDigraph()}) {
+  SSKEL_REQUIRE(n > 0);
+}
+
+void LemmaMonitor::report(Round r, ProcId p, const std::string& what) {
+  std::ostringstream os;
+  os << "round " << r << ", p" << p << ": " << what;
+  violations_.push_back(os.str());
+}
+
+void LemmaMonitor::observe_round(Round r, const Digraph& comm_graph,
+                                 const std::vector<ProcessSnapshot>& snaps) {
+  SSKEL_REQUIRE(snaps.size() == static_cast<std::size_t>(n_));
+  tracker_.observe(r, comm_graph);
+  const Digraph& skel = tracker_.skeleton();
+
+  for (ProcId p = 0; p < n_; ++p) {
+    const auto pi = static_cast<std::size_t>(p);
+    const ProcessSnapshot& snap = snaps[pi];
+    const LabeledDigraph& gp = snap.approx;
+
+    if (checks_.observation1) {
+      if (!gp.has_node(p)) report(r, p, "Obs.1: owner not in G_p");
+      const Round min_l = gp.min_label();
+      if (min_l != 0 && min_l <= r - n_) {
+        report(r, p, "Obs.1: stale label " + std::to_string(min_l) +
+                         " survives purge window");
+      }
+      if (gp.max_label() > r) {
+        report(r, p, "Obs.1: label from the future");
+      }
+    }
+
+    if (checks_.lemma3) {
+      // PT_p variable must equal PT(p, r) = in-row of G∩r ...
+      if (snap.pt != skel.in_neighbors(p)) {
+        report(r, p, "Lemma 3: PT_p != PT(p, r); PT_p=" +
+                         snap.pt.to_string() + " expected " +
+                         skel.in_neighbors(p).to_string());
+      }
+      // ... and every q in PT(p, r) must carry a fresh (q -r-> p) edge
+      // (Line 17 executed this round; merge can only confirm label r).
+      for (ProcId q : skel.in_neighbors(p)) {
+        if (gp.label(q, p) != r) {
+          report(r, p, "Lemma 3: edge (q -r-> p) missing/stale for q=" +
+                           std::to_string(q) + " label=" +
+                           std::to_string(gp.label(q, p)));
+        }
+      }
+    }
+
+    if (checks_.lemma5 && r >= n_) {
+      const ProcSet cp = component_of(skel, p);
+      const Digraph comp_graph = skel.induced(cp);
+      if (!comp_graph.is_subgraph_of(gp.unlabeled())) {
+        report(r, p, "Lemma 5: C_p^r not a subgraph of G_p^r");
+      }
+    }
+
+    if (checks_.lemma6) {
+      // Every edge (q' -s-> q) of G_p^r must certify q' in PT(q, s),
+      // i.e. (q' -> q) in G∩s.
+      for (ProcId q2 : gp.nodes()) {
+        for (ProcId q : gp.nodes()) {
+          const Round s = gp.label(q2, q);
+          if (s == 0) continue;
+          if (s < 1 || s > r) {
+            report(r, p, "Lemma 6: label out of range");
+            continue;
+          }
+          if (!tracker_.skeleton_at(s).has_edge(q2, q)) {
+            report(r, p, "Lemma 6: edge (p" + std::to_string(q2) + " -" +
+                             std::to_string(s) + "-> p" + std::to_string(q) +
+                             ") not in skeleton of its label round");
+          }
+        }
+      }
+    }
+
+    const bool sc = gp.strongly_connected();
+    if (sc && first_sc_[pi].first == 0) {
+      first_sc_[pi] = {r, gp};
+    }
+
+    if (checks_.lemma7 && sc && r >= n_) {
+      // G_p^R strongly connected => G_p^R subseteq C_p^{R-n+1}.
+      const Round base = r - n_ + 1;
+      const Digraph& skel_base = tracker_.skeleton_at(base);
+      const ProcSet cp = component_of(skel_base, p);
+      const Digraph comp_graph = skel_base.induced(cp);
+      if (!gp.unlabeled().is_subgraph_of(comp_graph)) {
+        report(r, p, "Lemma 7: strongly connected G_p^r exceeds C_p^{r-n+1}");
+      }
+    }
+
+    if (checks_.estimates) {
+      // Observation 2: estimates never increase through Line 27.
+      // A Line-12 adoption overwrites x_p with the sender's decision
+      // value, which is outside the observation's scope — skip the
+      // round where that adoption happens.
+      const bool adopted_now =
+          snap.decided_via_message && snap.decision_round == r;
+      if (!adopted_now && prev_estimates_[pi] != kNoValue &&
+          snap.estimate > prev_estimates_[pi]) {
+        report(r, p, "Obs.2: estimate increased");
+      }
+      // Lemma 12: without a Line-12 decision, estimates are frozen
+      // from round n on (x^n = x^{n+1} = ...).
+      if (r > n_ && !snap.decided_via_message &&
+          prev_estimates_[pi] != kNoValue &&
+          snap.estimate != prev_estimates_[pi]) {
+        report(r, p, "Lemma 12: estimate changed after round n");
+      }
+      prev_estimates_[pi] = snap.estimate;
+    }
+  }
+}
+
+void LemmaMonitor::finalize() {
+  if (!checks_.theorem8) return;
+  // Treat the final skeleton as G∩∞ (valid when the run extends past
+  // source stabilization; the runner guarantees this).
+  const Digraph& stable = tracker_.skeleton();
+  for (ProcId p = 0; p < n_; ++p) {
+    const auto& [r, gp] = first_sc_[static_cast<std::size_t>(p)];
+    if (r == 0 || r < n_) continue;  // Theorem 8 assumes R >= n
+    const Digraph unl = gp.unlabeled();
+    for (ProcId q : unl.nodes()) {
+      const ProcSet cq = component_of(stable, q);
+      const Digraph comp_graph = stable.induced(cq);
+      if (!comp_graph.is_subgraph_of(unl)) {
+        report(r, p,
+               "Theorem 8: strongly connected G_p^R misses part of C_q^inf "
+               "for q=" + std::to_string(q));
+      }
+    }
+  }
+}
+
+}  // namespace sskel

@@ -1,0 +1,83 @@
+// Runtime monitors for the paper's approximation lemmas.
+//
+// The correctness of Algorithm 1 rests on a chain of structural claims
+// relating each process's approximation graph G_p^r to the true
+// skeleton G∩r (Observation 1, Lemmas 3-7, Theorem 8) and on estimate
+// invariants (Observation 2, Lemma 12). This monitor re-checks those
+// claims mechanically, round by round, on live runs: a test or bench
+// attaches it next to the algorithm and asserts `violations().empty()`
+// at the end. Because the lemmas are proved for *every* communication
+// pattern ("our algorithm yields a correct approximation atop of any
+// communication predicate"), the monitor is also run on runs that do
+// NOT satisfy Psrcs(k).
+//
+// Cost: the per-round sweep is O(n^3)-ish with full history; monitors
+// are test/verification equipment, not part of the algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_digraph.hpp"
+#include "skeleton/tracker.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+/// What a lemma monitor needs to see of one process at the end of a
+/// round. The k-set runner fills these from the algorithm state.
+struct ProcessSnapshot {
+  LabeledDigraph approx;           // G_p^r (end of round r)
+  ProcSet pt;                      // PT_p variable (end of round r)
+  Value estimate = kNoValue;       // x_p^r
+  bool decided = false;            // decided_p
+  bool decided_via_message = false;  // decided through Line 12
+  Round decision_round = 0;        // 0 when undecided
+};
+
+/// Which checks to run (they differ in cost).
+struct LemmaChecks {
+  bool observation1 = true;  // p in G_p; no stale labels
+  bool lemma3 = true;        // PT_p == PT(p, r); fresh self-row labels
+  bool lemma5 = true;        // C_p^r subseteq G_p^r for r >= n
+  bool lemma6 = true;        // labels certify skeleton membership
+  bool lemma7 = true;        // strongly connected G_p^R subseteq C_p^{R-n+1}
+  bool theorem8 = true;      // SC graphs closed under stable components
+  bool estimates = true;     // Observation 2 + Lemma 12
+};
+
+class LemmaMonitor {
+ public:
+  /// n is both the process count and the purge window of Algorithm 1.
+  explicit LemmaMonitor(ProcId n, LemmaChecks checks = {});
+
+  /// Feeds one completed round. `snapshots[p]` is process p's end-of-
+  /// round state; `comm_graph` is G^r (with self-loops).
+  void observe_round(Round r, const Digraph& comm_graph,
+                     const std::vector<ProcessSnapshot>& snapshots);
+
+  /// Runs the end-of-run checks (Theorem 8 against the last skeleton,
+  /// which equals G∩∞ provided the run extends past stabilization;
+  /// callers ensure that by running a stabilized source long enough).
+  void finalize();
+
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+
+  [[nodiscard]] const SkeletonTracker& tracker() const { return tracker_; }
+
+ private:
+  void report(Round r, ProcId p, const std::string& what);
+
+  ProcId n_;
+  LemmaChecks checks_;
+  SkeletonTracker tracker_;
+  std::vector<std::string> violations_;
+  std::vector<Value> prev_estimates_;
+  /// First strongly-connected approximation snapshot per process, for
+  /// the Theorem 8 finalize pass: (round, graph).
+  std::vector<std::pair<Round, LabeledDigraph>> first_sc_;
+};
+
+}  // namespace sskel

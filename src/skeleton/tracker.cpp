@@ -1,0 +1,28 @@
+#include "skeleton/tracker.hpp"
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+SkeletonTracker::SkeletonTracker(ProcId n, History history)
+    : n_(n), history_(history), skeleton_(Digraph::complete(n)) {
+  SSKEL_REQUIRE(n > 0);
+}
+
+void SkeletonTracker::observe(Round r, const Digraph& graph) {
+  SSKEL_REQUIRE(graph.n() == n_);
+  SSKEL_REQUIRE(r == round_ + 1);
+  round_ = r;
+  const Digraph before = skeleton_;
+  skeleton_.intersect_with(graph);
+  if (skeleton_ != before) last_change_ = r;
+  if (history_ == History::kKeepAll) past_.push_back(skeleton_);
+}
+
+const Digraph& SkeletonTracker::skeleton_at(Round r) const {
+  SSKEL_REQUIRE(history_ == History::kKeepAll);
+  SSKEL_REQUIRE(r >= 1 && r <= static_cast<Round>(past_.size()));
+  return past_[static_cast<std::size_t>(r - 1)];
+}
+
+}  // namespace sskel

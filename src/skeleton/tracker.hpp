@@ -1,0 +1,72 @@
+// SkeletonTracker: the round-r skeleton G∩r of a run, maintained
+// incrementally.
+//
+// G∩r is the intersection of the communication graphs of rounds
+// 1 .. r (Sec. II); it shrinks monotonically (Eq. (1)) and reaches the
+// stable skeleton G∩∞ at some finite round r_ST. The tracker observes
+// one graph per round (attach SkeletonTracker::observer() to a
+// Simulator), maintains the current skeleton, and remembers the last
+// round at which the skeleton changed — for a source that stabilizes,
+// that round *is* r_ST once enough rounds have elapsed.
+//
+// Optionally retains the whole history G∩1, G∩2, ... for the lemma
+// monitors (O(rounds * n^2 / 8) bits).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+class SkeletonTracker {
+ public:
+  enum class History { kNone, kKeepAll };
+
+  explicit SkeletonTracker(ProcId n, History history = History::kNone);
+
+  /// Folds G^r into the skeleton. Rounds must arrive as 1, 2, 3, ...
+  void observe(Round r, const Digraph& graph);
+
+  /// Adapter for Simulator::add_observer.
+  [[nodiscard]] std::function<void(Round, const Digraph&)> observer() {
+    return [this](Round r, const Digraph& g) { observe(r, g); };
+  }
+
+  [[nodiscard]] ProcId n() const { return n_; }
+  [[nodiscard]] Round rounds_observed() const { return round_; }
+
+  /// The current skeleton G∩r (complete graph before any round).
+  [[nodiscard]] const Digraph& skeleton() const { return skeleton_; }
+
+  /// G∩r for a specific past round (requires History::kKeepAll).
+  [[nodiscard]] const Digraph& skeleton_at(Round r) const;
+
+  /// PT(p, r) for the current round: p's row of in-neighbors.
+  [[nodiscard]] const ProcSet& pt(ProcId p) const {
+    return skeleton_.in_neighbors(p);
+  }
+
+  /// Last round whose observation changed the skeleton (0 when no
+  /// round shrank it — i.e. the first graph was already stable). If
+  /// the source has stabilized, this equals the paper's r_ST.
+  [[nodiscard]] Round last_change_round() const { return last_change_; }
+
+  /// Root components of the current skeleton (Theorem 1's objects).
+  [[nodiscard]] std::vector<ProcSet> current_root_components() const {
+    return root_components(skeleton_);
+  }
+
+ private:
+  ProcId n_;
+  History history_;
+  Digraph skeleton_;
+  std::vector<Digraph> past_;  // past_[r-1] = G∩r
+  Round round_ = 0;
+  Round last_change_ = 0;
+};
+
+}  // namespace sskel

@@ -1,0 +1,39 @@
+// Lightweight contract checking for libsskel.
+//
+// SSKEL_ASSERT checks internal invariants; SSKEL_REQUIRE checks caller
+// preconditions on public APIs. Both are active in every build type:
+// this library backs correctness experiments for a theory paper, so a
+// silently wrong answer is strictly worse than a crash. The cost is a
+// predictable branch per check and is invisible next to the O(n^2)
+// per-round graph work.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sskel::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "sskel: %s failed: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace sskel::detail
+
+#define SSKEL_ASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::sskel::detail::contract_failure("assertion", #expr, __FILE__,       \
+                                        __LINE__);                          \
+    }                                                                       \
+  } while (false)
+
+#define SSKEL_REQUIRE(expr)                                                 \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::sskel::detail::contract_failure("precondition", #expr, __FILE__,    \
+                                        __LINE__);                          \
+    }                                                                       \
+  } while (false)

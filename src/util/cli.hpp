@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+//
+// Supports "--name=value", "--name value", and bare "--flag" booleans.
+// Unknown flags are an error (fail fast beats silently ignoring a typo
+// in an experiment sweep). Positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sskel {
+
+class CliArgs {
+ public:
+  /// Parses argv; exits with a message on malformed input.
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> known_flags);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sskel

@@ -1,0 +1,163 @@
+#include "util/proc_set.hpp"
+
+#include <bit>
+#include <numeric>
+#include <sstream>
+
+namespace sskel {
+
+ProcSet ProcSet::full(ProcId n) {
+  ProcSet s(n);
+  std::fill(s.words_.begin(), s.words_.end(), ~std::uint64_t{0});
+  s.trim();
+  return s;
+}
+
+ProcSet ProcSet::singleton(ProcId n, ProcId p) {
+  ProcSet s(n);
+  s.insert(p);
+  return s;
+}
+
+ProcSet ProcSet::of(ProcId n, std::initializer_list<ProcId> members) {
+  ProcSet s(n);
+  for (ProcId p : members) s.insert(p);
+  return s;
+}
+
+int ProcSet::count() const {
+  int c = 0;
+  for (std::uint64_t w : words_) c += std::popcount(w);
+  return c;
+}
+
+bool ProcSet::empty() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool ProcSet::is_subset_of(const ProcSet& other) const {
+  SSKEL_REQUIRE(n_ == other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool ProcSet::intersects(const ProcSet& other) const {
+  SSKEL_REQUIRE(n_ == other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+ProcSet& ProcSet::operator&=(const ProcSet& other) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+ProcSet& ProcSet::operator|=(const ProcSet& other) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+ProcSet& ProcSet::operator-=(const ProcSet& other) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+ProcId ProcSet::first() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<ProcId>(i * kBits +
+                                 static_cast<std::size_t>(
+                                     std::countr_zero(words_[i])));
+    }
+  }
+  return -1;
+}
+
+ProcId ProcSet::next_after(ProcId p) const {
+  ProcId q = p < 0 ? 0 : p + 1;
+  if (q >= n_) return -1;
+  std::size_t wi = word(q);
+  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << bit(q));
+  while (true) {
+    if (w != 0) {
+      return static_cast<ProcId>(wi * kBits +
+                                 static_cast<std::size_t>(std::countr_zero(w)));
+    }
+    if (++wi >= words_.size()) return -1;
+    w = words_[wi];
+  }
+}
+
+std::vector<ProcId> ProcSet::to_vector() const {
+  std::vector<ProcId> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for (ProcId p : *this) out.push_back(p);
+  return out;
+}
+
+std::string ProcSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first_member = true;
+  for (ProcId p : *this) {
+    if (!first_member) os << ", ";
+    os << 'p' << p;
+    first_member = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+std::uint64_t ProcSet::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void ProcSet::trim() {
+  const unsigned rem = static_cast<unsigned>(n_) % kBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+bool for_each_subset(const ProcSet& universe_members, int k,
+                     const std::function<bool(const ProcSet&)>& fn) {
+  SSKEL_REQUIRE(k >= 0);
+  const std::vector<ProcId> members = universe_members.to_vector();
+  const int m = static_cast<int>(members.size());
+  if (k > m) return true;  // no subsets to visit
+
+  // Standard lexicographic k-combination walk over the member list.
+  std::vector<int> idx(static_cast<std::size_t>(k));
+  std::iota(idx.begin(), idx.end(), 0);
+  while (true) {
+    ProcSet subset(universe_members.universe());
+    for (int i : idx) subset.insert(members[static_cast<std::size_t>(i)]);
+    if (!fn(subset)) return false;
+
+    // Advance to the next combination.
+    int i = k - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] == m - k + i) --i;
+    if (i < 0) return true;
+    ++idx[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+}  // namespace sskel

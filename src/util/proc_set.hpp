@@ -1,0 +1,157 @@
+// ProcSet: a dense, fixed-universe set of process ids.
+//
+// The whole library is built on per-round set algebra over Pi (the
+// process universe): timely neighborhoods PT(p, r) shrink by
+// intersection (Eq. (3)), skeletons are intersections of edge sets, and
+// predicates quantify over (k+1)-subsets. A word-packed bitset makes
+// every one of those operations O(n/64) and keeps the simulator's
+// per-round cost at O(n^2/64).
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+/// A subset of a fixed process universe {0, .., n-1}.
+///
+/// All binary operations require both operands to share the same
+/// universe size; this is a precondition, not a silent resize.
+class ProcSet {
+ public:
+  /// Empty set over an empty universe. Mostly useful as a placeholder
+  /// before assignment.
+  ProcSet() = default;
+
+  /// Empty set over a universe of `n` processes.
+  explicit ProcSet(ProcId n) : n_(n), words_(word_count(n), 0) {
+    SSKEL_REQUIRE(n >= 0);
+  }
+
+  /// The full set {0, .., n-1}.
+  static ProcSet full(ProcId n);
+
+  /// Singleton {p} over a universe of n processes.
+  static ProcSet singleton(ProcId n, ProcId p);
+
+  /// Builds a set from an explicit list of members.
+  static ProcSet of(ProcId n, std::initializer_list<ProcId> members);
+
+  /// Universe size (number of processes, *not* cardinality).
+  [[nodiscard]] ProcId universe() const { return n_; }
+
+  [[nodiscard]] bool contains(ProcId p) const {
+    SSKEL_REQUIRE(in_range(p));
+    return (words_[word(p)] >> bit(p)) & 1u;
+  }
+
+  void insert(ProcId p) {
+    SSKEL_REQUIRE(in_range(p));
+    words_[word(p)] |= mask(p);
+  }
+
+  void erase(ProcId p) {
+    SSKEL_REQUIRE(in_range(p));
+    words_[word(p)] &= ~mask(p);
+  }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of members.
+  [[nodiscard]] int count() const;
+
+  [[nodiscard]] bool empty() const;
+
+  /// True iff *this is a subset of `other` (not necessarily proper).
+  [[nodiscard]] bool is_subset_of(const ProcSet& other) const;
+
+  /// True iff the two sets share at least one member.
+  [[nodiscard]] bool intersects(const ProcSet& other) const;
+
+  /// In-place intersection / union / difference.
+  ProcSet& operator&=(const ProcSet& other);
+  ProcSet& operator|=(const ProcSet& other);
+  ProcSet& operator-=(const ProcSet& other);
+
+  friend ProcSet operator&(ProcSet a, const ProcSet& b) { return a &= b; }
+  friend ProcSet operator|(ProcSet a, const ProcSet& b) { return a |= b; }
+  friend ProcSet operator-(ProcSet a, const ProcSet& b) { return a -= b; }
+
+  bool operator==(const ProcSet& other) const = default;
+
+  /// Smallest member, or -1 when empty.
+  [[nodiscard]] ProcId first() const;
+
+  /// Smallest member strictly greater than `p`, or -1 when none.
+  /// Passing -1 yields the first member, so `next_after` supports
+  /// resumable scans from a "before the beginning" cursor.
+  [[nodiscard]] ProcId next_after(ProcId p) const;
+
+  /// Members in ascending order.
+  [[nodiscard]] std::vector<ProcId> to_vector() const;
+
+  /// Renders as "{p0, p3, p7}" (ids, 0-based) for logs and tests.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable 64-bit hash of the member words (FNV-1a over words).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Iteration support: `for (ProcId p : set) ...`.
+  class const_iterator {
+   public:
+    using value_type = ProcId;
+    const_iterator(const ProcSet* s, ProcId p) : set_(s), cur_(p) {}
+    ProcId operator*() const { return cur_; }
+    const_iterator& operator++() {
+      cur_ = set_->next_after(cur_);
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return cur_ != o.cur_; }
+    bool operator==(const const_iterator& o) const { return cur_ == o.cur_; }
+
+   private:
+    const ProcSet* set_;
+    ProcId cur_;
+  };
+
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator(this, first());
+  }
+  [[nodiscard]] const_iterator end() const { return const_iterator(this, -1); }
+
+ private:
+  static constexpr int kBits = 64;
+  static std::size_t word_count(ProcId n) {
+    return (static_cast<std::size_t>(n) + kBits - 1) / kBits;
+  }
+  static std::size_t word(ProcId p) {
+    return static_cast<std::size_t>(p) / kBits;
+  }
+  static unsigned bit(ProcId p) { return static_cast<unsigned>(p) % kBits; }
+  static std::uint64_t mask(ProcId p) { return std::uint64_t{1} << bit(p); }
+  [[nodiscard]] bool in_range(ProcId p) const { return p >= 0 && p < n_; }
+  /// Zeroes bits beyond n_ in the last word (after whole-word ops that
+  /// could set them).
+  void trim();
+
+  ProcId n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Enumerates all subsets of `universe_members` with exactly `k`
+/// elements, invoking `fn(const ProcSet&)` for each. Used by the exact
+/// Psrcs(k) checker; intended for small k and n (cost is C(n, k)).
+/// `fn` returning false aborts the enumeration early; the function
+/// returns false in that case, true when all subsets were visited.
+bool for_each_subset(const ProcSet& universe_members, int k,
+                     const std::function<bool(const ProcSet&)>& fn);
+
+}  // namespace sskel

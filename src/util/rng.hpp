@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in libsskel (random adversaries,
+// Monte-Carlo drivers, workload generators) draws from an explicit
+// Rng seeded with a 64-bit value, so each simulated run is exactly
+// reproducible from (seed, parameters) regardless of thread count or
+// platform. We implement xoshiro256** seeded through splitmix64 —
+// small, fast, and with well-understood statistical quality; we avoid
+// std::mt19937 because its stream is unspecified across standard
+// library implementations for distributions, and we want bit-exact
+// runs everywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+/// splitmix64 step; used for seeding and for cheap hash mixing of
+/// (seed, index) pairs into independent substream seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mixes two 64-bit values into one (for deriving substream seeds from
+/// a master seed and a task index).
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index);
+
+/// xoshiro256** generator with explicit-seed determinism.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift
+  /// rejection method (unbiased). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a container of the
+  /// given size. Requires size > 0.
+  std::size_t pick_index(std::size_t size) {
+    SSKEL_REQUIRE(size > 0);
+    return static_cast<std::size_t>(next_below(size));
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace sskel

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string Accumulator::summary(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << mean() << " ± " << stddev() << " [" << min() << ", " << max() << "]";
+  return os.str();
+}
+
+double percentile(std::vector<double> samples, double q) {
+  SSKEL_REQUIRE(q >= 0.0 && q <= 100.0);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+void IntHistogram::add(std::int64_t value) {
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), value,
+      [](const auto& bucket, std::int64_t v) { return bucket.first < v; });
+  if (it != buckets_.end() && it->first == value) {
+    ++it->second;
+  } else {
+    buckets_.insert(it, {value, 1});
+  }
+  ++total_;
+}
+
+std::int64_t IntHistogram::count(std::int64_t value) const {
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), value,
+      [](const auto& bucket, std::int64_t v) { return bucket.first < v; });
+  if (it != buckets_.end() && it->first == value) return it->second;
+  return 0;
+}
+
+std::int64_t IntHistogram::min_value() const {
+  return buckets_.empty() ? 0 : buckets_.front().first;
+}
+
+std::int64_t IntHistogram::max_value() const {
+  return buckets_.empty() ? 0 : buckets_.back().first;
+}
+
+std::string IntHistogram::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [value, count] : buckets_) {
+    if (!first) os << ' ';
+    os << value << ':' << count;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace sskel

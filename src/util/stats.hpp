@@ -1,0 +1,63 @@
+// Small descriptive-statistics helpers for experiment harnesses.
+//
+// Benches accumulate per-run observations (decision rounds, message
+// bits, root-component counts, ...) into Accumulator objects and report
+// summary rows; the math here is intentionally simple and allocation
+// free on the hot path (Welford online mean/variance).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sskel {
+
+/// Online mean / variance / extrema accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// "mean ± stddev [min, max]" rendering for table cells.
+  [[nodiscard]] std::string summary(int precision = 2) const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile over a *copy* of the samples (nearest-rank). q in [0,100].
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Simple integer histogram keyed by exact value; used to report
+/// distributions of small counts (distinct decision values, root
+/// components).
+class IntHistogram {
+ public:
+  void add(std::int64_t value);
+  [[nodiscard]] std::int64_t count(std::int64_t value) const;
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] std::int64_t min_value() const;
+  [[nodiscard]] std::int64_t max_value() const;
+  /// "v:count v:count ..." ascending by value.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::pair<std::int64_t, std::int64_t>> buckets_;  // sorted
+  std::int64_t total_ = 0;
+};
+
+}  // namespace sskel

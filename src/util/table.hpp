@@ -1,0 +1,46 @@
+// ASCII table and CSV rendering for experiment harnesses.
+//
+// Every bench binary prints its results as an aligned ASCII table (the
+// "rows the paper would report") and can optionally dump the same rows
+// as CSV for downstream plotting. Cells are strings; formatting of
+// numbers is the caller's concern (see cell() helpers).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sskel {
+
+/// Formats a double with fixed precision (no trailing-zero trimming, so
+/// columns align).
+[[nodiscard]] std::string cell(double v, int precision = 2);
+[[nodiscard]] std::string cell(std::int64_t v);
+[[nodiscard]] std::string cell(int v);
+[[nodiscard]] std::string cell(std::size_t v);
+
+/// A titled table with a fixed header row and appended data rows.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Pretty-prints with column alignment, a title banner, and a rule
+  /// under the header.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sskel

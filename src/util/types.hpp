@@ -1,0 +1,23 @@
+// Core scalar types shared by every libsskel module.
+#pragma once
+
+#include <cstdint>
+
+namespace sskel {
+
+/// Process identifier. Processes are numbered 0 .. n-1; the paper's
+/// p1 .. pn map to ids 0 .. n-1.
+using ProcId = std::int32_t;
+
+/// Round number. Rounds are 1-based as in the paper; 0 denotes
+/// "before the first round" (e.g. initial state, absent edge labels).
+using Round = std::int32_t;
+
+/// Proposal / decision values. The paper takes values from N; 64 bits
+/// is enough for every workload we generate.
+using Value = std::int64_t;
+
+/// Sentinel for "no value yet".
+inline constexpr Value kNoValue = INT64_MIN;
+
+}  // namespace sskel

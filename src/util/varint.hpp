@@ -1,0 +1,46 @@
+// ULEB128 varints — shared by every binary codec in the library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+/// Appends a ULEB128 varint.
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Reads a ULEB128 varint, advancing `pos`. Aborts on truncation.
+[[nodiscard]] inline std::uint64_t get_varint(
+    const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    SSKEL_REQUIRE(pos < in.size());
+    const std::uint8_t byte = in[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    SSKEL_REQUIRE(shift < 64);
+  }
+  return value;
+}
+
+/// Encoded size of a varint without materializing it.
+[[nodiscard]] inline int varint_size(std::uint64_t value) {
+  int size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+}  // namespace sskel

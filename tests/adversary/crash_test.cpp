@@ -1,0 +1,79 @@
+// Tests for the synchronous crash adversary.
+#include "adversary/crash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/scc.hpp"
+#include "skeleton/tracker.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(CrashSourceTest, NoCrashesIsComplete) {
+  CrashSource src(4, {});
+  EXPECT_EQ(src.graph(1), Digraph::complete(4));
+  EXPECT_EQ(src.graph(9), Digraph::complete(4));
+  EXPECT_EQ(src.correct_processes(), ProcSet::full(4));
+}
+
+TEST(CrashSourceTest, CrashDropsOutEdges) {
+  CrashEvent e;
+  e.victim = 1;
+  e.round = 2;
+  e.partial_receivers = ProcSet::of(4, {0});
+  CrashSource src(4, {e});
+
+  // Before the crash: full broadcast.
+  EXPECT_TRUE(src.graph(1).has_edge(1, 3));
+  // Crash round: only the partial set.
+  const Digraph g2 = src.graph(2);
+  EXPECT_TRUE(g2.has_edge(1, 0));
+  EXPECT_FALSE(g2.has_edge(1, 2));
+  EXPECT_FALSE(g2.has_edge(1, 3));
+  // After: nothing (self-loop restored by the simulator, not here).
+  const Digraph g3 = src.graph(3);
+  EXPECT_FALSE(g3.has_edge(1, 0));
+  EXPECT_FALSE(g3.has_edge(1, 3));
+  // Crashed processes can still receive.
+  EXPECT_TRUE(g3.has_edge(0, 1));
+  EXPECT_EQ(src.correct_processes(), ProcSet::of(4, {0, 2, 3}));
+}
+
+TEST(CrashSourceTest, SkeletonHasSingleCorrectRootComponent) {
+  CrashEvent e1{0, 2, ProcSet::of(5, {1})};
+  CrashEvent e2{4, 3, ProcSet(5)};
+  CrashSource src(5, {e1, e2});
+  SkeletonTracker tracker(5);
+  for (Round r = 1; r <= 10; ++r) {
+    Digraph g = src.graph(r);
+    g.add_self_loops();
+    tracker.observe(r, g);
+  }
+  const auto roots = root_components(tracker.skeleton());
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], ProcSet::of(5, {1, 2, 3}));
+}
+
+TEST(CrashSourceTest, RandomFactoryRespectsF) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto src = make_random_crash_source(seed, 8, 3, 5);
+    EXPECT_EQ(src->events().size(), 3u);
+    EXPECT_EQ(src->correct_processes().count(), 5);
+    ProcSet victims(8);
+    for (const CrashEvent& e : src->events()) {
+      EXPECT_FALSE(victims.contains(e.victim));  // distinct victims
+      victims.insert(e.victim);
+      EXPECT_GE(e.round, 1);
+      EXPECT_LE(e.round, 5);
+    }
+  }
+}
+
+TEST(CrashSourceDeathTest, DuplicateVictimRejected) {
+  CrashEvent e1{0, 1, ProcSet(3)};
+  CrashEvent e2{0, 2, ProcSet(3)};
+  EXPECT_DEATH(CrashSource(3, {e1, e2}), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

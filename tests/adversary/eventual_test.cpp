@@ -1,0 +1,41 @@
+// Tests for the ♦Psrcs counterexample source.
+#include "adversary/eventual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predicates/psrcs.hpp"
+#include "skeleton/tracker.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(EventualSourceTest, IsolationThenStar) {
+  auto src = make_eventual_source(4, 3);
+  for (Round r = 1; r <= 3; ++r) {
+    EXPECT_EQ(src->graph(r), Digraph::self_loops_only(4)) << "r=" << r;
+  }
+  const Digraph g4 = src->graph(4);
+  for (ProcId p = 1; p < 4; ++p) EXPECT_TRUE(g4.has_edge(0, p));
+}
+
+TEST(EventualSourceTest, SuffixSatisfiesPsrcs1ButSkeletonDoesNot) {
+  auto src = make_eventual_source(5, 2);
+  // The per-round graph from round 3 on satisfies even Psrcs(1)...
+  EXPECT_TRUE(check_psrcs_exact(src->graph(3), 1).holds);
+  // ...but the *run's* skeleton lost the star edges during isolation,
+  // so the (perpetual) predicate fails for every k < n-1.
+  SkeletonTracker tracker(5);
+  for (Round r = 1; r <= 10; ++r) tracker.observe(r, src->graph(r));
+  EXPECT_EQ(tracker.skeleton(), Digraph::self_loops_only(5));
+  EXPECT_FALSE(check_psrcs_exact(tracker.skeleton(), 3).holds);
+}
+
+TEST(EventualSourceTest, ZeroIsolationIsPurePsrcs1) {
+  auto src = make_eventual_source(4, 0);
+  SkeletonTracker tracker(4);
+  for (Round r = 1; r <= 8; ++r) tracker.observe(r, src->graph(r));
+  EXPECT_TRUE(check_psrcs_exact(tracker.skeleton(), 1).holds);
+}
+
+}  // namespace
+}  // namespace sskel

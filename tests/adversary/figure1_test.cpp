@@ -1,0 +1,74 @@
+// Tests for the reconstructed Figure 1 run.
+#include "adversary/figure1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/scc.hpp"
+#include "predicates/psrcs.hpp"
+#include "skeleton/tracker.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(Figure1Test, StableSkeletonStructure) {
+  const Digraph skel = figure1_stable_skeleton();
+  EXPECT_EQ(skel.n(), kFigure1N);
+  // 6 self-loops + 7 stable edges.
+  EXPECT_EQ(skel.edge_count(), 13);
+  EXPECT_TRUE(skel.has_edge(0, 1));
+  EXPECT_TRUE(skel.has_edge(1, 0));
+  EXPECT_TRUE(skel.has_edge(2, 3));
+  EXPECT_TRUE(skel.has_edge(3, 4));
+  EXPECT_TRUE(skel.has_edge(4, 2));
+  EXPECT_TRUE(skel.has_edge(1, 5));
+  EXPECT_TRUE(skel.has_edge(4, 5));
+}
+
+TEST(Figure1Test, RootComponentsMatchCaption) {
+  std::vector<ProcSet> roots = root_components(figure1_stable_skeleton());
+  ASSERT_EQ(roots.size(), 2u);
+  std::sort(roots.begin(), roots.end(),
+            [](const ProcSet& a, const ProcSet& b) {
+              return a.first() < b.first();
+            });
+  EXPECT_EQ(roots[0], figure1_root_a());
+  EXPECT_EQ(roots[1], figure1_root_b());
+}
+
+TEST(Figure1Test, TransientsDieAtRound3) {
+  auto source = make_figure1_source();
+  SkeletonTracker tracker(kFigure1N);
+  for (Round r = 1; r <= 10; ++r) {
+    Digraph g = source->graph(r);
+    g.add_self_loops();
+    tracker.observe(r, g);
+  }
+  EXPECT_EQ(tracker.skeleton(), figure1_stable_skeleton());
+  EXPECT_EQ(tracker.last_change_round(), kFigure1StabilizationRound);
+}
+
+TEST(Figure1Test, Round2SkeletonHasTransients) {
+  const Digraph g2 = figure1_round2_skeleton();
+  EXPECT_TRUE(figure1_stable_skeleton().is_subgraph_of(g2));
+  EXPECT_GT(g2.edge_count(), figure1_stable_skeleton().edge_count());
+  EXPECT_TRUE(g2.has_edge(3, 1));
+  EXPECT_TRUE(g2.has_edge(5, 0));
+  EXPECT_TRUE(g2.has_edge(2, 5));
+}
+
+TEST(Figure1Test, PredicateHolds) {
+  EXPECT_TRUE(check_psrcs_exact(figure1_stable_skeleton(), kFigure1K).holds);
+  // Even the richer G∩2 satisfies it (supergraph of a satisfying
+  // skeleton).
+  EXPECT_TRUE(check_psrcs_exact(figure1_round2_skeleton(), kFigure1K).holds);
+}
+
+TEST(Figure1Test, FollowerHearsBothRoots) {
+  const Digraph skel = figure1_stable_skeleton();
+  EXPECT_EQ(skel.in_neighbors(5), ProcSet::of(6, {1, 4, 5}));
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,54 @@
+// Tests for the Theorem 2 construction.
+#include "adversary/impossibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/scc.hpp"
+#include "skeleton/tracker.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(ImpossibilityTest, GraphStructure) {
+  const Digraph g = impossibility_graph(6, 3);
+  // Loners L = {0, 1}; source s = 2; followers 3, 4, 5.
+  EXPECT_EQ(impossibility_loners(6, 3), ProcSet::of(6, {0, 1}));
+  EXPECT_EQ(impossibility_source_process(3), 2);
+  // Loners hear only themselves.
+  EXPECT_EQ(g.in_neighbors(0), ProcSet::singleton(6, 0));
+  EXPECT_EQ(g.in_neighbors(1), ProcSet::singleton(6, 1));
+  // Everyone outside L hears itself and s.
+  for (ProcId p = 2; p < 6; ++p) {
+    EXPECT_EQ(g.in_neighbors(p), ProcSet::of(6, {2, p}));
+  }
+}
+
+TEST(ImpossibilityTest, RootComponentCountIsK) {
+  // The run realizes Theorem 1's bound with equality: k-1 loner roots
+  // plus the root {s}.
+  for (int k = 2; k <= 4; ++k) {
+    const Digraph g = impossibility_graph(7, k);
+    EXPECT_EQ(root_components(g).size(), static_cast<std::size_t>(k));
+  }
+}
+
+TEST(ImpossibilityTest, SourceIsConstant) {
+  auto source = make_impossibility_source(5, 2);
+  EXPECT_EQ(source->graph(1), source->graph(50));
+  SkeletonTracker tracker(5);
+  for (Round r = 1; r <= 12; ++r) {
+    Digraph g = source->graph(r);
+    g.add_self_loops();
+    tracker.observe(r, g);
+  }
+  EXPECT_EQ(tracker.skeleton(), impossibility_graph(5, 2));
+  EXPECT_EQ(tracker.last_change_round(), 1);  // stable from round 1
+}
+
+TEST(ImpossibilityDeathTest, RequiresOneLtKLtN) {
+  EXPECT_DEATH(impossibility_graph(5, 1), "precondition");
+  EXPECT_DEATH(impossibility_graph(5, 5), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,89 @@
+// Tests for the partition adversary.
+#include "adversary/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/scc.hpp"
+#include "predicates/psrcs.hpp"
+#include "skeleton/tracker.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(EvenBlocksTest, SplitsEvenly) {
+  const auto blocks = even_blocks(10, 3);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].count(), 4);
+  EXPECT_EQ(blocks[1].count(), 3);
+  EXPECT_EQ(blocks[2].count(), 3);
+  ProcSet all(10);
+  for (const auto& b : blocks) all |= b;
+  EXPECT_EQ(all, ProcSet::full(10));
+}
+
+TEST(PartitionSourceTest, StableSkeletonIsBlockCliques) {
+  PartitionParams params;
+  params.blocks = even_blocks(6, 2);
+  PartitionSource src(1, params);
+  const Digraph& skel = src.stable_skeleton();
+  EXPECT_TRUE(skel.has_edge(0, 2));   // same block
+  EXPECT_FALSE(skel.has_edge(0, 3));  // cross block
+  EXPECT_TRUE(skel.has_edge(4, 5));
+  EXPECT_TRUE(skel.has_edge(0, 0));   // self-loops present
+}
+
+TEST(PartitionSourceTest, RootComponentsAreBlocks) {
+  PartitionParams params;
+  params.blocks = even_blocks(9, 3);
+  PartitionSource src(2, params);
+  const auto roots = root_components(src.stable_skeleton());
+  EXPECT_EQ(roots.size(), 3u);
+}
+
+TEST(PartitionSourceTest, SatisfiesPsrcsM) {
+  PartitionParams params;
+  params.blocks = even_blocks(8, 3);
+  PartitionSource src(3, params);
+  EXPECT_TRUE(check_psrcs_exact(src.stable_skeleton(), 3).holds);
+  EXPECT_FALSE(check_psrcs_exact(src.stable_skeleton(), 2).holds);
+}
+
+TEST(PartitionSourceTest, CrossNoiseDiesAtStabilization) {
+  PartitionParams params;
+  params.blocks = even_blocks(6, 2);
+  params.cross_noise_probability = 0.8;
+  params.stabilization_round = 4;
+  PartitionSource src(4, params);
+
+  bool any_cross_noise = false;
+  for (Round r = 1; r < 4; ++r) {
+    if (src.graph(r) != src.stable_skeleton()) any_cross_noise = true;
+  }
+  EXPECT_TRUE(any_cross_noise);
+  for (Round r = 4; r <= 10; ++r) {
+    EXPECT_EQ(src.graph(r), src.stable_skeleton());
+  }
+
+  SkeletonTracker tracker(6);
+  for (Round r = 1; r <= 10; ++r) {
+    Digraph g = src.graph(r);
+    g.add_self_loops();
+    tracker.observe(r, g);
+  }
+  EXPECT_EQ(tracker.skeleton(), src.stable_skeleton());
+}
+
+TEST(PartitionSourceDeathTest, OverlappingBlocksRejected) {
+  PartitionParams params;
+  params.blocks = {ProcSet::of(4, {0, 1}), ProcSet::of(4, {1, 2, 3})};
+  EXPECT_DEATH(PartitionSource(1, params), "precondition");
+}
+
+TEST(PartitionSourceDeathTest, NonCoveringBlocksRejected) {
+  PartitionParams params;
+  params.blocks = {ProcSet::of(4, {0, 1}), ProcSet::of(4, {2})};
+  EXPECT_DEATH(PartitionSource(1, params), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

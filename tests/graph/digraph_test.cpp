@@ -1,0 +1,164 @@
+// Unit tests for Digraph.
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sskel {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g(5);
+  EXPECT_EQ(g.n(), 5);
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(DigraphTest, CompleteGraph) {
+  const Digraph g = Digraph::complete(4);
+  EXPECT_EQ(g.edge_count(), 16);  // self-loops included
+  for (ProcId q = 0; q < 4; ++q) {
+    for (ProcId p = 0; p < 4; ++p) EXPECT_TRUE(g.has_edge(q, p));
+  }
+}
+
+TEST(DigraphTest, SelfLoopsOnly) {
+  const Digraph g = Digraph::self_loops_only(4);
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_TRUE(g.has_edge(2, 2));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(DigraphTest, AddRemoveEdgeMirrorsInOut) {
+  Digraph g(4);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.out_neighbors(1).contains(2));
+  EXPECT_TRUE(g.in_neighbors(2).contains(1));
+  g.remove_edge(1, 2);
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.out_neighbors(1).empty());
+  EXPECT_TRUE(g.in_neighbors(2).empty());
+}
+
+TEST(DigraphTest, RemoveNodeDropsIncidentEdges) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.remove_node(1);
+  EXPECT_FALSE(g.has_node(1));
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_TRUE(g.out_neighbors(0).empty());
+  EXPECT_TRUE(g.in_neighbors(2).empty());
+}
+
+TEST(DigraphTest, IntersectionOfEdges) {
+  Digraph a(4);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  a.add_edge(2, 3);
+  Digraph b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  a.intersect_with(b);
+  EXPECT_TRUE(a.has_edge(0, 1));
+  EXPECT_TRUE(a.has_edge(2, 3));
+  EXPECT_FALSE(a.has_edge(1, 2));
+  EXPECT_FALSE(a.has_edge(3, 0));
+  EXPECT_EQ(a.edge_count(), 2);
+}
+
+TEST(DigraphTest, IntersectionRespectsNodes) {
+  Digraph a(4);
+  a.add_edge(0, 1);
+  a.add_edge(2, 3);
+  Digraph b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.remove_node(3);
+  a.intersect_with(b);
+  EXPECT_FALSE(a.has_node(3));
+  EXPECT_FALSE(a.has_edge(2, 3));
+  EXPECT_TRUE(a.has_edge(0, 1));
+}
+
+TEST(DigraphTest, UnionOfEdges) {
+  Digraph a(3);
+  a.add_edge(0, 1);
+  Digraph b(3);
+  b.add_edge(1, 2);
+  a.union_with(b);
+  EXPECT_TRUE(a.has_edge(0, 1));
+  EXPECT_TRUE(a.has_edge(1, 2));
+}
+
+TEST(DigraphTest, InducedSubgraph) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const Digraph sub = g.induced(ProcSet::of(5, {0, 1, 2}));
+  EXPECT_EQ(sub.node_count(), 3);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_node(3));
+  EXPECT_EQ(sub.edge_count(), 2);
+}
+
+TEST(DigraphTest, SubgraphRelation) {
+  Digraph small(4);
+  small.add_edge(0, 1);
+  Digraph big = small;
+  big.add_edge(1, 2);
+  EXPECT_TRUE(small.is_subgraph_of(big));
+  EXPECT_FALSE(big.is_subgraph_of(small));
+  EXPECT_TRUE(big.is_subgraph_of(big));
+}
+
+TEST(DigraphTest, AddSelfLoops) {
+  Digraph g(3);
+  g.remove_node(2);
+  g.add_self_loops();
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(1, 1));
+  EXPECT_FALSE(g.has_edge(2, 2));  // absent node gets no loop
+}
+
+TEST(DigraphTest, EqualityAndDot) {
+  Digraph a(3);
+  a.add_edge(0, 1);
+  Digraph b(3);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+  b.add_edge(1, 2);
+  EXPECT_NE(a, b);
+
+  const std::string dot = b.to_dot("g");
+  EXPECT_NE(dot.find("p0 -> p1"), std::string::npos);
+  EXPECT_NE(dot.find("digraph g"), std::string::npos);
+}
+
+TEST(DigraphTest, SkeletonIntersectionChainIsMonotone) {
+  // Property (1) of the paper: intersecting any sequence of graphs
+  // yields a monotonically shrinking skeleton.
+  Digraph skel = Digraph::complete(6);
+  Digraph round1 = Digraph::complete(6);
+  round1.remove_edge(0, 3);
+  Digraph round2 = Digraph::complete(6);
+  round2.remove_edge(1, 4);
+
+  Digraph prev = skel;
+  for (const Digraph& g : {round1, round2, round1}) {
+    skel.intersect_with(g);
+    EXPECT_TRUE(skel.is_subgraph_of(prev));
+    prev = skel;
+  }
+  EXPECT_FALSE(skel.has_edge(0, 3));
+  EXPECT_FALSE(skel.has_edge(1, 4));
+  EXPECT_EQ(skel.edge_count(), 34);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,86 @@
+// Unit tests for reachability and shortest paths.
+#include "graph/reach.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sskel {
+namespace {
+
+Digraph chain(ProcId n) {
+  Digraph g(n);
+  for (ProcId p = 0; p + 1 < n; ++p) g.add_edge(p, p + 1);
+  return g;
+}
+
+TEST(ReachTest, ReachableFromChain) {
+  const Digraph g = chain(5);
+  EXPECT_EQ(reachable_from(g, 0), ProcSet::full(5));
+  EXPECT_EQ(reachable_from(g, 3), ProcSet::of(5, {3, 4}));
+  EXPECT_EQ(reachable_from(g, 4), ProcSet::singleton(5, 4));
+}
+
+TEST(ReachTest, ReachingChain) {
+  const Digraph g = chain(5);
+  EXPECT_EQ(reaching(g, 4), ProcSet::full(5));
+  EXPECT_EQ(reaching(g, 0), ProcSet::singleton(5, 0));
+  EXPECT_EQ(reaching(g, 2), ProcSet::of(5, {0, 1, 2}));
+}
+
+TEST(ReachTest, AbsentNodeYieldsEmpty) {
+  Digraph g = chain(3);
+  g.remove_node(1);
+  EXPECT_TRUE(reachable_from(g, 1).empty());
+  EXPECT_EQ(reachable_from(g, 0), ProcSet::singleton(3, 0));
+}
+
+TEST(ReachTest, ReachableStopsAtRemovedNode) {
+  Digraph g = chain(5);
+  g.remove_node(2);
+  EXPECT_EQ(reachable_from(g, 0), ProcSet::of(5, {0, 1}));
+  EXPECT_EQ(reaching(g, 4), ProcSet::of(5, {3, 4}));
+}
+
+TEST(ShortestPathLengthTest, ChainDistances) {
+  const Digraph g = chain(5);
+  EXPECT_EQ(shortest_path_length(g, 0, 4), 4);
+  EXPECT_EQ(shortest_path_length(g, 2, 2), 0);
+  EXPECT_EQ(shortest_path_length(g, 4, 0), std::nullopt);
+}
+
+TEST(ShortestPathLengthTest, PrefersShortcut) {
+  Digraph g = chain(5);
+  g.add_edge(0, 3);
+  EXPECT_EQ(shortest_path_length(g, 0, 4), 2);
+}
+
+TEST(ShortestPathTest, ReturnsNodeSequence) {
+  Digraph g = chain(4);
+  const std::vector<ProcId> path = shortest_path(g, 0, 3);
+  EXPECT_EQ(path, (std::vector<ProcId>{0, 1, 2, 3}));
+  EXPECT_TRUE(shortest_path(g, 3, 0).empty());
+  EXPECT_EQ(shortest_path(g, 2, 2), (std::vector<ProcId>{2}));
+}
+
+TEST(ShortestPathTest, PathLengthBoundedByNMinus1) {
+  // The structural fact used throughout Lemma 4 / Theorem 8: simple
+  // paths have at most n-1 edges.
+  const Digraph g = chain(6);
+  const std::vector<ProcId> path = shortest_path(g, 0, 5);
+  EXPECT_LE(path.size(), 6u);
+  EXPECT_EQ(path.size() - 1, 5u);
+}
+
+TEST(MaxDistanceToTest, Chain) {
+  const Digraph g = chain(5);
+  EXPECT_EQ(max_distance_to(g, 4), 4);
+  EXPECT_EQ(max_distance_to(g, 0), 0);
+}
+
+TEST(MaxDistanceToTest, SelfLoopDoesNotInflate) {
+  Digraph g = chain(3);
+  g.add_self_loops();
+  EXPECT_EQ(max_distance_to(g, 2), 2);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,55 @@
+// Scale/robustness tests for the iterative Tarjan implementation: deep
+// structures that would overflow the stack of a recursive version.
+#include <gtest/gtest.h>
+
+#include "graph/reach.hpp"
+#include "graph/scc.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(SccScaleTest, LongChainDoesNotOverflow) {
+  const ProcId n = 20000;
+  Digraph g(n);
+  for (ProcId p = 0; p + 1 < n; ++p) g.add_edge(p, p + 1);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), static_cast<int>(n));
+}
+
+TEST(SccScaleTest, GiantCycleIsOneComponent) {
+  const ProcId n = 20000;
+  Digraph g(n);
+  for (ProcId p = 0; p < n; ++p) g.add_edge(p, (p + 1) % n);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 1);
+  EXPECT_EQ(scc.components[0].count(), static_cast<int>(n));
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(SccScaleTest, DeepNestingOfCycles) {
+  // Chain of 2-cycles: (0,1) -> (2,3) -> (4,5) -> ...
+  const ProcId n = 10000;
+  Digraph g(n);
+  for (ProcId p = 0; p + 1 < n; p += 2) {
+    g.add_edge(p, p + 1);
+    g.add_edge(p + 1, p);
+    if (p + 2 < n) g.add_edge(p + 1, p + 2);
+  }
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), static_cast<int>(n / 2));
+  const auto roots = root_components(g);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], ProcSet::of(n, {0, 1}));
+}
+
+TEST(ReachScaleTest, LongChainReachability) {
+  const ProcId n = 20000;
+  Digraph g(n);
+  for (ProcId p = 0; p + 1 < n; ++p) g.add_edge(p, p + 1);
+  EXPECT_EQ(reachable_from(g, 0).count(), static_cast<int>(n));
+  EXPECT_EQ(reaching(g, n - 1).count(), static_cast<int>(n));
+  EXPECT_EQ(shortest_path_length(g, 0, n - 1), static_cast<int>(n) - 1);
+}
+
+}  // namespace
+}  // namespace sskel

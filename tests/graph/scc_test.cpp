@@ -1,0 +1,217 @@
+// Unit tests for SCC decomposition, condensation and root components.
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+Digraph cycle_graph(ProcId n) {
+  Digraph g(n);
+  for (ProcId p = 0; p < n; ++p) g.add_edge(p, (p + 1) % n);
+  return g;
+}
+
+TEST(SccTest, SingleNodeIsItsOwnComponent) {
+  Digraph g(1);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 1);
+  EXPECT_EQ(scc.components[0], ProcSet::singleton(1, 0));
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  const SccDecomposition scc = strongly_connected_components(cycle_graph(5));
+  EXPECT_EQ(scc.count(), 1);
+  EXPECT_EQ(scc.components[0].count(), 5);
+}
+
+TEST(SccTest, ChainIsAllSingletons) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 4);
+  for (const ProcSet& comp : scc.components) EXPECT_EQ(comp.count(), 1);
+}
+
+TEST(SccTest, TwoCyclesWithBridge) {
+  // 0<->1 -> 2<->3
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count(), 2);
+  const int c0 = scc.component_of[0];
+  EXPECT_EQ(scc.component_of[1], c0);
+  const int c2 = scc.component_of[2];
+  EXPECT_EQ(scc.component_of[3], c2);
+  EXPECT_NE(c0, c2);
+}
+
+TEST(SccTest, ReverseTopologicalOrder) {
+  // Components are emitted callees-first: an edge C_a -> C_b implies
+  // b < a in the emission order.
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // comp A
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);  // comp B
+  g.add_edge(1, 2);  // A -> B
+  g.add_edge(3, 4);  // B -> {4}
+  g.add_edge(4, 5);  // {4} -> {5}
+  const SccDecomposition scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.count(), 4);
+  for (ProcId q = 0; q < 6; ++q) {
+    for (ProcId p : g.out_neighbors(q)) {
+      const int a = scc.component_of[static_cast<std::size_t>(q)];
+      const int b = scc.component_of[static_cast<std::size_t>(p)];
+      if (a != b) {
+        EXPECT_LT(b, a);
+      }
+    }
+  }
+}
+
+TEST(SccTest, AbsentNodesIgnored) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.remove_node(4);
+  const SccDecomposition scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_of[4], -1);
+  EXPECT_EQ(scc.count(), 4);
+}
+
+TEST(CondensationTest, ContractsToDag) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(3, 4);
+  const SccDecomposition scc = strongly_connected_components(g);
+  const Digraph dag = condensation(g, scc);
+  EXPECT_EQ(dag.n(), scc.count());
+  // A condensation is acyclic: every SCC of it is a singleton.
+  const SccDecomposition dag_scc = strongly_connected_components(dag);
+  EXPECT_EQ(dag_scc.count(), dag.node_count());
+  // No self-loops in the condensation.
+  for (ProcId c : dag.nodes()) EXPECT_FALSE(dag.has_edge(c, c));
+}
+
+TEST(RootComponentTest, CycleWithTailHasOneRoot) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const std::vector<ProcSet> roots = root_components(g);
+  ASSERT_EQ(roots.size(), 2u);  // {0,1} and the isolated {4}
+  // Find the cycle root.
+  const bool has_cycle_root =
+      std::any_of(roots.begin(), roots.end(), [](const ProcSet& r) {
+        return r == ProcSet::of(5, {0, 1});
+      });
+  EXPECT_TRUE(has_cycle_root);
+}
+
+TEST(RootComponentTest, PaperFigure1Shape) {
+  // Fig. 1b: root components {p1,p2} and {p3,p4,p5}; p6 a follower.
+  Digraph g(6);
+  g.add_self_loops();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  g.add_edge(1, 5);
+  g.add_edge(4, 5);
+  std::vector<ProcSet> roots = root_components(g);
+  ASSERT_EQ(roots.size(), 2u);
+  std::sort(roots.begin(), roots.end(),
+            [](const ProcSet& a, const ProcSet& b) {
+              return a.first() < b.first();
+            });
+  EXPECT_EQ(roots[0], ProcSet::of(6, {0, 1}));
+  EXPECT_EQ(roots[1], ProcSet::of(6, {2, 3, 4}));
+}
+
+TEST(RootComponentTest, EveryNonemptyGraphHasARoot) {
+  // Lemma 11's first step: the condensation is a DAG, so a root
+  // component always exists. Randomized property check.
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ProcId n = static_cast<ProcId>(2 + rng.next_below(10));
+    Digraph g(n);
+    for (ProcId q = 0; q < n; ++q) {
+      for (ProcId p = 0; p < n; ++p) {
+        if (rng.next_bool(0.3)) g.add_edge(q, p);
+      }
+    }
+    EXPECT_GE(root_components(g).size(), 1u);
+  }
+}
+
+TEST(ComponentOfTest, ReturnsContainingComponent) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  EXPECT_EQ(component_of(g, 0), ProcSet::of(4, {0, 1}));
+  EXPECT_EQ(component_of(g, 3), ProcSet::singleton(4, 3));
+  g.remove_node(2);
+  EXPECT_TRUE(component_of(g, 2).empty());
+}
+
+TEST(IsStronglyConnectedTest, Cases) {
+  EXPECT_TRUE(is_strongly_connected(cycle_graph(4)));
+  EXPECT_TRUE(is_strongly_connected(Digraph::complete(3)));
+  // Single node, no edges: trivially strongly connected.
+  EXPECT_TRUE(is_strongly_connected(Digraph(1)));
+  Digraph chain(3);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  EXPECT_FALSE(is_strongly_connected(chain));
+  // Empty node set: not strongly connected by convention.
+  Digraph empty(2);
+  empty.remove_node(0);
+  empty.remove_node(1);
+  EXPECT_FALSE(is_strongly_connected(empty));
+}
+
+TEST(SccPropertyTest, ComponentsPartitionNodes) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ProcId n = static_cast<ProcId>(3 + rng.next_below(20));
+    Digraph g(n);
+    for (ProcId q = 0; q < n; ++q) {
+      for (ProcId p = 0; p < n; ++p) {
+        if (rng.next_bool(0.2)) g.add_edge(q, p);
+      }
+    }
+    const SccDecomposition scc = strongly_connected_components(g);
+    ProcSet covered(n);
+    for (const ProcSet& comp : scc.components) {
+      EXPECT_FALSE(covered.intersects(comp));  // disjoint
+      covered |= comp;
+    }
+    EXPECT_EQ(covered, g.nodes());  // covering
+    // component_of agrees with membership.
+    for (ProcId p = 0; p < n; ++p) {
+      const int idx = scc.component_of[static_cast<std::size_t>(p)];
+      ASSERT_GE(idx, 0);
+      EXPECT_TRUE(scc.components[static_cast<std::size_t>(idx)].contains(p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,133 @@
+// E7 as a test: Algorithm 1 vs FloodMin vs the LocalMin strawman.
+//
+//   * Under the synchronous crash model both FloodMin and Algorithm 1
+//     are safe; FloodMin is much faster and cheaper (its model is much
+//     stronger).
+//   * Under a Psrcs(k) link-failure adversary, FloodMin's crash-count
+//     premise is violated and it can (and here: does) exceed k values;
+//     Algorithm 1 stays within k.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "adversary/crash.hpp"
+#include "adversary/random_psrcs.hpp"
+#include "kset/floodmin.hpp"
+#include "kset/local_min.hpp"
+#include "kset/runner.hpp"
+#include "rounds/simulator.hpp"
+
+namespace sskel {
+namespace {
+
+template <typename Proc, typename... Args>
+std::vector<std::unique_ptr<Algorithm<Value>>> make_value_procs(
+    ProcId n, const std::vector<Value>& proposals, Args... args) {
+  std::vector<std::unique_ptr<Algorithm<Value>>> procs;
+  for (ProcId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<Proc>(
+        n, p, proposals[static_cast<std::size_t>(p)], args...));
+  }
+  return procs;
+}
+
+TEST(BaselineTest, BothSafeUnderCrashModel) {
+  const ProcId n = 8;
+  const int f = 3;
+  const int k = 2;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    // FloodMin.
+    auto crash_src = make_random_crash_source(seed, n, f, f / k + 1);
+    Simulator<Value> fm(*crash_src,
+                        make_value_procs<FloodMinProcess>(
+                            n, default_proposals(n), f, k));
+    fm.run(f / k + 1);
+    std::set<Value> fm_values;
+    for (ProcId p : crash_src->correct_processes()) {
+      fm_values.insert(
+          static_cast<FloodMinProcess&>(fm.process(p)).decision());
+    }
+    EXPECT_LE(static_cast<int>(fm_values.size()), k) << "seed " << seed;
+
+    // Algorithm 1 on the same adversary reaches *consensus* among all
+    // (crashed processes are internally correct and decide too).
+    auto crash_src2 = make_random_crash_source(seed, n, f, f / k + 1);
+    KSetRunConfig config;
+    config.k = k;
+    const KSetRunReport report = run_kset(*crash_src2, config);
+    ASSERT_TRUE(report.all_decided);
+    EXPECT_EQ(report.distinct_values, 1) << "seed " << seed;
+    // FloodMin needs floor(f/k)+1 = 2 rounds; Algorithm 1 pays the
+    // skeleton price (> n rounds) for its far weaker assumptions.
+    EXPECT_GT(report.last_decision_round, f / k + 1);
+  }
+}
+
+TEST(BaselineTest, FloodMinUnsafeUnderLinkFailures) {
+  // Give FloodMin a Psrcs(k) adversary whose stable skeleton has k
+  // isolated singleton roots: every "crash budget" assumption is
+  // violated, and min-flooding splinters.
+  const ProcId n = 8;
+  const int k = 3;
+  int floodmin_violations = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomPsrcsParams params;
+    params.n = n;
+    params.k = k;
+    params.root_components = k;
+    params.max_core_size = 1;
+    params.noise_probability = 0.0;  // harshest: only stable edges
+    params.follower_edge_probability = 0.0;
+    RandomPsrcsSource source(seed, params);
+
+    const int f = 2;  // FloodMin sized for 2 crashes: decides round 1
+    Simulator<Value> fm(source, make_value_procs<FloodMinProcess>(
+                                    n, default_proposals(n), f, k));
+    fm.run(8);
+    std::set<Value> values;
+    for (ProcId p = 0; p < n; ++p) {
+      values.insert(static_cast<FloodMinProcess&>(fm.process(p)).decision());
+    }
+    if (static_cast<int>(values.size()) > k) ++floodmin_violations;
+
+    // Algorithm 1 on the same run: never more than k.
+    RandomPsrcsSource source2(seed, params);
+    KSetRunConfig config;
+    config.k = k;
+    const KSetRunReport report = run_kset(source2, config);
+    ASSERT_TRUE(report.all_decided);
+    EXPECT_LE(report.distinct_values, k) << "seed " << seed;
+  }
+  EXPECT_GT(floodmin_violations, 0)
+      << "expected at least one FloodMin violation across seeds";
+}
+
+TEST(BaselineTest, LocalMinStrawmanViolatesEvenWithGenerousRounds) {
+  const ProcId n = 8;
+  const int k = 2;
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = k;
+  params.root_components = k;
+  params.max_core_size = 1;
+  params.noise_probability = 0.0;
+  params.follower_edge_probability = 0.0;
+
+  int violations = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomPsrcsSource source(seed, params);
+    Simulator<Value> lm(source, make_value_procs<LocalMinProcess>(
+                                    n, default_proposals(n), Round{4}));
+    lm.run(6);
+    std::set<Value> values;
+    for (ProcId p = 0; p < n; ++p) {
+      values.insert(static_cast<LocalMinProcess&>(lm.process(p)).decision());
+    }
+    if (static_cast<int>(values.size()) > k) ++violations;
+  }
+  EXPECT_GT(violations, 0);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,159 @@
+// Integration test: Algorithm 1 on the Figure 1 run.
+//
+// Reproduces the mechanism of Figures 1c-1h: process p6's local
+// approximation grows as skeleton knowledge flows along stable edges,
+// old transient knowledge ages out, and the run decides with (at most)
+// one value per root component.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "adversary/figure1.hpp"
+#include "kset/runner.hpp"
+#include "kset/skeleton_kset.hpp"
+#include "rounds/simulator.hpp"
+
+namespace sskel {
+namespace {
+
+class Figure1Run : public ::testing::Test {
+ protected:
+  void run_and_report(DecisionGuard guard = DecisionGuard::kAfterRoundN) {
+    source_ = make_figure1_source();
+    KSetRunConfig config;
+    config.k = kFigure1K;
+    config.guard = guard;
+    config.attach_lemma_monitor = true;
+    config.tail_rounds = 6;
+    report_ = run_kset(*source_, config);
+  }
+
+  std::unique_ptr<GraphSource> source_;
+  KSetRunReport report_;
+};
+
+TEST_F(Figure1Run, AllPropertiesHold) {
+  run_and_report();
+  EXPECT_TRUE(report_.all_decided);
+  EXPECT_TRUE(report_.verdict.all_hold());
+  EXPECT_TRUE(report_.lemma_violations.empty())
+      << report_.lemma_violations.front();
+}
+
+TEST_F(Figure1Run, OneValuePerRootComponent) {
+  run_and_report();
+  // Root A = {p1, p2} proposes {7, 107} -> decides 7.
+  // Root B = {p3, p4, p5} proposes {207, 307, 407} -> decides 207.
+  // Follower p6 adopts one of the two.
+  EXPECT_EQ(report_.outcomes[0].decision, 7);
+  EXPECT_EQ(report_.outcomes[1].decision, 7);
+  EXPECT_EQ(report_.outcomes[2].decision, 207);
+  EXPECT_EQ(report_.outcomes[3].decision, 207);
+  EXPECT_EQ(report_.outcomes[4].decision, 207);
+  const Value p6 = report_.outcomes[5].decision;
+  EXPECT_TRUE(p6 == 7 || p6 == 207);
+  EXPECT_EQ(report_.distinct_values, 2);  // <= k = 3
+}
+
+TEST_F(Figure1Run, RootMembersDecideViaConnectivity) {
+  run_and_report();
+  for (ProcId p = 0; p < 5; ++p) {
+    EXPECT_EQ(report_.paths[static_cast<std::size_t>(p)],
+              DecisionPath::kConnected)
+        << "p" << p;
+  }
+  // p6 is not in a root component: its approximation always contains
+  // root processes it cannot reach back, so it decides via forwarding.
+  EXPECT_EQ(report_.paths[5], DecisionPath::kForwarded);
+}
+
+TEST_F(Figure1Run, TerminationBoundHolds) {
+  for (DecisionGuard guard :
+       {DecisionGuard::kAfterRoundN, DecisionGuard::kAtRoundN}) {
+    run_and_report(guard);
+    EXPECT_TRUE(report_.all_decided);
+    EXPECT_LE(report_.last_decision_round, report_.termination_bound(guard));
+  }
+}
+
+TEST_F(Figure1Run, ApproximationSeriesMatchesMechanism) {
+  // Drive the simulator manually and snapshot p6's graph per round,
+  // the exact series Figs. 1c-1h illustrate.
+  auto source = make_figure1_source();
+  std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> procs;
+  std::vector<SkeletonKSetProcess*> views;
+  for (ProcId p = 0; p < kFigure1N; ++p) {
+    auto proc = std::make_unique<SkeletonKSetProcess>(kFigure1N, p,
+                                                      100 * p + 7);
+    views.push_back(proc.get());
+    procs.push_back(std::move(proc));
+  }
+  Simulator<SkeletonMessage> sim(*source, std::move(procs));
+
+  // Round 1 (Fig. 1c): p6 knows exactly its own in-edges (including
+  // the transient p3 -> p6), all label 1.
+  sim.step();
+  {
+    const LabeledDigraph& g = views[5]->approximation();
+    EXPECT_EQ(g.label(1, 5), 1);
+    EXPECT_EQ(g.label(4, 5), 1);
+    EXPECT_EQ(g.label(2, 5), 1);  // transient
+    EXPECT_EQ(g.label(5, 5), 1);
+    EXPECT_EQ(g.edge_count(), 4);
+  }
+
+  // Round 2 (Fig. 1d): fresh in-edges relabel to 2; one-hop knowledge
+  // from p2, p3 and p5 arrives with label 1.
+  sim.step();
+  {
+    const LabeledDigraph& g = views[5]->approximation();
+    EXPECT_EQ(g.label(1, 5), 2);
+    EXPECT_EQ(g.label(4, 5), 2);
+    // p2's round-1 in-edges: p1 -> p2 (and transient p4 -> p2).
+    EXPECT_EQ(g.label(0, 1), 1);
+    EXPECT_EQ(g.label(3, 1), 1);
+    // p5's round-1 in-edges: p4 -> p5.
+    EXPECT_EQ(g.label(3, 4), 1);
+    // p3's round-1 in-edges: p5 -> p3.
+    EXPECT_EQ(g.label(4, 2), 1);
+  }
+
+  // Rounds 3..6: labels keep advancing; by round 6 = n the purge
+  // window (labels <= r - n) begins to matter and all transient
+  // knowledge is gone from p6's graph by round 2 + n = 8.
+  for (Round r = 3; r <= 8; ++r) sim.step();
+  {
+    const LabeledDigraph& g = views[5]->approximation();
+    // Transient edges died in round 3; the freshest label they can
+    // carry is 2, which the purge at round 8 (cutoff 8-6=2) removed.
+    EXPECT_EQ(g.label(3, 1), 0);  // transient p4 -> p2 gone
+    EXPECT_EQ(g.label(2, 5), 0);  // transient p3 -> p6 gone
+    EXPECT_EQ(g.label(5, 0), 0);  // transient p6 -> p1 gone
+    // Stable knowledge persists with fresh labels.
+    EXPECT_GT(g.label(0, 1), 2);  // p1 -> p2
+    EXPECT_GT(g.label(3, 4), 2);  // p4 -> p5
+    EXPECT_GT(g.label(1, 5), 2);
+    EXPECT_GT(g.label(4, 5), 2);
+  }
+
+  // p6's unlabeled approximation now contains the stable skeleton
+  // restricted to processes that reach p6 — which is everyone.
+  const Digraph unl = views[5]->approximation().unlabeled();
+  EXPECT_TRUE(figure1_stable_skeleton().is_subgraph_of(unl));
+}
+
+TEST_F(Figure1Run, MessageBytesArePolynomiallySmall) {
+  auto source = make_figure1_source();
+  KSetRunConfig config;
+  config.k = kFigure1K;
+  config.measure_bytes = true;
+  const KSetRunReport report = run_kset(*source, config);
+  // A message is (tag, value, graph); the graph has at most n^2 edges
+  // of <= ~5 bytes each — comfortably under n^2 * 8 + 16 bytes.
+  EXPECT_LE(report.max_message_bytes, 6 * 6 * 8 + 16);
+  EXPECT_GT(report.max_message_bytes, 0);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,85 @@
+// Integration test for Theorem 2: running Algorithm 1 on the
+// impossibility construction yields exactly k distinct values — so the
+// run witnesses that (k-1)-set agreement is unachievable under
+// Psrcs(k), while k-set agreement still holds (tightness).
+#include <gtest/gtest.h>
+
+#include "adversary/impossibility.hpp"
+#include "kset/runner.hpp"
+#include "predicates/psrcs.hpp"
+
+namespace sskel {
+namespace {
+
+struct ImpossibilityCase {
+  ProcId n;
+  int k;
+};
+
+class ImpossibilitySweep
+    : public ::testing::TestWithParam<ImpossibilityCase> {};
+
+TEST_P(ImpossibilitySweep, ExactlyKValues) {
+  const auto [n, k] = GetParam();
+  auto source = make_impossibility_source(n, k);
+
+  KSetRunConfig config;
+  config.k = k;
+  config.attach_lemma_monitor = (n <= 10);
+  config.tail_rounds = 4;
+  const KSetRunReport report = run_kset(*source, config);
+
+  ASSERT_TRUE(report.all_decided);
+  // Exactly k distinct decisions: the k-1 loners plus the 2-source s
+  // each decide their own proposal; followers adopt s's value.
+  EXPECT_EQ(report.distinct_values, k);
+  // k-set agreement holds (tight), (k-1)-set agreement is violated.
+  EXPECT_TRUE(verify_kset(report.outcomes, k).k_agreement);
+  EXPECT_FALSE(verify_kset(report.outcomes, k - 1).k_agreement);
+  EXPECT_TRUE(report.verdict.validity);
+  if (config.attach_lemma_monitor) {
+    EXPECT_TRUE(report.lemma_violations.empty())
+        << report.lemma_violations.front();
+  }
+
+  // The loners and s decide their own values.
+  const ProcSet loners = impossibility_loners(n, k);
+  for (ProcId p : loners) {
+    EXPECT_EQ(report.outcomes[static_cast<std::size_t>(p)].decision,
+              report.outcomes[static_cast<std::size_t>(p)].proposal);
+  }
+  const ProcId s = impossibility_source_process(k);
+  EXPECT_EQ(report.outcomes[static_cast<std::size_t>(s)].decision,
+            report.outcomes[static_cast<std::size_t>(s)].proposal);
+  // Followers adopt s's proposal (the only decide message they see).
+  for (ProcId p = s + 1; p < n; ++p) {
+    EXPECT_EQ(report.outcomes[static_cast<std::size_t>(p)].decision,
+              report.outcomes[static_cast<std::size_t>(s)].proposal);
+    EXPECT_EQ(report.paths[static_cast<std::size_t>(p)],
+              DecisionPath::kForwarded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ImpossibilitySweep,
+    ::testing::Values(ImpossibilityCase{4, 2}, ImpossibilityCase{5, 3},
+                      ImpossibilityCase{6, 2}, ImpossibilityCase{8, 4},
+                      ImpossibilityCase{8, 7}, ImpossibilityCase{12, 5},
+                      ImpossibilityCase{16, 3}),
+    [](const ::testing::TestParamInfo<ImpossibilityCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_k" +
+             std::to_string(pinfo.param.k);
+    });
+
+TEST(ImpossibilityPredicateTest, RunSatisfiesPsrcsKNotKMinus1) {
+  // The crux of the proof: the run is admissible in Psrcs(k).
+  for (const auto& [n, k] :
+       std::vector<std::pair<ProcId, int>>{{5, 2}, {6, 3}, {8, 4}}) {
+    const Digraph g = impossibility_graph(n, k);
+    EXPECT_TRUE(check_psrcs_exact(g, k).holds);
+    EXPECT_FALSE(check_psrcs_exact(g, k - 1).holds);
+  }
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,155 @@
+// Focused tests for the propagation lemmas not directly covered by the
+// LemmaMonitor:
+//
+//   Lemma 4:  knowledge travels along skeleton paths — if a path
+//             p1 -> ... -> p_{l+1} of length l exists in G∩r, then
+//             p_{l+1}'s graph holds each q in PT(p1, r-l) as an edge
+//             (q -> p1) labeled within [r-l, r].
+//   Lemma 13: a Line-12 (forwarded) decision traces back to an earlier
+//             Line-29 (connectivity) decision with the same value.
+//   Lemma 14: all members of a round-n strongly connected component
+//             share one estimate at round n.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "adversary/random_psrcs.hpp"
+#include "graph/reach.hpp"
+#include "graph/scc.hpp"
+#include "kset/runner.hpp"
+#include "kset/skeleton_kset.hpp"
+#include "rounds/simulator.hpp"
+#include "skeleton/tracker.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+struct LiveRun {
+  explicit LiveRun(GraphSource& source)
+      : tracker(source.n(), SkeletonTracker::History::kKeepAll) {
+    const ProcId n = source.n();
+    std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> procs;
+    for (ProcId p = 0; p < n; ++p) {
+      auto proc = std::make_unique<SkeletonKSetProcess>(n, p, 100 * p + 7);
+      views.push_back(proc.get());
+      procs.push_back(std::move(proc));
+    }
+    sim = std::make_unique<Simulator<SkeletonMessage>>(source,
+                                                       std::move(procs));
+    sim->add_observer(tracker.observer());
+  }
+
+  std::vector<SkeletonKSetProcess*> views;
+  std::unique_ptr<Simulator<SkeletonMessage>> sim;
+  SkeletonTracker tracker;
+};
+
+TEST(Lemma4Test, KnowledgeTravelsAlongSkeletonPaths) {
+  // Random Psrcs runs; at a round r >= n, for every pair (a, b) with a
+  // shortest skeleton path of length l <= n-1 from a to b, b's graph
+  // must contain every (q -> a) edge with q in PT(a, r-l), labeled in
+  // [r-l, r].
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomPsrcsParams params;
+    params.n = 7;
+    params.k = 2;
+    params.root_components = 2;
+    params.stabilization_round = 2;
+    RandomPsrcsSource source(seed, params);
+    LiveRun run(source);
+
+    const Round r = 2 * 7;  // comfortably past n, still pre-decide tail
+    run.sim->run(r);
+
+    const Digraph& skel = run.tracker.skeleton();
+    for (ProcId a = 0; a < 7; ++a) {
+      for (ProcId b = 0; b < 7; ++b) {
+        const auto l = shortest_path_length(skel, a, b);
+        if (!l.has_value() || *l == 0) continue;
+        ASSERT_LE(*l, 6);
+        const Digraph& skel_then =
+            run.tracker.skeleton_at(r - static_cast<Round>(*l));
+        const LabeledDigraph& gb =
+            run.views[static_cast<std::size_t>(b)]->approximation();
+        for (ProcId q : skel_then.in_neighbors(a)) {
+          const Round label = gb.label(q, a);
+          EXPECT_GE(label, r - static_cast<Round>(*l))
+              << "seed=" << seed << " a=" << a << " b=" << b << " q=" << q;
+          EXPECT_LE(label, r);
+        }
+      }
+    }
+  }
+}
+
+TEST(Lemma13Test, ForwardedDecisionsTraceToConnectivityDeciders) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomPsrcsParams params;
+    params.n = 8;
+    params.k = 3;
+    params.root_components = 3;
+    params.max_core_size = 2;
+    RandomPsrcsSource source(seed, params);
+    KSetRunConfig config;
+    config.k = 3;
+    const KSetRunReport report = run_kset(source, config);
+    ASSERT_TRUE(report.all_decided);
+
+    // Values decided via Line 29, with their earliest decision round.
+    std::map<Value, Round> connectivity_decisions;
+    for (ProcId p = 0; p < 8; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (report.paths[pi] == DecisionPath::kConnected) {
+        const Value v = report.outcomes[pi].decision;
+        const Round rr = report.outcomes[pi].decision_round;
+        auto it = connectivity_decisions.find(v);
+        if (it == connectivity_decisions.end() || rr < it->second) {
+          connectivity_decisions[v] = rr;
+        }
+      }
+    }
+    // Every forwarded decision carries a value some process decided
+    // via Line 29 in a strictly earlier round.
+    for (ProcId p = 0; p < 8; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (report.paths[pi] != DecisionPath::kForwarded) continue;
+      const auto it =
+          connectivity_decisions.find(report.outcomes[pi].decision);
+      ASSERT_NE(it, connectivity_decisions.end())
+          << "forwarded value has no Line-29 origin (seed " << seed << ")";
+      EXPECT_LT(it->second, report.outcomes[pi].decision_round);
+    }
+  }
+}
+
+TEST(Lemma14Test, ComponentEstimatesEqualAtRoundN) {
+  Rng meta(808);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomPsrcsParams params;
+    params.n = static_cast<ProcId>(5 + meta.next_below(5));
+    params.k = 2;
+    params.root_components = 2;
+    params.max_core_size = 4;
+    params.stabilization_round = 1;  // Lemma 14 argues about C^n via G∩1
+    RandomPsrcsSource source(meta.next_u64(), params);
+    LiveRun run(source);
+    run.sim->run(params.n);  // exactly n rounds
+
+    const SccDecomposition scc =
+        strongly_connected_components(run.tracker.skeleton());
+    for (const ProcSet& comp : scc.components) {
+      Value expected = kNoValue;
+      for (ProcId p : comp) {
+        const Value x = run.views[static_cast<std::size_t>(p)]->estimate();
+        if (expected == kNoValue) expected = x;
+        EXPECT_EQ(x, expected)
+            << "component " << comp.to_string() << " split at round n";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sskel

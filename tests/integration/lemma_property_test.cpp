@@ -1,0 +1,123 @@
+// The approximation lemmas (Obs. 1, Lemmas 3-7, Theorem 8) hold "atop
+// of any communication predicate" — the monitor must stay clean even
+// on arbitrary random graph sequences that satisfy no predicate at
+// all, as long as the source eventually stabilizes (which the
+// Theorem 8 finalize pass needs to know G∩∞).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/eventual.hpp"
+#include "adversary/random_psrcs.hpp"
+#include "kset/runner.hpp"
+#include "rounds/graph_source.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+/// Random graphs for a prefix, then one fixed random graph forever.
+class StabilizingRandomSource final : public GraphSource {
+ public:
+  StabilizingRandomSource(std::uint64_t seed, ProcId n, Round stabilize_at,
+                          double density)
+      : seed_(seed), n_(n), stabilize_at_(stabilize_at), density_(density) {}
+
+  ProcId n() const override { return n_; }
+
+  Digraph graph(Round r) override {
+    const Round effective = std::min(r, stabilize_at_);
+    Rng rng(mix_seed(seed_, static_cast<std::uint64_t>(effective)));
+    Digraph g(n_);
+    g.add_self_loops();
+    for (ProcId q = 0; q < n_; ++q) {
+      for (ProcId p = 0; p < n_; ++p) {
+        if (q != p && rng.next_bool(density_)) g.add_edge(q, p);
+      }
+    }
+    return g;
+  }
+
+ private:
+  std::uint64_t seed_;
+  ProcId n_;
+  Round stabilize_at_;
+  double density_;
+};
+
+struct LemmaCase {
+  ProcId n;
+  Round stabilize_at;
+  double density;
+};
+
+class LemmaSweep : public ::testing::TestWithParam<LemmaCase> {};
+
+TEST_P(LemmaSweep, MonitorCleanOnArbitraryStabilizingRuns) {
+  const LemmaCase c = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    StabilizingRandomSource source(mix_seed(1001, seed), c.n,
+                                   c.stabilize_at, c.density);
+    KSetRunConfig config;
+    config.k = c.n;  // any decision count is fine; lemmas are the test
+    config.attach_lemma_monitor = true;
+    config.tail_rounds = 2 * c.n;
+    config.max_rounds = 12 * c.n + 40;
+    const KSetRunReport report = run_kset(source, config);
+    EXPECT_TRUE(report.lemma_violations.empty())
+        << "n=" << c.n << " seed=" << seed << ": "
+        << report.lemma_violations.front();
+    // Validity is also predicate-free.
+    EXPECT_TRUE(report.verdict.validity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LemmaSweep,
+    ::testing::Values(LemmaCase{3, 2, 0.5}, LemmaCase{4, 5, 0.3},
+                      LemmaCase{5, 4, 0.7}, LemmaCase{6, 8, 0.4},
+                      LemmaCase{8, 6, 0.25}, LemmaCase{10, 10, 0.5}),
+    [](const ::testing::TestParamInfo<LemmaCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_st" +
+             std::to_string(pinfo.param.stabilize_at) + "_d" +
+             std::to_string(static_cast<int>(pinfo.param.density * 100));
+    });
+
+TEST(LemmaOnEventualRunTest, MonitorCleanDespitePredicateFailure) {
+  // The ♦Psrcs counterexample run: agreement collapses to n values,
+  // but the approximation lemmas still hold.
+  auto source = make_eventual_source(6, 10);
+  KSetRunConfig config;
+  config.k = 6;
+  config.attach_lemma_monitor = true;
+  config.tail_rounds = 8;
+  const KSetRunReport report = run_kset(*source, config);
+  EXPECT_TRUE(report.all_decided);
+  EXPECT_TRUE(report.lemma_violations.empty())
+      << report.lemma_violations.front();
+}
+
+TEST(LemmaOnPsrcsRunsTest, MonitorCleanAcrossGuards) {
+  for (DecisionGuard guard :
+       {DecisionGuard::kAfterRoundN, DecisionGuard::kAtRoundN}) {
+    RandomPsrcsParams params;
+    params.n = 7;
+    params.k = 2;
+    params.root_components = 2;
+    params.stabilization_round = 3;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      RandomPsrcsSource source(seed, params);
+      KSetRunConfig config;
+      config.k = 2;
+      config.guard = guard;
+      config.attach_lemma_monitor = true;
+      config.tail_rounds = 10;
+      const KSetRunReport report = run_kset(source, config);
+      EXPECT_TRUE(report.lemma_violations.empty())
+          << report.lemma_violations.front();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,70 @@
+// Integration: per-round synchrony without persistence (E12 as a
+// test). The rotating star keeps every round maximally synchronous in
+// the HO sense, yet Algorithm 1 sees only the bare-self-loop stable
+// skeleton: every process decides as a loner and consensus is
+// violated deterministically when the first center is not the
+// minimum holder.
+#include <gtest/gtest.h>
+
+#include "adversary/rotating.hpp"
+#include "graph/scc.hpp"
+#include "kset/runner.hpp"
+#include "predicates/classic.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(RotatingStarTest, ConsensusViolatedDespitePerRoundKernels) {
+  const ProcId n = 6;
+  auto source = make_rotating_star_source(n, 1, /*first_center=*/1);
+  KSetRunConfig config;
+  config.k = 1;
+  const KSetRunReport report = run_kset(*source, config);
+  ASSERT_TRUE(report.all_decided);
+  // p0 keeps its own minimum (heard only p1's larger value in round
+  // 1); everyone else adopted p1's value before PT collapsed.
+  EXPECT_EQ(report.distinct_values, 2);
+  EXPECT_EQ(report.outcomes[0].decision, 7);
+  for (ProcId p = 1; p < n; ++p) {
+    EXPECT_EQ(report.outcomes[static_cast<std::size_t>(p)].decision, 107);
+  }
+  // The stable skeleton shattered into n singleton roots.
+  EXPECT_EQ(report.root_components_final.size(),
+            static_cast<std::size_t>(n));
+  // All decisions came from the processes' own (singleton) graphs.
+  for (const DecisionPath path : report.paths) {
+    EXPECT_EQ(path, DecisionPath::kConnected);
+  }
+}
+
+TEST(RotatingStarTest, FixedStarGivesConsensusOnCenterValue) {
+  const ProcId n = 6;
+  auto source = make_rotating_star_source(n, 100000, /*first_center=*/1);
+  KSetRunConfig config;
+  config.k = 1;
+  const KSetRunReport report = run_kset(*source, config);
+  ASSERT_TRUE(report.all_decided);
+  EXPECT_EQ(report.distinct_values, 1);
+  // The center is the unique root and decides its own value; everyone
+  // adopts it via decide forwarding — even p0, whose estimate was
+  // smaller (Line 11 overrides the estimate).
+  EXPECT_EQ(report.outcomes[0].decision, 107);
+  EXPECT_EQ(report.paths[1], DecisionPath::kConnected);
+  EXPECT_EQ(report.paths[0], DecisionPath::kForwarded);
+}
+
+TEST(RotatingStarTest, SlowRotationStillShatters) {
+  const ProcId n = 5;
+  auto source = make_rotating_star_source(n, n, /*first_center=*/1);
+  KSetRunConfig config;
+  config.k = 1;
+  config.max_rounds = 12 * n;
+  const KSetRunReport report = run_kset(*source, config);
+  ASSERT_TRUE(report.all_decided);
+  EXPECT_EQ(report.distinct_values, 2);
+  EXPECT_EQ(report.root_components_final.size(),
+            static_cast<std::size_t>(n));
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,112 @@
+// Lemma 11 quantitatively: every process decides by r_ST + 2n - 1
+// (+1 for the strict Line-28 guard), across stabilization delays and
+// system sizes. Also checks the eventual-predicate counterexample E6.
+#include <gtest/gtest.h>
+
+#include "adversary/eventual.hpp"
+#include "adversary/random_psrcs.hpp"
+#include "kset/runner.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+struct BoundCase {
+  ProcId n;
+  Round stabilization;
+};
+
+class TerminationSweep : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(TerminationSweep, DecisionsWithinLemma11Bound) {
+  const BoundCase c = GetParam();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomPsrcsParams params;
+    params.n = c.n;
+    params.k = 2;
+    params.root_components = 2;
+    params.stabilization_round = c.stabilization;
+    params.noise_probability = 0.4;
+    RandomPsrcsSource source(mix_seed(777, seed), params);
+
+    for (DecisionGuard guard :
+         {DecisionGuard::kAfterRoundN, DecisionGuard::kAtRoundN}) {
+      RandomPsrcsSource fresh(mix_seed(777, seed), params);
+      KSetRunConfig config;
+      config.k = 2;
+      config.guard = guard;
+      config.max_rounds = 4 * c.n + 4 * c.stabilization + 40;
+      const KSetRunReport report = run_kset(fresh, config);
+      ASSERT_TRUE(report.all_decided)
+          << "n=" << c.n << " st=" << c.stabilization << " seed=" << seed;
+      EXPECT_LE(report.last_decision_round, report.termination_bound(guard))
+          << "n=" << c.n << " st=" << c.stabilization << " seed=" << seed;
+      // The observed r_ST can never exceed the engineered round.
+      EXPECT_LE(report.skeleton_last_change, c.stabilization);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TerminationSweep,
+    ::testing::Values(BoundCase{4, 1}, BoundCase{4, 6}, BoundCase{6, 3},
+                      BoundCase{8, 1}, BoundCase{8, 10}, BoundCase{12, 5},
+                      BoundCase{16, 2}),
+    [](const ::testing::TestParamInfo<BoundCase>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_st" +
+             std::to_string(pinfo.param.stabilization);
+    });
+
+TEST(EventualCounterexampleTest, IsolationForcesNDistinctValues) {
+  // E6: under ♦Psrcs, a long enough all-alone prefix makes every
+  // process decide its own value — n distinct decisions, matching the
+  // paper's indistinguishability argument for why perpetual synchrony
+  // is needed.
+  const ProcId n = 6;
+  auto source = make_eventual_source(n, 2 * n);
+  KSetRunConfig config;
+  config.k = 1;
+  const KSetRunReport report = run_kset(*source, config);
+  ASSERT_TRUE(report.all_decided);
+  EXPECT_EQ(report.distinct_values, n);
+  for (ProcId p = 0; p < n; ++p) {
+    EXPECT_EQ(report.outcomes[static_cast<std::size_t>(p)].decision,
+              report.outcomes[static_cast<std::size_t>(p)].proposal);
+  }
+  // The decisions land exactly at the guard boundary n+1, well before
+  // the good suffix starts.
+  EXPECT_EQ(report.last_decision_round, n + 1);
+}
+
+TEST(EventualCounterexampleTest, EvenOneIsolatedRoundBreaksAgreement) {
+  // Because PT is a *perpetual* intersection, a single all-alone round
+  // removes every cross edge from every PT set for good: Algorithm 1
+  // then behaves exactly as in the long-isolation run and decides n
+  // distinct values. This is the algorithmic face of the paper's
+  // remark that eventual-only guarantees are useless here.
+  const ProcId n = 5;
+  auto source = make_eventual_source(n, 1);
+  KSetRunConfig config;
+  config.k = 1;
+  const KSetRunReport report = run_kset(*source, config);
+  ASSERT_TRUE(report.all_decided);
+  EXPECT_EQ(report.distinct_values, n);
+}
+
+TEST(EventualCounterexampleTest, NoIsolationGivesConsensus) {
+  // Baseline sanity: with the star present from round 1, Psrcs(1)
+  // holds perpetually and the run reaches consensus on the hub's
+  // minimum view.
+  const ProcId n = 6;
+  auto source = make_eventual_source(n, 0);
+  KSetRunConfig config;
+  config.k = 1;
+  const KSetRunReport report = run_kset(*source, config);
+  ASSERT_TRUE(report.all_decided);
+  EXPECT_EQ(report.distinct_values, 1);
+  EXPECT_EQ(report.outcomes[0].decision, 7);  // p0's own proposal
+  EXPECT_TRUE(report.verdict.all_hold());
+}
+
+}  // namespace
+}  // namespace sskel

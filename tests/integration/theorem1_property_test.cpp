@@ -1,0 +1,115 @@
+// Property sweep for Theorem 1 and k-agreement: across many random
+// Psrcs(k) adversaries, the stable skeleton has at most k root
+// components and Algorithm 1 decides at most k values.
+#include <gtest/gtest.h>
+
+#include "adversary/random_psrcs.hpp"
+#include "graph/scc.hpp"
+#include "kset/runner.hpp"
+#include "predicates/psrcs.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+struct Theorem1Case {
+  ProcId n;
+  int k;
+  int roots;
+  Round stabilization;
+};
+
+class Theorem1Sweep : public ::testing::TestWithParam<Theorem1Case> {};
+
+TEST_P(Theorem1Sweep, RootBoundAndAgreementHold) {
+  const Theorem1Case c = GetParam();
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomPsrcsParams params;
+    params.n = c.n;
+    params.k = c.k;
+    params.root_components = c.roots;
+    params.stabilization_round = c.stabilization;
+    params.noise_probability = 0.3;
+    RandomPsrcsSource source(mix_seed(4242, seed), params);
+
+    KSetRunConfig config;
+    config.k = c.k;
+    const KSetRunReport report = run_kset(source, config);
+
+    ASSERT_TRUE(report.all_decided)
+        << "n=" << c.n << " k=" << c.k << " seed=" << seed;
+    // Theorem 1: at most k root components.
+    EXPECT_LE(report.root_components_final.size(),
+              static_cast<std::size_t>(c.k));
+    // k-agreement, validity.
+    EXPECT_TRUE(report.verdict.all_hold())
+        << report.verdict.failures.front();
+    // The decisions refine the root components: distinct values never
+    // exceed the number of root components (each root floods one).
+    EXPECT_LE(report.distinct_values,
+              static_cast<int>(report.root_components_final.size()));
+    // Termination bound of Lemma 11.
+    EXPECT_LE(report.last_decision_round,
+              report.termination_bound(config.guard));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem1Sweep,
+    ::testing::Values(Theorem1Case{5, 1, 1, 1}, Theorem1Case{6, 2, 2, 3},
+                      Theorem1Case{8, 2, 1, 5}, Theorem1Case{8, 3, 3, 2},
+                      Theorem1Case{10, 4, 4, 4}, Theorem1Case{12, 3, 2, 6},
+                      Theorem1Case{16, 5, 5, 3}, Theorem1Case{20, 2, 2, 8}),
+    [](const ::testing::TestParamInfo<Theorem1Case>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_k" +
+             std::to_string(pinfo.param.k) + "_j" +
+             std::to_string(pinfo.param.roots) + "_st" +
+             std::to_string(pinfo.param.stabilization);
+    });
+
+TEST(Theorem1EqualityTest, BoundTightWhenSingletonRootsIsolated) {
+  // j = k singleton root components, no followers sharing values:
+  // exactly k distinct decisions — Theorem 1 is tight.
+  RandomPsrcsParams params;
+  params.n = 6;
+  params.k = 3;
+  params.root_components = 3;
+  params.max_core_size = 1;  // singleton roots
+  params.follower_edge_probability = 0.0;
+  RandomPsrcsSource source(9, params);
+  KSetRunConfig config;
+  config.k = 3;
+  const KSetRunReport report = run_kset(source, config);
+  EXPECT_TRUE(report.all_decided);
+  EXPECT_EQ(report.root_components_final.size(), 3u);
+  EXPECT_EQ(report.distinct_values, 3);
+  EXPECT_TRUE(report.verdict.k_agreement);
+}
+
+TEST(Theorem1StressTest, ManySeedsNeverViolate) {
+  Rng meta(31337);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomPsrcsParams params;
+    params.n = static_cast<ProcId>(4 + meta.next_below(10));
+    params.k = static_cast<int>(1 + meta.next_below(4));
+    params.root_components = static_cast<int>(
+        1 + meta.next_below(static_cast<std::uint64_t>(
+                std::min<ProcId>(static_cast<ProcId>(params.k), params.n))));
+    params.stabilization_round =
+        static_cast<Round>(1 + meta.next_below(6));
+    params.noise_probability = meta.next_double() * 0.5;
+    RandomPsrcsSource source(meta.next_u64(), params);
+
+    KSetRunConfig config;
+    config.k = params.k;
+    const KSetRunReport report = run_kset(source, config);
+    ASSERT_TRUE(report.all_decided) << "trial " << trial;
+    EXPECT_LE(static_cast<int>(report.root_components_final.size()),
+              params.k)
+        << "trial " << trial;
+    EXPECT_TRUE(report.verdict.all_hold()) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,91 @@
+// Unit tests for the FloodMin baseline.
+#include "kset/floodmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "adversary/crash.hpp"
+#include "rounds/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+std::vector<std::unique_ptr<Algorithm<Value>>> make_procs(
+    ProcId n, const std::vector<Value>& proposals, int f, int k) {
+  std::vector<std::unique_ptr<Algorithm<Value>>> procs;
+  for (ProcId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<FloodMinProcess>(
+        n, p, proposals[static_cast<std::size_t>(p)], f, k));
+  }
+  return procs;
+}
+
+FloodMinProcess& view(Simulator<Value>& sim, ProcId p) {
+  return static_cast<FloodMinProcess&>(sim.process(p));
+}
+
+TEST(FloodMinTest, RoundsNeededFormula) {
+  EXPECT_EQ(FloodMinProcess(5, 0, 1, 0, 1).rounds_needed(), 1);
+  EXPECT_EQ(FloodMinProcess(5, 0, 1, 3, 1).rounds_needed(), 4);
+  EXPECT_EQ(FloodMinProcess(5, 0, 1, 3, 2).rounds_needed(), 2);
+  EXPECT_EQ(FloodMinProcess(9, 0, 1, 6, 3).rounds_needed(), 3);
+}
+
+TEST(FloodMinTest, FailureFreeConsensusOnMin) {
+  CrashSource src(4, {});
+  Simulator<Value> sim(src, make_procs(4, {9, 3, 7, 5}, 2, 1));
+  sim.run(3);  // f/k + 1 = 3
+  for (ProcId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(view(sim, p).decided());
+    EXPECT_EQ(view(sim, p).decision(), 3);
+    EXPECT_EQ(view(sim, p).decision_round(), 3);
+  }
+}
+
+TEST(FloodMinTest, KAgreementUnderCrashes) {
+  // Property sweep: random crash schedules with f crashes, k-set
+  // agreement must hold among correct processes after f/k + 1 rounds.
+  Rng rng(44);
+  for (int trial = 0; trial < 40; ++trial) {
+    const ProcId n = static_cast<ProcId>(4 + rng.next_below(5));
+    const int k = static_cast<int>(1 + rng.next_below(3));
+    const int f = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(n - 1)));
+    auto src = make_random_crash_source(mix_seed(900, static_cast<std::uint64_t>(trial)),
+                                        n, f, static_cast<Round>(f / k + 1));
+    std::vector<Value> proposals;
+    for (ProcId p = 0; p < n; ++p) proposals.push_back(1000 + p);
+
+    Simulator<Value> sim(*src, make_procs(n, proposals, f, k));
+    sim.run(static_cast<Round>(f / k + 1));
+
+    std::set<Value> decisions;
+    for (ProcId p : src->correct_processes()) {
+      ASSERT_TRUE(view(sim, p).decided());
+      decisions.insert(view(sim, p).decision());
+    }
+    EXPECT_LE(static_cast<int>(decisions.size()), k)
+        << "n=" << n << " f=" << f << " k=" << k << " trial=" << trial;
+    // Validity: decisions are proposals.
+    for (Value v : decisions) {
+      EXPECT_GE(v, 1000);
+      EXPECT_LT(v, 1000 + n);
+    }
+  }
+}
+
+TEST(FloodMinTest, DecidedValueStableAfterDecision) {
+  CrashSource src(3, {});
+  Simulator<Value> sim(src, make_procs(3, {5, 2, 8}, 0, 1));
+  sim.run(1);
+  ASSERT_TRUE(view(sim, 0).decided());
+  const Value v = view(sim, 0).decision();
+  sim.run(4);
+  EXPECT_EQ(view(sim, 0).decision(), v);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,93 @@
+// Tests for the One-Third Rule baseline.
+#include "kset/one_third_rule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "adversary/crash.hpp"
+#include "adversary/random_psrcs.hpp"
+#include "kset/runner.hpp"
+#include "rounds/simulator.hpp"
+
+namespace sskel {
+namespace {
+
+std::vector<std::unique_ptr<Algorithm<Value>>> make_procs(
+    ProcId n, const std::vector<Value>& proposals) {
+  std::vector<std::unique_ptr<Algorithm<Value>>> procs;
+  for (ProcId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<OneThirdRuleProcess>(
+        n, p, proposals[static_cast<std::size_t>(p)]));
+  }
+  return procs;
+}
+
+OneThirdRuleProcess& view(Simulator<Value>& sim, ProcId p) {
+  return static_cast<OneThirdRuleProcess&>(sim.process(p));
+}
+
+TEST(OneThirdRuleTest, FullSynchronyDecidesInTwoRounds) {
+  ScheduleSource src({Digraph::complete(6)});
+  Simulator<Value> sim(src, make_procs(6, {9, 4, 7, 4, 8, 6}));
+  sim.step();
+  // Round 1: every value appears once; smallest most-frequent is the
+  // mode 4 (appears twice).
+  for (ProcId p = 0; p < 6; ++p) EXPECT_EQ(view(sim, p).estimate(), 4);
+  sim.step();
+  // Round 2: all 6 received values equal 4 > 2n/3 = 4 -> decide.
+  for (ProcId p = 0; p < 6; ++p) {
+    ASSERT_TRUE(view(sim, p).decided());
+    EXPECT_EQ(view(sim, p).decision(), 4);
+    EXPECT_EQ(view(sim, p).decision_round(), 2);
+  }
+}
+
+TEST(OneThirdRuleTest, UniqueValuesPickMinimum) {
+  ScheduleSource src({Digraph::complete(4)});
+  Simulator<Value> sim(src, make_procs(4, {30, 10, 20, 40}));
+  sim.run(2);
+  for (ProcId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(view(sim, p).decided());
+    EXPECT_EQ(view(sim, p).decision(), 10);
+  }
+}
+
+TEST(OneThirdRuleTest, StallsBelowTwoThirdsKernel) {
+  // A Psrcs(2)-style sparse run: everyone hears at most 2 of 9
+  // processes — far below the > 6 quorum OTR needs. No estimate ever
+  // changes, nobody ever decides: OTR's assumptions are incomparable
+  // with Psrcs(k).
+  RandomPsrcsParams params;
+  params.n = 9;
+  params.k = 2;
+  params.root_components = 2;
+  params.max_core_size = 1;
+  params.noise_probability = 0.0;
+  params.follower_edge_probability = 0.0;
+  RandomPsrcsSource source(3, params);
+  Simulator<Value> sim(source, make_procs(9, default_proposals(9)));
+  sim.run(40);
+  for (ProcId p = 0; p < 9; ++p) {
+    EXPECT_FALSE(view(sim, p).decided()) << "p" << p;
+    EXPECT_EQ(view(sim, p).estimate(), view(sim, p).proposal());
+  }
+}
+
+TEST(OneThirdRuleTest, ToleratesMinorityCrashes) {
+  // f < n/3 crashes: quorums of > 2n/3 remain, consensus goes through.
+  CrashEvent e{0, 1, ProcSet(7)};
+  CrashSource src(7, {e});
+  Simulator<Value> sim(src, make_procs(7, {5, 3, 9, 8, 6, 4, 7}));
+  sim.run(6);
+  std::set<Value> decisions;
+  for (ProcId p = 1; p < 7; ++p) {
+    ASSERT_TRUE(view(sim, p).decided()) << "p" << p;
+    decisions.insert(view(sim, p).decision());
+  }
+  EXPECT_EQ(decisions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,130 @@
+// Tests for the KSetRunner harness.
+#include "kset/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/figure1.hpp"
+#include "adversary/random_psrcs.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(RunnerTest, DefaultProposalsDistinct) {
+  const std::vector<Value> v = default_proposals(4);
+  EXPECT_EQ(v, (std::vector<Value>{7, 107, 207, 307}));
+}
+
+TEST(RunnerTest, CompleteGraphReachesConsensus) {
+  std::vector<Digraph> prefix{Digraph::complete(4)};
+  ScheduleSource src(std::move(prefix));
+  KSetRunConfig config;
+  config.k = 1;
+  const KSetRunReport report = run_kset(src, config);
+  EXPECT_TRUE(report.all_decided);
+  EXPECT_TRUE(report.verdict.all_hold());
+  EXPECT_EQ(report.distinct_values, 1);
+  EXPECT_EQ(report.outcomes[0].decision, 7);  // the min proposal
+  EXPECT_EQ(report.root_components_final.size(), 1u);
+}
+
+TEST(RunnerTest, CustomProposalsRespected) {
+  ScheduleSource src({Digraph::complete(3)});
+  KSetRunConfig config;
+  config.k = 1;
+  config.proposals = {42, 42, 41};
+  const KSetRunReport report = run_kset(src, config);
+  EXPECT_EQ(report.outcomes[0].decision, 41);
+  EXPECT_TRUE(report.verdict.validity);
+}
+
+TEST(RunnerTest, ReportsSkeletonData) {
+  auto source = make_figure1_source();
+  KSetRunConfig config;
+  config.k = kFigure1K;
+  config.tail_rounds = 4;
+  const KSetRunReport report = run_kset(*source, config);
+  EXPECT_EQ(report.final_skeleton, figure1_stable_skeleton());
+  EXPECT_EQ(report.skeleton_last_change, kFigure1StabilizationRound);
+  EXPECT_EQ(report.root_components_final.size(), 2u);
+}
+
+TEST(RunnerTest, MessageAccountingWhenEnabled) {
+  ScheduleSource src({Digraph::complete(3)});
+  KSetRunConfig config;
+  config.k = 1;
+  config.measure_bytes = true;
+  const KSetRunReport report = run_kset(src, config);
+  EXPECT_GT(report.total_bytes, 0);
+  EXPECT_GT(report.max_message_bytes, 0);
+  EXPECT_GT(report.total_messages, 0);
+
+  KSetRunConfig off = config;
+  off.measure_bytes = false;
+  ScheduleSource src2({Digraph::complete(3)});
+  const KSetRunReport report2 = run_kset(src2, off);
+  EXPECT_EQ(report2.total_bytes, 0);
+  EXPECT_EQ(report2.total_messages, report.total_messages);
+}
+
+TEST(RunnerTest, MaxRoundsCapStopsNonDecidingRuns) {
+  // A source that keeps every process alone... still decides (loners
+  // decide own values). To exercise the cap, use max_rounds smaller
+  // than the guard.
+  ScheduleSource src({Digraph::self_loops_only(5)});
+  KSetRunConfig config;
+  config.k = 5;
+  config.max_rounds = 3;  // < n+1: nobody can decide yet
+  const KSetRunReport report = run_kset(src, config);
+  EXPECT_FALSE(report.all_decided);
+  EXPECT_EQ(report.rounds_executed, 3);
+}
+
+TEST(RunnerTest, GuardVariantsBothSafe) {
+  for (DecisionGuard guard :
+       {DecisionGuard::kAfterRoundN, DecisionGuard::kAtRoundN}) {
+    RandomPsrcsParams params;
+    params.n = 8;
+    params.k = 3;
+    params.root_components = 3;
+    RandomPsrcsSource source(5, params);
+    KSetRunConfig config;
+    config.k = 3;
+    config.guard = guard;
+    const KSetRunReport report = run_kset(source, config);
+    EXPECT_TRUE(report.all_decided);
+    EXPECT_TRUE(report.verdict.all_hold());
+    EXPECT_LE(report.last_decision_round,
+              report.termination_bound(guard));
+  }
+}
+
+TEST(RunnerTest, TerminationBoundFormula) {
+  KSetRunReport report;
+  report.n = 6;
+  report.skeleton_last_change = 3;
+  EXPECT_EQ(report.termination_bound(DecisionGuard::kAtRoundN), 3 + 11);
+  EXPECT_EQ(report.termination_bound(DecisionGuard::kAfterRoundN), 3 + 12);
+  report.skeleton_last_change = 0;  // stable from the start
+  EXPECT_EQ(report.termination_bound(DecisionGuard::kAtRoundN), 1 + 11);
+}
+
+TEST(RunnerTest, LemmaMonitorAttachedProducesCleanRun) {
+  RandomPsrcsParams params;
+  params.n = 6;
+  params.k = 2;
+  params.root_components = 2;
+  params.stabilization_round = 4;
+  params.noise_probability = 0.35;
+  RandomPsrcsSource source(21, params);
+  KSetRunConfig config;
+  config.k = 2;
+  config.attach_lemma_monitor = true;
+  config.tail_rounds = 6;
+  const KSetRunReport report = run_kset(source, config);
+  EXPECT_TRUE(report.all_decided);
+  EXPECT_TRUE(report.lemma_violations.empty())
+      << report.lemma_violations.front();
+}
+
+}  // namespace
+}  // namespace sskel

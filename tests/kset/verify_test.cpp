@@ -1,0 +1,72 @@
+// Unit tests for the k-set agreement property checker.
+#include "kset/verify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sskel {
+namespace {
+
+Outcome decided(Value proposal, Value decision, Round round) {
+  return Outcome{proposal, true, decision, round};
+}
+
+TEST(VerifyTest, AllPropertiesHold) {
+  const std::vector<Outcome> outcomes{
+      decided(1, 1, 4), decided(2, 1, 4), decided(3, 3, 5)};
+  const KSetVerdict v = verify_kset(outcomes, 2);
+  EXPECT_TRUE(v.all_hold());
+  EXPECT_EQ(v.distinct_decisions, 2);
+  EXPECT_EQ(v.last_decision_round, 5);
+  EXPECT_TRUE(v.failures.empty());
+}
+
+TEST(VerifyTest, KAgreementViolation) {
+  const std::vector<Outcome> outcomes{
+      decided(1, 1, 4), decided(2, 2, 4), decided(3, 3, 4)};
+  const KSetVerdict v = verify_kset(outcomes, 2);
+  EXPECT_FALSE(v.k_agreement);
+  EXPECT_TRUE(v.validity);
+  EXPECT_TRUE(v.termination);
+  EXPECT_EQ(v.distinct_decisions, 3);
+  ASSERT_FALSE(v.failures.empty());
+  EXPECT_NE(v.failures[0].find("k-agreement"), std::string::npos);
+}
+
+TEST(VerifyTest, ValidityViolation) {
+  const std::vector<Outcome> outcomes{decided(1, 99, 3), decided(2, 1, 3)};
+  const KSetVerdict v = verify_kset(outcomes, 2);
+  EXPECT_FALSE(v.validity);
+  EXPECT_TRUE(v.k_agreement);
+}
+
+TEST(VerifyTest, TerminationViolation) {
+  std::vector<Outcome> outcomes{decided(1, 1, 3)};
+  outcomes.push_back(Outcome{2, false, kNoValue, 0});
+  const KSetVerdict v = verify_kset(outcomes, 1);
+  EXPECT_FALSE(v.termination);
+  EXPECT_FALSE(v.all_hold());
+}
+
+TEST(VerifyTest, RoundBoundEnforced) {
+  const std::vector<Outcome> outcomes{decided(1, 1, 3), decided(2, 1, 9)};
+  EXPECT_TRUE(verify_kset(outcomes, 1, 9).termination);
+  EXPECT_FALSE(verify_kset(outcomes, 1, 8).termination);
+  EXPECT_TRUE(verify_kset(outcomes, 1, 0).termination);  // 0 = no bound
+}
+
+TEST(VerifyTest, UndecidedDoNotCountTowardDistinct) {
+  std::vector<Outcome> outcomes{decided(1, 1, 2)};
+  outcomes.push_back(Outcome{5, false, kNoValue, 0});
+  EXPECT_EQ(distinct_decisions(outcomes), 1);
+}
+
+TEST(VerifyTest, DuplicateProposalsAllowed) {
+  // Two processes may propose the same value; deciding it is valid.
+  const std::vector<Outcome> outcomes{decided(4, 4, 2), decided(4, 4, 2)};
+  const KSetVerdict v = verify_kset(outcomes, 1);
+  EXPECT_TRUE(v.all_hold());
+  EXPECT_EQ(v.distinct_decisions, 1);
+}
+
+}  // namespace
+}  // namespace sskel

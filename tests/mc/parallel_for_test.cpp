@@ -1,0 +1,50 @@
+// Tests for the parallel fan-out helper.
+#include "mc/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace sskel {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(100, [&](std::size_t i) { ++hits[i]; }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 4);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));  // inline, in order
+}
+
+TEST(ParallelForTest, ResolveThreadCount) {
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(CollectParallelTest, ResultsIndexOrdered) {
+  const std::vector<int> out = collect_parallel<int>(
+      50, [](std::size_t i) { return static_cast<int>(i * i); }, 4);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(CollectParallelTest, DeterministicAcrossThreadCounts) {
+  auto fn = [](std::size_t i) { return static_cast<int>(7 * i + 1); };
+  const auto a = collect_parallel<int>(64, fn, 1);
+  const auto b = collect_parallel<int>(64, fn, 8);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,75 @@
+// Unit tests for the discrete-event queue.
+#include "net/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sskel {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, FifoTieBreakOnEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(7, [&order, i] { order.push_back(i); });
+  }
+  while (q.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.schedule(1, [&] {
+    times.push_back(q.now());
+    q.schedule(5, [&] {
+      times.push_back(q.now());
+      q.schedule(9, [&] { times.push_back(q.now()); });
+    });
+  });
+  while (q.step()) {
+  }
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 5, 9}));
+}
+
+TEST(EventQueueTest, RunWithLimit) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(i, [&] { ++count; });
+  }
+  EXPECT_EQ(q.run(4), 4);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(q.pending(), 6u);
+  EXPECT_EQ(q.run(100), 6);
+}
+
+TEST(EventQueueTest, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastRejected) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  q.step();
+  EXPECT_DEATH(q.schedule(5, [] {}), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,91 @@
+// Unit tests for the link delay models.
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(LinkTest, TimelyDelayWithinRange) {
+  LinkSpec spec;
+  spec.kind = LinkKind::kTimely;
+  spec.min_delay = 100;
+  spec.max_delay = 500;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const SimTime d = sample_delay(spec, 1000, rng);
+    EXPECT_GE(d, 100);
+    EXPECT_LE(d, 500);
+  }
+}
+
+TEST(LinkTest, DownLinkAlwaysLoses) {
+  LinkSpec spec;  // default kind = kDown
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sample_delay(spec, 1000, rng), kLost);
+}
+
+TEST(LinkTest, FlakyMixesOutcomes) {
+  LinkSpec spec;
+  spec.kind = LinkKind::kFlaky;
+  spec.min_delay = 100;
+  spec.max_delay = 900;
+  spec.on_time_probability = 0.5;
+  Rng rng(3);
+  int on_time = 0, late = 0, lost = 0;
+  const SimTime slack = 1000;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime d = sample_delay(spec, slack, rng);
+    if (d == kLost) {
+      ++lost;
+    } else if (d <= slack) {
+      ++on_time;
+    } else {
+      ++late;
+    }
+  }
+  EXPECT_GT(on_time, 800);
+  EXPECT_GT(late, 100);
+  EXPECT_GT(lost, 100);
+}
+
+TEST(LinkTest, FlakyOnTimeRespectsTightSlack) {
+  LinkSpec spec;
+  spec.kind = LinkKind::kFlaky;
+  spec.min_delay = 100;
+  spec.max_delay = 900;
+  spec.on_time_probability = 1.0;
+  Rng rng(4);
+  // Slack below min_delay: an on-time attempt is impossible -> lost.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sample_delay(spec, 50, rng), kLost);
+  // Slack inside the range: deliveries are clamped on time.
+  for (int i = 0; i < 200; ++i) {
+    const SimTime d = sample_delay(spec, 400, rng);
+    EXPECT_GE(d, 100);
+    EXPECT_LE(d, 400);
+  }
+}
+
+TEST(LinkMatrixTest, FactoriesAndUpgrade) {
+  LinkMatrix m = LinkMatrix::all_flaky(4, 0.3);
+  EXPECT_EQ(m.at(0, 1).kind, LinkKind::kFlaky);
+
+  Digraph stable(4);
+  stable.add_edge(0, 1);
+  stable.add_edge(2, 3);
+  stable.add_self_loops();  // self-loops must be ignored by upgrade
+  m.upgrade_to_timely(stable, 100, 400);
+  EXPECT_EQ(m.at(0, 1).kind, LinkKind::kTimely);
+  EXPECT_EQ(m.at(2, 3).kind, LinkKind::kTimely);
+  EXPECT_EQ(m.at(1, 0).kind, LinkKind::kFlaky);
+
+  const LinkMatrix t = LinkMatrix::all_timely(3, 10, 20);
+  EXPECT_EQ(t.at(2, 0).kind, LinkKind::kTimely);
+  EXPECT_EQ(t.at(2, 0).min_delay, 10);
+  EXPECT_EQ(t.at(2, 0).max_delay, 20);
+}
+
+}  // namespace
+}  // namespace sskel

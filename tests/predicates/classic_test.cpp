@@ -1,0 +1,102 @@
+// Tests for the classic per-round HO properties and their relation to
+// the paper's perpetual predicate.
+#include "predicates/classic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/rotating.hpp"
+#include "predicates/psrcs.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(RoundKernelTest, StarKernelIsCenter) {
+  Digraph g = Digraph::self_loops_only(5);
+  for (ProcId p = 0; p < 5; ++p) g.add_edge(2, p);
+  EXPECT_EQ(round_kernel(g), ProcSet::singleton(5, 2));
+  EXPECT_TRUE(has_nonempty_kernel(g));
+}
+
+TEST(RoundKernelTest, CompleteGraphKernelIsEverything) {
+  EXPECT_EQ(round_kernel(Digraph::complete(4)), ProcSet::full(4));
+}
+
+TEST(RoundKernelTest, SelfLoopsOnlyHasEmptyKernel) {
+  EXPECT_TRUE(round_kernel(Digraph::self_loops_only(3)).empty());
+  EXPECT_FALSE(has_nonempty_kernel(Digraph::self_loops_only(3)));
+}
+
+TEST(NonsplitTest, StarIsNonsplit) {
+  Digraph g = Digraph::self_loops_only(4);
+  for (ProcId p = 0; p < 4; ++p) g.add_edge(1, p);
+  EXPECT_TRUE(is_nonsplit(g));
+}
+
+TEST(NonsplitTest, SelfLoopsOnlyIsSplit) {
+  EXPECT_FALSE(is_nonsplit(Digraph::self_loops_only(3)));
+}
+
+TEST(NonsplitTest, KernelImpliesNonsplitProperty) {
+  // Known HO-taxonomy implication, on random graphs.
+  Rng rng(606);
+  int kernel_rounds = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const ProcId n = static_cast<ProcId>(2 + rng.next_below(8));
+    Digraph g(n);
+    g.add_self_loops();
+    for (ProcId q = 0; q < n; ++q) {
+      for (ProcId p = 0; p < n; ++p) {
+        if (rng.next_bool(0.4)) g.add_edge(q, p);
+      }
+    }
+    if (has_nonempty_kernel(g)) {
+      ++kernel_rounds;
+      EXPECT_TRUE(is_nonsplit(g));
+    }
+  }
+  EXPECT_GT(kernel_rounds, 0);  // the sweep must exercise the premise
+}
+
+TEST(NonsplitTest, EquivalentToPerRoundPsrcs1) {
+  // nonsplit(G) is exactly "every 2-subset has a 2-source" evaluated
+  // on G itself.
+  Rng rng(707);
+  for (int trial = 0; trial < 50; ++trial) {
+    const ProcId n = static_cast<ProcId>(2 + rng.next_below(7));
+    Digraph g(n);
+    g.add_self_loops();
+    for (ProcId q = 0; q < n; ++q) {
+      for (ProcId p = 0; p < n; ++p) {
+        if (rng.next_bool(0.3)) g.add_edge(q, p);
+      }
+    }
+    EXPECT_EQ(is_nonsplit(g), check_psrcs_exact(g, 1).holds);
+  }
+}
+
+TEST(ProfileRunTest, RotatingStarProfile) {
+  auto source = make_rotating_star_source(5);
+  std::vector<Digraph> run;
+  for (Round r = 1; r <= 15; ++r) run.push_back(source->graph(r));
+  const RunSynchronyProfile profile = profile_run(run);
+  EXPECT_EQ(profile.rounds, 15);
+  // Every round individually is maximally synchronous...
+  EXPECT_EQ(profile.rounds_with_kernel, 15);
+  EXPECT_EQ(profile.nonsplit_rounds, 15);
+  // ...but nothing persists: empty perpetual kernel, bare skeleton.
+  EXPECT_TRUE(profile.perpetual_kernel.empty());
+  EXPECT_EQ(profile.skeleton, Digraph::self_loops_only(5));
+}
+
+TEST(ProfileRunTest, FixedStarProfile) {
+  auto source = make_rotating_star_source(5, /*hold=*/1000);
+  std::vector<Digraph> run;
+  for (Round r = 1; r <= 10; ++r) run.push_back(source->graph(r));
+  const RunSynchronyProfile profile = profile_run(run);
+  EXPECT_EQ(profile.perpetual_kernel, ProcSet::singleton(5, 0));
+  EXPECT_TRUE(check_psrcs_exact(profile.skeleton, 1).holds);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,185 @@
+// Unit tests for the Psrcs(k) predicate machinery (Sec. III, Eq. (8)).
+#include "predicates/psrcs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/figure1.hpp"
+#include "adversary/impossibility.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(FindTwoSourceTest, FindsCommonSource) {
+  Digraph g(5);
+  g.add_self_loops();
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  const auto w = find_two_source(g, ProcSet::of(5, {1, 2}));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->source, 0);
+  EXPECT_EQ(w->receiver_a, 1);
+  EXPECT_EQ(w->receiver_b, 2);
+}
+
+TEST(FindTwoSourceTest, SelfLoopCountsAsSource) {
+  // p = q is allowed: q hears itself and q' hears q.
+  Digraph g(4);
+  g.add_self_loops();
+  g.add_edge(1, 3);
+  const auto w = find_two_source(g, ProcSet::of(4, {1, 3}));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->source, 1);
+}
+
+TEST(FindTwoSourceTest, NoSourceForIsolatedPair) {
+  Digraph g(4);
+  g.add_self_loops();  // only self-loops: nobody reaches two receivers
+  EXPECT_FALSE(find_two_source(g, ProcSet::of(4, {0, 1})).has_value());
+}
+
+TEST(CheckPsrcsExactTest, StarSatisfiesPsrcs1) {
+  // A star 0 -> everyone satisfies Psrcs(1): any 2 processes hear 0.
+  Digraph g(6);
+  g.add_self_loops();
+  for (ProcId p = 0; p < 6; ++p) g.add_edge(0, p);
+  const PsrcsCheck check = check_psrcs_exact(g, 1);
+  EXPECT_TRUE(check.holds);
+  EXPECT_EQ(check.subsets_checked, 15);  // C(6,2)
+}
+
+TEST(CheckPsrcsExactTest, SelfLoopsOnlyViolatesEveryK) {
+  const Digraph g = Digraph::self_loops_only(5);
+  for (int k = 1; k <= 3; ++k) {
+    const PsrcsCheck check = check_psrcs_exact(g, k);
+    EXPECT_FALSE(check.holds) << "k=" << k;
+    ASSERT_TRUE(check.violating_subset.has_value());
+    EXPECT_EQ(check.violating_subset->count(), k + 1);
+    EXPECT_FALSE(
+        find_two_source(g, *check.violating_subset).has_value());
+  }
+}
+
+TEST(CheckPsrcsExactTest, Figure1SatisfiesPsrcs3ButNotPsrcs1) {
+  // The paper's Figure 1 run: Psrcs(3) holds (its two root components
+  // sit under a hub cover of size <= 3). Psrcs(1) must fail — the two
+  // root components are independent, so e.g. {p1, p3} has no common
+  // source. (Psrcs(2) also happens to hold for this topology, which is
+  // consistent: it only has 2 root components.)
+  const Digraph skel = figure1_stable_skeleton();
+  EXPECT_TRUE(check_psrcs_exact(skel, kFigure1K).holds);
+  EXPECT_TRUE(check_psrcs_exact(skel, 2).holds);
+  const PsrcsCheck k1 = check_psrcs_exact(skel, 1);
+  EXPECT_FALSE(k1.holds);
+  ASSERT_TRUE(k1.violating_subset.has_value());
+  EXPECT_EQ(k1.violating_subset->count(), 2);
+}
+
+TEST(CheckPsrcsExactTest, ImpossibilityRunSatisfiesPsrcsK) {
+  // Theorem 2's run is *constructed* to satisfy Psrcs(k).
+  for (ProcId n : {5, 8}) {
+    for (int k = 2; k < 5; ++k) {
+      const Digraph g = impossibility_graph(n, k);
+      EXPECT_TRUE(check_psrcs_exact(g, k).holds) << "n=" << n << " k=" << k;
+      // ... and (as the proof needs) it cannot satisfy Psrcs(k-1):
+      // the k-1 loners plus one follower form a violating k-subset.
+      EXPECT_FALSE(check_psrcs_exact(g, k - 1).holds)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CheckPsrcsExactTest, MonotoneInK) {
+  // Psrcs(k) implies Psrcs(k+1): a 2-source for every (k+1)-subset of
+  // a (k+2)-subset serves (pick any (k+1)-subset inside).
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Digraph g(7);
+    g.add_self_loops();
+    for (ProcId q = 0; q < 7; ++q) {
+      for (ProcId p = 0; p < 7; ++p) {
+        if (rng.next_bool(0.25)) g.add_edge(q, p);
+      }
+    }
+    bool prev = check_psrcs_exact(g, 1).holds;
+    for (int k = 2; k <= 5; ++k) {
+      const bool cur = check_psrcs_exact(g, k).holds;
+      if (prev) {
+        EXPECT_TRUE(cur) << "monotonicity broken at k=" << k;
+      }
+      prev = cur;
+    }
+  }
+}
+
+TEST(CheckPsrcsSampledTest, FindsViolationsEventually) {
+  const Digraph g = Digraph::self_loops_only(8);
+  Rng rng(5);
+  const PsrcsCheck check = check_psrcs_sampled(g, 2, 200, rng);
+  EXPECT_FALSE(check.holds);
+}
+
+TEST(CheckPsrcsSampledTest, NeverRefutesTrue) {
+  Digraph g(12);
+  g.add_self_loops();
+  for (ProcId p = 0; p < 12; ++p) g.add_edge(3, p);
+  Rng rng(6);
+  const PsrcsCheck check = check_psrcs_sampled(g, 1, 500, rng);
+  EXPECT_TRUE(check.holds);
+  EXPECT_EQ(check.subsets_checked, 500);
+}
+
+TEST(CheckPsrcsSampledTest, VacuousWhenSubsetTooLarge) {
+  const Digraph g = Digraph::self_loops_only(3);
+  Rng rng(7);
+  EXPECT_TRUE(check_psrcs_sampled(g, 5, 100, rng).holds);
+}
+
+TEST(HubCoverTest, GreedyFindsCover) {
+  Digraph g(6);
+  g.add_self_loops();
+  for (ProcId p = 0; p < 3; ++p) g.add_edge(0, p);
+  for (ProcId p = 3; p < 6; ++p) g.add_edge(3, p);
+  const auto cover = greedy_hub_cover(g);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_TRUE(is_hub_cover(g, *cover));
+  EXPECT_LE(cover->count(), 2);
+}
+
+TEST(HubCoverTest, CoverImpliesPsrcs) {
+  // The pigeonhole argument: hub cover of size j => Psrcs(j).
+  Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    Digraph g(8);
+    g.add_self_loops();
+    for (ProcId q = 0; q < 8; ++q) {
+      for (ProcId p = 0; p < 8; ++p) {
+        if (rng.next_bool(0.3)) g.add_edge(q, p);
+      }
+    }
+    const auto cover = greedy_hub_cover(g);
+    ASSERT_TRUE(cover.has_value());
+    const int j = cover->count();
+    if (j < 8) {
+      EXPECT_TRUE(check_psrcs_exact(g, j).holds)
+          << "hub cover of size " << j << " must imply Psrcs(" << j << ")";
+    }
+  }
+}
+
+TEST(HubCoverTest, SelfLoopsGiveTrivialCover) {
+  const Digraph g = Digraph::self_loops_only(4);
+  const auto cover = greedy_hub_cover(g);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->count(), 4);  // everyone must cover themselves
+}
+
+TEST(HubCoverTest, IsHubCoverRejectsNonCover) {
+  Digraph g(4);
+  g.add_self_loops();
+  EXPECT_FALSE(is_hub_cover(g, ProcSet::of(4, {0})));
+  EXPECT_TRUE(is_hub_cover(g, ProcSet::full(4)));
+}
+
+}  // namespace
+}  // namespace sskel

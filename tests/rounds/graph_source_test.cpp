@@ -1,0 +1,43 @@
+// Unit tests for ScheduleSource / FunctionSource.
+#include "rounds/graph_source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sskel {
+namespace {
+
+TEST(ScheduleSourceTest, PrefixThenRepeatLast) {
+  Digraph g1(3);
+  g1.add_edge(0, 1);
+  Digraph g2(3);
+  g2.add_edge(1, 2);
+  ScheduleSource src({g1, g2});
+  EXPECT_EQ(src.n(), 3);
+  EXPECT_EQ(src.prefix_rounds(), 2u);
+  EXPECT_EQ(src.graph(1), g1);
+  EXPECT_EQ(src.graph(2), g2);
+  EXPECT_EQ(src.graph(3), g2);
+  EXPECT_EQ(src.graph(100), g2);
+}
+
+TEST(FunctionSourceTest, DelegatesToCallable) {
+  FunctionSource src(4, [](Round r) {
+    Digraph g(4);
+    if (r % 2 == 0) g.add_edge(0, 1);
+    return g;
+  });
+  EXPECT_EQ(src.n(), 4);
+  EXPECT_FALSE(src.graph(1).has_edge(0, 1));
+  EXPECT_TRUE(src.graph(2).has_edge(0, 1));
+}
+
+TEST(ScheduleSourceDeathTest, EmptyPrefixRejected) {
+  EXPECT_DEATH(ScheduleSource(std::vector<Digraph>{}), "precondition");
+}
+
+TEST(ScheduleSourceDeathTest, MixedUniversesRejected) {
+  EXPECT_DEATH(ScheduleSource({Digraph(3), Digraph(4)}), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

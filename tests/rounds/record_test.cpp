@@ -1,0 +1,102 @@
+// Tests for run recording, replay and the run codec.
+#include "rounds/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/random_psrcs.hpp"
+#include "kset/runner.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(RecordingSourceTest, CapturesServedGraphs) {
+  RandomPsrcsParams params;
+  params.n = 6;
+  params.k = 2;
+  params.root_components = 2;
+  RandomPsrcsSource inner(4, params);
+  RecordingSource recorder(inner);
+  for (Round r = 1; r <= 5; ++r) {
+    const Digraph g = recorder.graph(r);
+    EXPECT_EQ(g, inner.graph(r));  // inner is a pure function of r
+  }
+  EXPECT_EQ(recorder.recorded().size(), 5u);
+  // Re-queries of past rounds come from the capture.
+  EXPECT_EQ(recorder.graph(3), inner.graph(3));
+  EXPECT_EQ(recorder.recorded().size(), 5u);
+}
+
+TEST(ReplaySourceTest, ReplaysAndRepeatsLast) {
+  Digraph a(3);
+  a.add_edge(0, 1);
+  Digraph b(3);
+  b.add_edge(1, 2);
+  ReplaySource replay({a, b});
+  EXPECT_EQ(replay.graph(1), a);
+  EXPECT_EQ(replay.graph(2), b);
+  EXPECT_EQ(replay.graph(7), b);
+  EXPECT_EQ(replay.n(), 3);
+}
+
+TEST(RunCodecTest, RoundTrip) {
+  RandomPsrcsParams params;
+  params.n = 11;
+  params.k = 3;
+  params.root_components = 3;
+  params.noise_probability = 0.4;
+  RandomPsrcsSource source(9, params);
+  std::vector<Digraph> run;
+  for (Round r = 1; r <= 8; ++r) run.push_back(source.graph(r));
+
+  const std::vector<std::uint8_t> bytes = encode_run(run);
+  const std::vector<Digraph> back = decode_run(bytes);
+  ASSERT_EQ(back.size(), run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) EXPECT_EQ(back[i], run[i]);
+}
+
+TEST(RunCodecTest, PreservesNodeAbsence) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.remove_node(4);
+  const std::vector<Digraph> back = decode_run(encode_run({g}));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], g);
+  EXPECT_FALSE(back[0].has_node(4));
+}
+
+TEST(RecordReplayTest, ReplayedRunReproducesDecisionsExactly) {
+  // Record a live run, replay the capture, and compare every outcome —
+  // the reproduce-a-bug workflow.
+  RandomPsrcsParams params;
+  params.n = 8;
+  params.k = 2;
+  params.root_components = 2;
+  params.stabilization_round = 3;
+  RandomPsrcsSource inner(17, params);
+  RecordingSource recorder(inner);
+
+  KSetRunConfig config;
+  config.k = 2;
+  const KSetRunReport live = run_kset(recorder, config);
+  ASSERT_TRUE(live.all_decided);
+
+  ReplaySource replay(recorder.recorded());
+  const KSetRunReport replayed = run_kset(replay, config);
+
+  ASSERT_EQ(replayed.outcomes.size(), live.outcomes.size());
+  for (std::size_t p = 0; p < live.outcomes.size(); ++p) {
+    EXPECT_EQ(replayed.outcomes[p].decision, live.outcomes[p].decision);
+    EXPECT_EQ(replayed.outcomes[p].decision_round,
+              live.outcomes[p].decision_round);
+  }
+  EXPECT_EQ(replayed.final_skeleton, live.final_skeleton);
+}
+
+TEST(RunCodecDeathTest, TrailingGarbageRejected) {
+  std::vector<std::uint8_t> bytes = encode_run({Digraph(3)});
+  bytes.push_back(0);
+  EXPECT_DEATH(decode_run(bytes), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

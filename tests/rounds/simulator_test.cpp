@@ -1,0 +1,161 @@
+// Unit tests for the round simulator: delivery semantics,
+// communication closure, self-loops, accounting, observers.
+#include "rounds/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace sskel {
+namespace {
+
+/// Test algorithm: broadcasts its id each round and records exactly
+/// which senders it heard from per round.
+class EchoProcess final : public Algorithm<ProcId> {
+ public:
+  EchoProcess(ProcId n, ProcId id) : Algorithm(n, id) {}
+
+  ProcId send(Round /*r*/) override { return id(); }
+
+  void transition(Round /*r*/, const Inbox<ProcId>& inbox) override {
+    heard.push_back(inbox.senders());
+    // Payload sanity: each message carries its sender's id.
+    for (ProcId q : inbox.senders()) EXPECT_EQ(inbox.from(q), q);
+  }
+
+  std::vector<ProcSet> heard;
+};
+
+/// Counts how often send runs before any transition in a round
+/// (communication closure check).
+class PhaseOrderProcess final : public Algorithm<int> {
+ public:
+  PhaseOrderProcess(ProcId n, ProcId id, int* sends, int* transitions)
+      : Algorithm(n, id), sends_(sends), transitions_(transitions) {}
+
+  int send(Round /*r*/) override {
+    // All sends of round r run before any transition of round r: when
+    // the s-th send fires, exactly floor(s / n) * n transitions (all
+    // from previous rounds) may have run.
+    EXPECT_EQ(*transitions_, (*sends_ / n()) * n())
+        << "send observed a transition from its own round";
+    ++*sends_;
+    return 0;
+  }
+
+  void transition(Round /*r*/, const Inbox<int>& /*inbox*/) override {
+    ++*transitions_;
+  }
+
+ private:
+  int* sends_;
+  int* transitions_;
+};
+
+template <typename Proc, typename... Args>
+std::vector<std::unique_ptr<Algorithm<typename Proc::message_type>>>
+make_procs(ProcId n, Args&&... args) {
+  std::vector<std::unique_ptr<Algorithm<typename Proc::message_type>>> procs;
+  for (ProcId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<Proc>(n, p, args...));
+  }
+  return procs;
+}
+
+TEST(SimulatorTest, DeliversAlongGraphEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  ScheduleSource src({g});
+
+  auto procs = make_procs<EchoProcess>(3);
+  std::vector<EchoProcess*> views;
+  for (auto& p : procs) views.push_back(static_cast<EchoProcess*>(p.get()));
+  Simulator<ProcId> sim(src, std::move(procs));
+  sim.step();
+
+  // p1 hears p0, p2 and itself (self-loop closure); others only self.
+  EXPECT_EQ(views[1]->heard[0], ProcSet::of(3, {0, 1, 2}));
+  EXPECT_EQ(views[0]->heard[0], ProcSet::singleton(3, 0));
+  EXPECT_EQ(views[2]->heard[0], ProcSet::singleton(3, 2));
+}
+
+TEST(SimulatorTest, SelfLoopAlwaysDelivered) {
+  // Even an empty graph delivers every process its own message.
+  ScheduleSource src({Digraph(4)});
+  auto procs = make_procs<EchoProcess>(4);
+  std::vector<EchoProcess*> views;
+  for (auto& p : procs) views.push_back(static_cast<EchoProcess*>(p.get()));
+  Simulator<ProcId> sim(src, std::move(procs));
+  sim.step();
+  for (ProcId p = 0; p < 4; ++p) {
+    EXPECT_EQ(views[static_cast<std::size_t>(p)]->heard[0],
+              ProcSet::singleton(4, p));
+  }
+}
+
+TEST(SimulatorTest, CommunicationClosedPhases) {
+  int sends = 0;
+  int transitions = 0;
+  ScheduleSource src({Digraph::complete(3)});
+  auto procs = make_procs<PhaseOrderProcess>(3, &sends, &transitions);
+  Simulator<int> sim(src, std::move(procs));
+  sim.run(4);
+  EXPECT_EQ(sends, 12);
+  EXPECT_EQ(transitions, 12);
+}
+
+TEST(SimulatorTest, RoundCounterAndTrace) {
+  ScheduleSource src({Digraph::complete(3)});
+  auto procs = make_procs<EchoProcess>(3);
+  Simulator<ProcId> sim(src, std::move(procs));
+  EXPECT_EQ(sim.current_round(), 0);
+  sim.run(5);
+  EXPECT_EQ(sim.current_round(), 5);
+  EXPECT_EQ(sim.trace().rounds_executed(), 5);
+  // Complete graph on 3 nodes: 9 deliveries per round.
+  EXPECT_EQ(sim.trace().total_messages(), 45);
+}
+
+TEST(SimulatorTest, MessageSizerAccounting) {
+  ScheduleSource src({Digraph::complete(2)});
+  auto procs = make_procs<EchoProcess>(2);
+  Simulator<ProcId> sim(src, std::move(procs));
+  sim.set_message_sizer([](const ProcId&) { return std::int64_t{10}; });
+  sim.step();
+  EXPECT_EQ(sim.trace().total_bytes(), 40);  // 4 deliveries x 10 bytes
+  EXPECT_EQ(sim.trace().max_message_bytes(), 10);
+}
+
+TEST(SimulatorTest, ObserverSeesClosedGraph) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  ScheduleSource src({g});
+  auto procs = make_procs<EchoProcess>(3);
+  Simulator<ProcId> sim(src, std::move(procs));
+  std::vector<Round> rounds_seen;
+  sim.add_observer([&](Round r, const Digraph& graph) {
+    rounds_seen.push_back(r);
+    EXPECT_TRUE(graph.has_edge(0, 0));  // self-loops closed
+    EXPECT_TRUE(graph.has_edge(0, 1));
+  });
+  sim.run(3);
+  EXPECT_EQ(rounds_seen, (std::vector<Round>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtPredicate) {
+  ScheduleSource src({Digraph::complete(2)});
+  auto procs = make_procs<EchoProcess>(2);
+  Simulator<ProcId> sim(src, std::move(procs));
+  const bool fired =
+      sim.run_until([&] { return sim.current_round() >= 3; }, 10);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.current_round(), 3);
+
+  const bool fired2 = sim.run_until([&] { return false; }, 5);
+  EXPECT_FALSE(fired2);
+  EXPECT_EQ(sim.current_round(), 5);
+}
+
+}  // namespace
+}  // namespace sskel

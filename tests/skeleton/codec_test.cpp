@@ -1,0 +1,104 @@
+// Unit tests for the wire codec.
+#include "skeleton/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(VarintTest, RoundTripValues) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+        0xffffffffffffffffull}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, CompactForSmallValues) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 5);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  put_varint(buf, 200);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(CodecTest, RoundTripSmallGraph) {
+  LabeledDigraph g(6, 2);
+  g.set_edge(1, 2, 4);
+  g.set_edge(3, 2, 7);
+  g.set_edge(2, 2, 7);
+  g.add_node(5);
+  const std::vector<std::uint8_t> bytes = encode_graph(g);
+  const LabeledDigraph back = decode_graph(bytes);
+  EXPECT_EQ(back, g);
+}
+
+TEST(CodecTest, RoundTripOwnerOnlyGraph) {
+  const LabeledDigraph g(4, 3);
+  EXPECT_EQ(decode_graph(encode_graph(g)), g);
+}
+
+TEST(CodecTest, EncodedSizeMatchesBuffer) {
+  Rng rng(88);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ProcId n = static_cast<ProcId>(2 + rng.next_below(30));
+    LabeledDigraph g(n, 0);
+    for (ProcId q = 0; q < n; ++q) {
+      for (ProcId p = 0; p < n; ++p) {
+        if (rng.next_bool(0.3)) {
+          g.set_edge(q, p,
+                     static_cast<Round>(1 + rng.next_below(1000)));
+        }
+      }
+    }
+    EXPECT_EQ(encoded_graph_size(g),
+              static_cast<std::int64_t>(encode_graph(g).size()));
+  }
+}
+
+TEST(CodecTest, RoundTripRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ProcId n = static_cast<ProcId>(1 + rng.next_below(40));
+    LabeledDigraph g(n, static_cast<ProcId>(rng.next_below(
+                            static_cast<std::uint64_t>(n))));
+    for (ProcId q = 0; q < n; ++q) {
+      for (ProcId p = 0; p < n; ++p) {
+        if (rng.next_bool(0.2)) {
+          g.set_edge(q, p, static_cast<Round>(1 + rng.next_below(500)));
+        }
+      }
+    }
+    EXPECT_EQ(decode_graph(encode_graph(g)), g);
+  }
+}
+
+TEST(CodecTest, SizeGrowsWithEdges) {
+  LabeledDigraph sparse(16, 0);
+  sparse.set_edge(1, 0, 3);
+  LabeledDigraph dense(16, 0);
+  for (ProcId q = 0; q < 16; ++q) {
+    for (ProcId p = 0; p < 16; ++p) dense.set_edge(q, p, 9);
+  }
+  EXPECT_LT(encoded_graph_size(sparse), encoded_graph_size(dense));
+  // Dense n-node graph: >= n^2 edges x 3 bytes minimum.
+  EXPECT_GE(encoded_graph_size(dense), 16 * 16 * 3);
+}
+
+TEST(CodecDeathTest, TruncatedInputAborts) {
+  LabeledDigraph g(5, 0);
+  g.set_edge(1, 0, 2);
+  std::vector<std::uint8_t> bytes = encode_graph(g);
+  bytes.pop_back();
+  EXPECT_DEATH(decode_graph(bytes), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

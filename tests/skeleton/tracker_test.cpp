@@ -1,0 +1,128 @@
+// Unit tests for SkeletonTracker: G∩r maintenance, monotonicity,
+// stabilization detection, root components.
+#include "skeleton/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+TEST(SkeletonTrackerTest, StartsComplete) {
+  SkeletonTracker t(4);
+  EXPECT_EQ(t.skeleton(), Digraph::complete(4));
+  EXPECT_EQ(t.rounds_observed(), 0);
+  EXPECT_EQ(t.last_change_round(), 0);
+}
+
+TEST(SkeletonTrackerTest, IntersectsRoundGraphs) {
+  SkeletonTracker t(3);
+  Digraph g1 = Digraph::complete(3);
+  g1.remove_edge(0, 1);
+  t.observe(1, g1);
+  EXPECT_FALSE(t.skeleton().has_edge(0, 1));
+  EXPECT_TRUE(t.skeleton().has_edge(1, 0));
+  EXPECT_EQ(t.last_change_round(), 1);
+
+  Digraph g2 = Digraph::complete(3);
+  g2.remove_edge(1, 0);
+  t.observe(2, g2);
+  EXPECT_FALSE(t.skeleton().has_edge(1, 0));
+  EXPECT_EQ(t.last_change_round(), 2);
+
+  // Edge (0,1) is gone forever even though g2 contains it.
+  EXPECT_FALSE(t.skeleton().has_edge(0, 1));
+}
+
+TEST(SkeletonTrackerTest, StableObservationDoesNotChange) {
+  SkeletonTracker t(3);
+  const Digraph g = Digraph::self_loops_only(3);
+  t.observe(1, g);
+  EXPECT_EQ(t.last_change_round(), 1);
+  t.observe(2, g);
+  t.observe(3, g);
+  EXPECT_EQ(t.last_change_round(), 1);  // r_ST = 1
+  EXPECT_EQ(t.rounds_observed(), 3);
+}
+
+TEST(SkeletonTrackerTest, PtIsInNeighborRow) {
+  SkeletonTracker t(3);
+  Digraph g(3);
+  g.add_self_loops();
+  g.add_edge(0, 2);
+  t.observe(1, g);
+  EXPECT_EQ(t.pt(2), ProcSet::of(3, {0, 2}));
+  EXPECT_EQ(t.pt(0), ProcSet::of(3, {0}));
+}
+
+TEST(SkeletonTrackerTest, HistoryRetainsEveryRound) {
+  SkeletonTracker t(3, SkeletonTracker::History::kKeepAll);
+  Digraph g1 = Digraph::complete(3);
+  g1.remove_edge(0, 1);
+  Digraph g2 = Digraph::complete(3);
+  g2.remove_edge(2, 0);
+  t.observe(1, g1);
+  t.observe(2, g2);
+  EXPECT_FALSE(t.skeleton_at(1).has_edge(0, 1));
+  EXPECT_TRUE(t.skeleton_at(1).has_edge(2, 0));
+  EXPECT_FALSE(t.skeleton_at(2).has_edge(2, 0));
+  EXPECT_FALSE(t.skeleton_at(2).has_edge(0, 1));
+}
+
+TEST(SkeletonTrackerTest, MonotonicityProperty) {
+  // Eq. (1): G∩r superset G∩(r+1), under arbitrary round graphs.
+  Rng rng(55);
+  SkeletonTracker t(6, SkeletonTracker::History::kKeepAll);
+  for (Round r = 1; r <= 20; ++r) {
+    Digraph g(6);
+    g.add_self_loops();
+    for (ProcId q = 0; q < 6; ++q) {
+      for (ProcId p = 0; p < 6; ++p) {
+        if (rng.next_bool(0.7)) g.add_edge(q, p);
+      }
+    }
+    t.observe(r, g);
+  }
+  for (Round r = 1; r < 20; ++r) {
+    EXPECT_TRUE(t.skeleton_at(r + 1).is_subgraph_of(t.skeleton_at(r)));
+  }
+}
+
+TEST(SkeletonTrackerTest, FiniteStabilization) {
+  // With self-loops guaranteed each round, the skeleton can shrink at
+  // most n^2 - n times, so it stabilizes; last_change_round is bounded.
+  Rng rng(66);
+  SkeletonTracker t(5);
+  for (Round r = 1; r <= 60; ++r) {
+    Digraph g(5);
+    g.add_self_loops();
+    for (ProcId q = 0; q < 5; ++q) {
+      for (ProcId p = 0; p < 5; ++p) {
+        if (rng.next_bool(0.8)) g.add_edge(q, p);
+      }
+    }
+    t.observe(r, g);
+  }
+  EXPECT_LE(t.last_change_round(), 60);
+  // 0.8^60 per edge: every non-self edge is gone with high probability.
+  EXPECT_EQ(t.skeleton(), Digraph::self_loops_only(5));
+}
+
+TEST(SkeletonTrackerTest, RootComponentsOfCurrentSkeleton) {
+  SkeletonTracker t(4);
+  Digraph g(4);
+  g.add_self_loops();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  t.observe(1, g);
+  const auto roots = t.current_root_components();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], ProcSet::of(4, {0, 1}));
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,59 @@
+// Unit tests for the CLI flag parser.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sskel {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv,
+              std::vector<std::string> known) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data(),
+                 std::move(known));
+}
+
+TEST(CliTest, EqualsForm) {
+  const CliArgs args = parse({"prog", "--n=12", "--rate=0.5"}, {"n", "rate"});
+  EXPECT_EQ(args.get_int("n", 0), 12);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.5);
+}
+
+TEST(CliTest, SpaceForm) {
+  const CliArgs args = parse({"prog", "--n", "7"}, {"n"});
+  EXPECT_EQ(args.get_int("n", 0), 7);
+}
+
+TEST(CliTest, BareBoolean) {
+  const CliArgs args = parse({"prog", "--verbose"}, {"verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliTest, Fallbacks) {
+  const CliArgs args = parse({"prog"}, {"n", "s"});
+  EXPECT_EQ(args.get_int("n", 33), 33);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(args.has("n"));
+}
+
+TEST(CliTest, Positional) {
+  const CliArgs args = parse({"prog", "file1", "--n=2", "file2"}, {"n"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(CliTest, BoolValues) {
+  const CliArgs args =
+      parse({"prog", "--a=true", "--b=0", "--c=yes"}, {"a", "b", "c"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+}
+
+TEST(CliDeathTest, UnknownFlagExits) {
+  EXPECT_EXIT(parse({"prog", "--bogus=1"}, {"n"}),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,86 @@
+// Unit tests for the statistics helpers.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sskel {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(AccumulatorTest, SingleSample) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, SummaryRenders) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  const std::string s = acc.summary(1);
+  EXPECT_NE(s.find("2.0"), std::string::npos);
+  EXPECT_NE(s.find("[1.0, 3.0]"), std::string::npos);
+}
+
+TEST(PercentileTest, NearestRankInterpolation) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3, 2, 4}, 50), 3.0);
+}
+
+TEST(IntHistogramTest, CountsAndBounds) {
+  IntHistogram h;
+  h.add(3);
+  h.add(1);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.count(3), 2);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(2), 0);
+  EXPECT_EQ(h.min_value(), 1);
+  EXPECT_EQ(h.max_value(), 7);
+  EXPECT_EQ(h.to_string(), "1:1 3:2 7:1");
+}
+
+TEST(IntHistogramTest, EmptyHistogram) {
+  IntHistogram h;
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_EQ(h.min_value(), 0);
+  EXPECT_EQ(h.max_value(), 0);
+  EXPECT_EQ(h.to_string(), "");
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,52 @@
+// Unit tests for table rendering.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sskel {
+namespace {
+
+TEST(CellTest, Formats) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(3.0, 0), "3");
+  EXPECT_EQ(cell(std::int64_t{-7}), "-7");
+  EXPECT_EQ(cell(42), "42");
+  EXPECT_EQ(cell(std::size_t{9}), "9");
+}
+
+TEST(TableTest, PrintAligned) {
+  Table t("demo", {"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t("csv", {"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "x"});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableDeathTest, RowArityMismatch) {
+  Table t("x", {"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

@@ -1,0 +1,205 @@
+// sskel — the command-line face of libsskel.
+//
+//   sskel run      run Algorithm 1 on a chosen adversary, optionally
+//                  recording the communication-graph sequence to a file
+//   sskel replay   re-run a recorded capture bit-exactly
+//   sskel analyze  profile a capture's skeleton: root components,
+//                  minimal k with Psrcs(k), Theorem 1 consistency
+//
+// Examples:
+//   sskel run --adversary=random --n=10 --k=3 --seed=4 --record=run.sskel
+//   sskel replay --file=run.sskel --k=3
+//   sskel analyze --file=run.sskel
+//   sskel run --adversary=impossibility --n=8 --k=4
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "adversary/eventual.hpp"
+#include "adversary/figure1.hpp"
+#include "adversary/impossibility.hpp"
+#include "adversary/partition.hpp"
+#include "adversary/random_psrcs.hpp"
+#include "graph/scc.hpp"
+#include "kset/runner.hpp"
+#include "predicates/analysis.hpp"
+#include "predicates/psrcs.hpp"
+#include "rounds/record.hpp"
+#include "skeleton/tracker.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace sskel;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: sskel <run|replay|analyze> [flags]\n"
+               "  run     --adversary=random|figure1|impossibility|eventual|"
+               "partition\n"
+               "          [--n=N] [--k=K] [--roots=J] [--seed=S] "
+               "[--noise=P]\n"
+               "          [--record=FILE] [--quiet]\n"
+               "  replay  --file=FILE [--k=K] [--quiet]\n"
+               "  analyze --file=FILE\n");
+  std::exit(2);
+}
+
+void save_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "sskel: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  os.write(reinterpret_cast<const char*>(b.data()),
+           static_cast<std::streamsize>(b.size()));
+}
+
+std::vector<std::uint8_t> load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "sskel: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(is),
+                                   std::istreambuf_iterator<char>());
+}
+
+void print_report(const KSetRunReport& report, int k, bool quiet) {
+  if (!quiet) {
+    for (ProcId p = 0; p < report.n; ++p) {
+      const Outcome& o = report.outcomes[static_cast<std::size_t>(p)];
+      std::cout << "  p" << p << ": proposed " << o.proposal << " -> ";
+      if (o.decided) {
+        std::cout << "decided " << o.decision << " (round "
+                  << o.decision_round << ")\n";
+      } else {
+        std::cout << "UNDECIDED\n";
+      }
+    }
+  }
+  std::cout << "rounds executed: " << report.rounds_executed
+            << ", r_ST: " << report.skeleton_last_change
+            << ", root components: " << report.root_components_final.size()
+            << "\n";
+  std::cout << "distinct values: " << report.distinct_values << " (k = " << k
+            << ")\n";
+  std::cout << "k-agreement " << (report.verdict.k_agreement ? "ok" : "VIOLATED")
+            << ", validity " << (report.verdict.validity ? "ok" : "VIOLATED")
+            << ", termination "
+            << (report.verdict.termination ? "ok" : "VIOLATED") << "\n";
+}
+
+std::unique_ptr<GraphSource> build_adversary(const CliArgs& args, int k) {
+  const std::string kind = args.get_string("adversary", "random");
+  const ProcId n = static_cast<ProcId>(args.get_int("n", 10));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (kind == "random") {
+    RandomPsrcsParams params;
+    params.n = n;
+    params.k = k;
+    params.root_components =
+        static_cast<int>(args.get_int("roots", k));
+    params.noise_probability = args.get_double("noise", 0.25);
+    params.stabilization_round = 3;
+    return std::make_unique<RandomPsrcsSource>(seed, params);
+  }
+  if (kind == "figure1") return make_figure1_source();
+  if (kind == "impossibility") return make_impossibility_source(n, k);
+  if (kind == "eventual") return make_eventual_source(n, 2 * n);
+  if (kind == "partition") {
+    PartitionParams params;
+    params.blocks = even_blocks(n, k);
+    params.cross_noise_probability = args.get_double("noise", 0.0);
+    params.stabilization_round = 3;
+    return std::make_unique<PartitionSource>(seed, params);
+  }
+  std::fprintf(stderr, "sskel: unknown adversary '%s'\n", kind.c_str());
+  std::exit(2);
+}
+
+int cmd_run(const CliArgs& args) {
+  const int k = static_cast<int>(args.get_int("k", 2));
+  auto source = build_adversary(args, k);
+  RecordingSource recorder(*source);
+
+  KSetRunConfig config;
+  config.k = k;
+  const KSetRunReport report = run_kset(recorder, config);
+  print_report(report, k, args.get_bool("quiet", false));
+
+  const std::string record_path = args.get_string("record", "");
+  if (!record_path.empty()) {
+    save_file(record_path, encode_run(recorder.recorded()));
+    std::cout << "recorded " << recorder.recorded().size() << " rounds to "
+              << record_path << "\n";
+  }
+  return report.verdict.all_hold() ? 0 : 1;
+}
+
+int cmd_replay(const CliArgs& args) {
+  const std::string path = args.get_string("file", "");
+  if (path.empty()) usage();
+  ReplaySource replay(decode_run(load_file(path)));
+  const int k = static_cast<int>(args.get_int("k", 2));
+  KSetRunConfig config;
+  config.k = k;
+  const KSetRunReport report = run_kset(replay, config);
+  print_report(report, k, args.get_bool("quiet", false));
+  return report.verdict.all_hold() ? 0 : 1;
+}
+
+int cmd_analyze(const CliArgs& args) {
+  const std::string path = args.get_string("file", "");
+  if (path.empty()) usage();
+  const std::vector<Digraph> run = decode_run(load_file(path));
+
+  SkeletonTracker tracker(run.front().n());
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    Digraph g = run[i];
+    g.add_self_loops();
+    tracker.observe(static_cast<Round>(i + 1), g);
+  }
+  const Digraph& skeleton = tracker.skeleton();
+
+  std::cout << "capture: " << run.size() << " rounds, n = " << skeleton.n()
+            << "\n";
+  std::cout << "skeleton: " << skeleton.edge_count()
+            << " edges, last change at round " << tracker.last_change_round()
+            << "\n";
+  const auto roots = root_components(skeleton);
+  std::cout << "root components (" << roots.size() << "):\n";
+  for (const ProcSet& root : roots) {
+    std::cout << "  " << root.to_string() << "\n";
+  }
+  if (skeleton.n() <= 20) {
+    const PredicateProfile profile = profile_skeleton(skeleton);
+    if (profile.min_k < skeleton.n()) {
+      std::cout << "smallest k with Psrcs(k): " << profile.min_k << "\n";
+    } else {
+      std::cout << "Psrcs(k) fails for every k < n\n";
+    }
+    std::cout << "Theorem 1 (roots <= min k): "
+              << (profile.theorem1_consistent ? "consistent" : "VIOLATED")
+              << "\n";
+  } else {
+    std::cout << "(skipping exact predicate analysis for n > 20)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const CliArgs args(argc - 1, argv + 1,
+                     {"adversary", "n", "k", "roots", "seed", "noise",
+                      "record", "file", "quiet"});
+  if (command == "run") return cmd_run(args);
+  if (command == "replay") return cmd_replay(args);
+  if (command == "analyze") return cmd_analyze(args);
+  usage();
+}
