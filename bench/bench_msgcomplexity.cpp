@@ -40,8 +40,8 @@ int main() {
       KSetRunConfig config;
       config.k = 2;
       config.measure_bytes = true;
-      const McSummary s =
-          run_random_psrcs_trials(0xE5, trials, params, config);
+      const RandomPsrcsScenario scenario(params);
+      const McSummary s = run_scenario_trials(scenario, 0xE5, trials, config);
       table.add_row({cell(n), cell(trials),
                      cell(s.max_message_bytes.max(), 0),
                      cell(s.total_messages.mean(), 0),

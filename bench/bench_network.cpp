@@ -12,13 +12,13 @@
 //     per round but changes nothing structurally.
 //
 // This is the engineering face of the paper's model: the predicate is
-// a property you *buy* with the timeout.
+// a property you *buy* with the timeout. Each row is one NetScenario
+// sweep through the shared Monte-Carlo engine.
 #include <iostream>
 
 #include "graph/scc.hpp"
-#include "net/kset_net.hpp"
+#include "mc/montecarlo.hpp"
 #include "predicates/psrcs.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -38,38 +38,42 @@ int main() {
   for (ProcId p = 0; p < n; ++p) {
     stable.add_edge(p % static_cast<ProcId>(k), p);
   }
+  LinkMatrix links = LinkMatrix::all_flaky(n, 0.35);
+  links.upgrade_to_timely(stable, 100, 700);
+
+  KSetRunConfig run;
+  run.k = k;
 
   Table table("round duration sweep (15 trials per row)",
               {"D (us)", "Psrcs(3) holds", "mean skel edges",
                "mean roots", "values max", ">k viol", "mean dec. round",
                "mean sim time (ms)", "late msgs/run"});
   for (SimTime d : {400, 550, 650, 700, 950, 1500, 4000}) {
+    NetConfig net;
+    net.round_duration = d;
+    for (ProcId p = 0; p < n; ++p) {
+      net.skews.push_back((static_cast<SimTime>(p) * 37) % 201);
+    }
+    const NetScenario scenario(links, net);
+
     int psrcs_holds = 0, over_k = 0, values_max = 0;
     Accumulator edges, roots, dec_round, sim_ms, late;
-    for (int t = 0; t < trials; ++t) {
-      LinkMatrix links = LinkMatrix::all_flaky(n, 0.35);
-      links.upgrade_to_timely(stable, 100, 700);
-
-      NetKSetConfig config;
-      config.k = k;
-      config.net.round_duration = d;
-      config.net.seed = mix_seed(0xE11, static_cast<std::uint64_t>(t));
-      for (ProcId p = 0; p < n; ++p) {
-        config.net.skews.push_back((static_cast<SimTime>(p) * 37) % 201);
-      }
-      const NetKSetReport r = run_kset_over_network(links, config);
-      if (!r.all_decided) continue;
-
-      if (check_psrcs_exact(r.final_skeleton, k).holds) ++psrcs_holds;
-      if (r.distinct_values > k) ++over_k;
-      values_max = std::max(values_max, r.distinct_values);
-      edges.add(static_cast<double>(r.final_skeleton.edge_count()));
-      roots.add(static_cast<double>(
-          root_components(r.final_skeleton).size()));
-      dec_round.add(r.last_decision_round);
-      sim_ms.add(static_cast<double>(r.wall_clock) / 1000.0);
-      late.add(static_cast<double>(r.late_messages));
-    }
+    const McSummary summary = run_scenario_trials(
+        scenario, 0xE11, trials, run, /*threads=*/0,
+        [&](std::size_t, const ScenarioTrial& trial) {
+          const KSetRunReport& r = trial.kset;
+          if (!r.all_decided) return;
+          if (check_psrcs_exact(r.final_skeleton, k).holds) ++psrcs_holds;
+          if (r.distinct_values > k) ++over_k;
+          values_max = std::max(values_max, r.distinct_values);
+          edges.add(static_cast<double>(r.final_skeleton.edge_count()));
+          roots.add(static_cast<double>(
+              root_components(r.final_skeleton).size()));
+          dec_round.add(r.last_decision_round);
+          sim_ms.add(static_cast<double>(trial.wall_clock) / 1000.0);
+          late.add(static_cast<double>(trial.late_messages));
+        });
+    SSKEL_ASSERT(summary.net_backed);
     table.add_row({cell(static_cast<std::int64_t>(d)),
                    cell(psrcs_holds) + "/" + cell(trials),
                    cell(edges.mean(), 1), cell(roots.mean(), 2),

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   links.upgrade_to_timely(stable, 100, round_us - skew_us - 100);
 
   NetKSetConfig config;
-  config.k = k;
+  config.run.k = k;
   config.net.round_duration = round_us;
   config.net.seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
   for (ProcId p = 0; p < n; ++p) {
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   }
 
   const NetKSetReport report = run_kset_over_network(links, config);
-  if (!report.all_decided) {
+  if (!report.kset.all_decided) {
     std::cout << "ERROR: not all processes decided\n";
     return 1;
   }
@@ -64,25 +64,25 @@ int main(int argc, char** argv) {
             << " discarded late (communication closure), "
             << report.lost_messages << " lost\n";
   std::cout << "simulated time: " << report.wall_clock << "us ("
-            << report.rounds_executed << " rounds)\n\n";
+            << report.kset.rounds_executed << " rounds)\n\n";
 
-  std::cout << "derived skeleton: " << report.final_skeleton.edge_count()
+  std::cout << "derived skeleton: " << report.kset.final_skeleton.edge_count()
             << " stable edges, stabilized at round "
-            << report.skeleton_last_change << "\n";
-  const PsrcsCheck check = check_psrcs_exact(report.final_skeleton, k);
+            << report.kset.skeleton_last_change << "\n";
+  const PsrcsCheck check = check_psrcs_exact(report.kset.final_skeleton, k);
   std::cout << "Psrcs(" << k << ") on the derived skeleton: "
             << (check.holds ? "holds" : "VIOLATED") << "\n";
   std::cout << "root components: "
-            << root_components(report.final_skeleton).size() << "\n\n";
+            << root_components(report.kset.final_skeleton).size() << "\n\n";
 
   for (ProcId p = 0; p < n; ++p) {
-    const Outcome& o = report.outcomes[static_cast<std::size_t>(p)];
+    const Outcome& o = report.kset.outcomes[static_cast<std::size_t>(p)];
     std::cout << "  p" << p << " (hub p" << p % static_cast<ProcId>(k)
               << "): proposed " << o.proposal << " -> decided " << o.decision
               << " in round " << o.decision_round << "\n";
   }
-  std::cout << "\ndistinct values: " << report.distinct_values
+  std::cout << "\ndistinct values: " << report.kset.distinct_values
             << " (k = " << k << ": "
-            << (report.verdict.k_agreement ? "ok" : "VIOLATED") << ")\n";
-  return report.verdict.all_hold() ? 0 : 1;
+            << (report.kset.verdict.k_agreement ? "ok" : "VIOLATED") << ")\n";
+  return report.kset.verdict.all_hold() ? 0 : 1;
 }

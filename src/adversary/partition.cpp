@@ -31,20 +31,25 @@ PartitionSource::PartitionSource(std::uint64_t seed, PartitionParams params)
 }
 
 Digraph PartitionSource::graph(Round r) {
+  Digraph g;
+  graph_into(r, g);
+  return g;
+}
+
+void PartitionSource::graph_into(Round r, Digraph& out) {
   SSKEL_REQUIRE(r >= 1);
+  out = stable_;  // copy-assign: reuses out's adjacency storage
   if (r >= params_.stabilization_round ||
       params_.cross_noise_probability <= 0.0) {
-    return stable_;
+    return;
   }
-  Digraph g = stable_;
   Rng rng(mix_seed(seed_, static_cast<std::uint64_t>(r)));
   for (ProcId q = 0; q < n_; ++q) {
     for (ProcId p = 0; p < n_; ++p) {
-      if (g.has_edge(q, p)) continue;
-      if (rng.next_bool(params_.cross_noise_probability)) g.add_edge(q, p);
+      if (out.has_edge(q, p)) continue;
+      if (rng.next_bool(params_.cross_noise_probability)) out.add_edge(q, p);
     }
   }
-  return g;
 }
 
 std::vector<ProcSet> even_blocks(ProcId n, int m) {

@@ -36,6 +36,8 @@ class PartitionSource final : public GraphSource {
 
   [[nodiscard]] ProcId n() const override { return n_; }
   [[nodiscard]] Digraph graph(Round r) override;
+  /// Allocation-free round generation over the stable block structure.
+  void graph_into(Round r, Digraph& out) override;
 
   /// The stable skeleton: disjoint complete blocks (self-loops in).
   [[nodiscard]] const Digraph& stable_skeleton() const { return stable_; }

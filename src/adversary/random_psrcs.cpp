@@ -86,21 +86,26 @@ RandomPsrcsSource::RandomPsrcsSource(std::uint64_t seed,
 }
 
 Digraph RandomPsrcsSource::graph(Round r) {
+  Digraph g;
+  graph_into(r, g);
+  return g;
+}
+
+void RandomPsrcsSource::graph_into(Round r, Digraph& out) {
   SSKEL_REQUIRE(r >= 1);
-  if (r == params_.stabilization_round) return stable_;
+  out = stable_;  // copy-assign: reuses out's adjacency storage
+  if (r == params_.stabilization_round) return;
   if (r > params_.stabilization_round && !params_.noise_after_stabilization) {
-    return stable_;
+    return;
   }
-  Digraph g = stable_;
   Rng rng(mix_seed(seed_ ^ 0x5eed5eedULL, static_cast<std::uint64_t>(r)));
   const ProcId n = params_.n;
   for (ProcId q = 0; q < n; ++q) {
     for (ProcId p = 0; p < n; ++p) {
-      if (q == p || g.has_edge(q, p)) continue;
-      if (rng.next_bool(params_.noise_probability)) g.add_edge(q, p);
+      if (q == p || out.has_edge(q, p)) continue;
+      if (rng.next_bool(params_.noise_probability)) out.add_edge(q, p);
     }
   }
-  return g;
 }
 
 std::unique_ptr<RandomPsrcsSource> make_random_psrcs_source(

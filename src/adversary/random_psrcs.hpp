@@ -61,6 +61,9 @@ class RandomPsrcsSource final : public GraphSource {
 
   [[nodiscard]] ProcId n() const override { return params_.n; }
   [[nodiscard]] Digraph graph(Round r) override;
+  /// Allocation-free round generation: copies the stable skeleton into
+  /// `out` (reusing its storage) and sprinkles noise edges in place.
+  void graph_into(Round r, Digraph& out) override;
 
   /// The stable skeleton this source converges to (self-loops
   /// included). Equals the run's G∩∞ for any run of at least

@@ -1,8 +1,15 @@
 #include "graph/digraph.hpp"
 
+#include <atomic>
 #include <sstream>
 
 namespace sskel {
+
+namespace {
+/// Allocation-regression counter; relaxed ordering is enough for the
+/// "did this loop construct graphs?" delta checks tests perform.
+std::atomic<std::int64_t> g_graphs_constructed{0};
+}  // namespace
 
 Digraph::Digraph(ProcId n)
     : n_(n),
@@ -10,6 +17,19 @@ Digraph::Digraph(ProcId n)
       out_(static_cast<std::size_t>(n), ProcSet(n)),
       in_(static_cast<std::size_t>(n), ProcSet(n)) {
   SSKEL_REQUIRE(n >= 0);
+  g_graphs_constructed.fetch_add(1, std::memory_order_relaxed);
+}
+
+Digraph::Digraph(const Digraph& other)
+    : n_(other.n_),
+      nodes_(other.nodes_),
+      out_(other.out_),
+      in_(other.in_) {
+  g_graphs_constructed.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Digraph::graphs_constructed() {
+  return g_graphs_constructed.load(std::memory_order_relaxed);
 }
 
 Digraph Digraph::complete(ProcId n) {

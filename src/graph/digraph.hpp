@@ -12,6 +12,7 @@
 // present nodes, and in_/out_ stay mirror images of each other.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,18 @@ class Digraph {
 
   /// Graph with all n nodes present and no edges.
   explicit Digraph(ProcId n);
+
+  Digraph(const Digraph& other);
+  Digraph& operator=(const Digraph& other) = default;
+  Digraph(Digraph&& other) noexcept = default;
+  Digraph& operator=(Digraph&& other) noexcept = default;
+  ~Digraph() = default;
+
+  /// Process-wide count of Digraph constructions that allocated fresh
+  /// adjacency storage (the n-node constructor and copy construction;
+  /// assignment into an existing graph reuses storage and is not
+  /// counted). Hot-loop tests assert this stays flat per round.
+  [[nodiscard]] static std::int64_t graphs_constructed();
 
   /// All n nodes, every edge including self-loops (the complete graph;
   /// the skeleton tracker starts from this and intersects downward).

@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <sstream>
 
-#include "graph/reach.hpp"
-#include "graph/scc.hpp"
-
 namespace sskel {
 
 LabeledDigraph::LabeledDigraph(ProcId n, ProcId owner)
@@ -92,9 +89,45 @@ void LabeledDigraph::purge_labels_up_to(Round cutoff) {
   }
 }
 
+ProcSet LabeledDigraph::reachable_from(ProcId start) const {
+  ProcSet visited(n_);
+  if (!nodes_.contains(start)) return visited;
+  visited.insert(start);
+  ProcSet frontier = visited;
+  while (!frontier.empty()) {
+    ProcSet next(n_);
+    for (ProcId v : frontier) next |= rows_[static_cast<std::size_t>(v)];
+    next -= visited;
+    next &= nodes_;
+    visited |= next;
+    frontier = std::move(next);
+  }
+  return visited;
+}
+
+ProcSet LabeledDigraph::reaching_set(ProcId target) const {
+  ProcSet visited(n_);
+  if (!nodes_.contains(target)) return visited;
+  visited.insert(target);
+  // rows_ holds out-edges only; iterate to a fixpoint instead of
+  // materializing the reversed graph.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcId q : nodes_) {
+      if (visited.contains(q)) continue;
+      if (rows_[static_cast<std::size_t>(q)].intersects(visited)) {
+        visited.insert(q);
+        changed = true;
+      }
+    }
+  }
+  return visited;
+}
+
 void LabeledDigraph::prune_not_reaching(ProcId owner) {
   SSKEL_REQUIRE(nodes_.contains(owner));
-  const ProcSet keep = reaching(unlabeled(), owner);
+  const ProcSet keep = reaching_set(owner);
   for (ProcId q = 0; q < n_; ++q) {
     ProcSet& row = rows_[static_cast<std::size_t>(q)];
     if (row.empty()) continue;
@@ -151,7 +184,10 @@ Digraph LabeledDigraph::unlabeled() const {
 }
 
 bool LabeledDigraph::strongly_connected() const {
-  return is_strongly_connected(unlabeled());
+  if (nodes_.empty()) return false;
+  const ProcId v = nodes_.first();
+  // One SCC iff some node reaches everything and everything reaches it.
+  return reachable_from(v) == nodes_ && reaching_set(v) == nodes_;
 }
 
 std::string LabeledDigraph::to_string(bool include_self_loops) const {

@@ -97,6 +97,15 @@ class LabeledDigraph {
   [[nodiscard]] std::string to_string(bool include_self_loops = true) const;
 
  private:
+  /// Nodes reachable from `start` following labeled edges (forward
+  /// BFS over rows_; includes `start`). Native so the per-round
+  /// Line-25/Line-28 checks construct no Digraph.
+  [[nodiscard]] ProcSet reachable_from(ProcId start) const;
+
+  /// Nodes that reach `target` (includes `target`). rows_ stores
+  /// out-edges only, so this runs a fixpoint instead of a reverse BFS.
+  [[nodiscard]] ProcSet reaching_set(ProcId target) const;
+
   [[nodiscard]] std::size_t index(ProcId q, ProcId p) const {
     SSKEL_REQUIRE(q >= 0 && q < n_ && p >= 0 && p < n_);
     return static_cast<std::size_t>(q) * static_cast<std::size_t>(n_) +

@@ -1,7 +1,7 @@
 #include "kset/runner.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <utility>
 
 #include "graph/scc.hpp"
 #include "rounds/simulator.hpp"
@@ -23,32 +23,46 @@ Round KSetRunReport::termination_bound(DecisionGuard guard) const {
   return r_st + 2 * n - 1 + slack;
 }
 
-KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
-  const ProcId n = source.n();
+std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> make_kset_processes(
+    ProcId n, const KSetRunConfig& config) {
   SSKEL_REQUIRE(n > 0);
   SSKEL_REQUIRE(config.k >= 1);
-
   const std::vector<Value> proposals =
       config.proposals.empty() ? default_proposals(n) : config.proposals;
   SSKEL_REQUIRE(proposals.size() == static_cast<std::size_t>(n));
 
   std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> procs;
   procs.reserve(static_cast<std::size_t>(n));
-  std::vector<SkeletonKSetProcess*> views;
   for (ProcId p = 0; p < n; ++p) {
-    auto proc = std::make_unique<SkeletonKSetProcess>(
-        n, p, proposals[static_cast<std::size_t>(p)], config.guard);
-    views.push_back(proc.get());
-    procs.push_back(std::move(proc));
+    procs.push_back(std::make_unique<SkeletonKSetProcess>(
+        n, p, proposals[static_cast<std::size_t>(p)], config.guard));
+  }
+  return procs;
+}
+
+KSetRunReport run_kset_on_engine(RoundEngine<SkeletonMessage>& engine,
+                                 const KSetRunConfig& config) {
+  const ProcId n = engine.n();
+  SSKEL_REQUIRE(n > 0);
+  SSKEL_REQUIRE(config.k >= 1);
+  SSKEL_REQUIRE(engine.rounds_completed() == 0);
+
+  // The engine owns Algorithm<SkeletonMessage> processes; the analysis
+  // stack needs the concrete SkeletonKSetProcess views.
+  std::vector<const SkeletonKSetProcess*> views;
+  views.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    const auto* view =
+        dynamic_cast<const SkeletonKSetProcess*>(&engine.process(p));
+    SSKEL_REQUIRE(view != nullptr);
+    views.push_back(view);
   }
 
-  Simulator<SkeletonMessage> sim(source, std::move(procs));
-
   SkeletonTracker tracker(n);
-  sim.add_observer(tracker.observer());
+  engine.add_observer(tracker.observer());
 
   if (config.measure_bytes) {
-    sim.set_message_sizer(
+    engine.set_message_sizer(
         [](const SkeletonMessage& m) { return encoded_size(m); });
   }
 
@@ -61,12 +75,13 @@ KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
       config.max_rounds > 0 ? config.max_rounds : 8 * n + 32;
 
   auto all_decided = [&] {
-    return std::all_of(views.begin(), views.end(),
-                       [](const SkeletonKSetProcess* v) {
-                         return v->decided();
-                       });
+    return std::all_of(
+        views.begin(), views.end(),
+        [](const SkeletonKSetProcess* v) { return v->decided(); });
   };
 
+  // Both substrates fire step()/observers at the end-of-round cut, so
+  // the monitor's snapshots are consistent with the graph it is fed.
   auto feed_monitor = [&](Round r, const Digraph& g) {
     if (!monitor) return;
     std::vector<ProcessSnapshot> snaps;
@@ -87,7 +102,7 @@ KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
   Round executed = 0;
   bool done = false;
   while (executed < max_rounds) {
-    const Digraph& g = sim.step();
+    const Digraph& g = engine.step();
     ++executed;
     feed_monitor(executed, g);
     if (all_decided()) {
@@ -96,7 +111,7 @@ KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
     }
   }
   for (Round t = 0; t < config.tail_rounds && executed < max_rounds; ++t) {
-    const Digraph& g = sim.step();
+    const Digraph& g = engine.step();
     ++executed;
     feed_monitor(executed, g);
   }
@@ -124,11 +139,17 @@ KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
   report.final_skeleton = tracker.skeleton();
   report.skeleton_last_change = tracker.last_change_round();
   report.root_components_final = tracker.current_root_components();
-  report.total_messages = sim.trace().total_messages();
-  report.total_bytes = sim.trace().total_bytes();
-  report.max_message_bytes = sim.trace().max_message_bytes();
+  report.total_messages = engine.trace().total_messages();
+  report.total_bytes = engine.trace().total_bytes();
+  report.max_message_bytes = engine.trace().max_message_bytes();
   if (monitor) report.lemma_violations = monitor->violations();
   return report;
+}
+
+KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
+  Simulator<SkeletonMessage> sim(source,
+                                 make_kset_processes(source.n(), config));
+  return run_kset_on_engine(sim, config);
 }
 
 }  // namespace sskel

@@ -1,19 +1,26 @@
-// KSetRunner: the one-call harness for running Algorithm 1 on a
-// GraphSource and collecting everything an experiment needs.
+// KSetRunner: the one-call harness for running Algorithm 1 on any
+// round-execution substrate and collecting everything an experiment
+// needs.
 //
-// Wires up the simulator, one SkeletonKSetProcess per process, a
-// skeleton tracker (for r_ST and root components), optional lemma
-// monitors, and optional message-size accounting; runs until every
-// process decides (plus an optional tail); and returns a structured
-// report. Examples, tests and benches all go through this entry point.
+// Wires up one SkeletonKSetProcess per process, a skeleton tracker
+// (for r_ST and root components), optional lemma monitors, and
+// optional message-size accounting; runs until every process decides
+// (plus an optional tail); and returns a structured report. The core
+// entry point takes a RoundEngine<SkeletonMessage> — deterministic
+// simulator or partially synchronous network alike — so the analysis
+// stack is substrate-agnostic. run_kset(GraphSource&, ...) remains the
+// convenience wrapper for the common simulator case. Examples, tests
+// and benches all go through these entry points.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/digraph.hpp"
 #include "kset/skeleton_kset.hpp"
 #include "kset/verify.hpp"
+#include "rounds/engine.hpp"
 #include "rounds/graph_source.hpp"
 #include "skeleton/lemmas.hpp"
 
@@ -73,9 +80,22 @@ struct KSetRunReport {
   [[nodiscard]] Round termination_bound(DecisionGuard guard) const;
 };
 
-/// Runs Algorithm 1 over the source until all processes decide (or
-/// max_rounds), plus tail_rounds. The report's verdict has no round
-/// bound applied; use termination_bound() to check Lemma 11.
+/// Builds the Algorithm 1 process vector for any substrate: one
+/// SkeletonKSetProcess per id with the config's proposals and guard.
+[[nodiscard]] std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>>
+make_kset_processes(ProcId n, const KSetRunConfig& config);
+
+/// Runs Algorithm 1 on an engine already populated with processes from
+/// make_kset_processes() until all of them decide (or max_rounds),
+/// plus tail_rounds. Works identically over Simulator and
+/// NetRoundDriver. The engine must be freshly constructed (no rounds
+/// executed yet). The report's verdict has no round bound applied; use
+/// termination_bound() to check Lemma 11.
+[[nodiscard]] KSetRunReport run_kset_on_engine(
+    RoundEngine<SkeletonMessage>& engine, const KSetRunConfig& config);
+
+/// Convenience wrapper: processes + Simulator over `source`, then
+/// run_kset_on_engine.
 [[nodiscard]] KSetRunReport run_kset(GraphSource& source,
                                      const KSetRunConfig& config);
 

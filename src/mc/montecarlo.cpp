@@ -5,78 +5,68 @@
 
 namespace sskel {
 
-namespace {
+McSummary run_scenario_trials(const ScenarioFactory& scenario,
+                              std::uint64_t master_seed, int trials,
+                              const KSetRunConfig& config, unsigned threads,
+                              const TrialCallback& per_trial) {
+  SSKEL_REQUIRE(trials >= 0);
 
-/// Per-trial measurements, extracted in the worker and folded into the
-/// summary afterwards *in trial order*, so aggregates are bit-identical
-/// for every thread count.
-struct TrialResult {
-  bool all_decided = false;
-  bool k_agreement = true;
-  bool validity = true;
-  bool bound_ok = true;
-  bool lemmas_clean = true;
-  int distinct = 0;
-  int roots = 0;
-  Round last_decision = 0;
-  Round r_st = 0;
-  std::int64_t messages = 0;
-  std::int64_t bytes = 0;
-  std::int64_t max_msg_bytes = 0;
-};
+  const std::vector<ScenarioTrial> results = collect_parallel<ScenarioTrial>(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t) {
+        return scenario.run_trial(mix_seed(master_seed, t), config);
+      },
+      threads);
 
-}  // namespace
+  McSummary summary;
+  summary.scenario = scenario.name();
+  summary.bytes_measured = config.measure_bytes;
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    const ScenarioTrial& trial = results[t];
+    const KSetRunReport& report = trial.kset;
+    ++summary.runs;
+    if (!report.all_decided) ++summary.undecided_runs;
+    if (!report.verdict.k_agreement) ++summary.agreement_violations;
+    if (!report.verdict.validity) ++summary.validity_violations;
+    if (report.all_decided &&
+        report.last_decision_round > report.termination_bound(config.guard)) {
+      ++summary.bound_violations;
+    }
+    if (!report.lemma_violations.empty()) ++summary.lemma_violation_runs;
+
+    summary.distinct_values.add(report.distinct_values);
+    summary.distinct_histogram.add(report.distinct_values);
+    const int roots = static_cast<int>(report.root_components_final.size());
+    summary.root_components.add(roots);
+    summary.root_histogram.add(roots);
+    if (report.all_decided) {
+      summary.last_decision_round.add(report.last_decision_round);
+    }
+    summary.stabilization_round.add(report.skeleton_last_change);
+    summary.total_messages.add(static_cast<double>(report.total_messages));
+    if (summary.bytes_measured) {
+      summary.total_bytes.add(static_cast<double>(report.total_bytes));
+      summary.max_message_bytes.add(
+          static_cast<double>(report.max_message_bytes));
+    }
+    if (trial.net_backed) {
+      summary.net_backed = true;
+      summary.late_messages.add(static_cast<double>(trial.late_messages));
+      summary.lost_messages.add(static_cast<double>(trial.lost_messages));
+      summary.wall_clock_ms.add(static_cast<double>(trial.wall_clock) /
+                                1000.0);
+    }
+    if (per_trial) per_trial(t, trial);
+  }
+  return summary;
+}
 
 McSummary run_random_psrcs_trials(std::uint64_t master_seed, int trials,
                                   const RandomPsrcsParams& params,
                                   const KSetRunConfig& config,
                                   unsigned threads) {
-  SSKEL_REQUIRE(trials >= 0);
-
-  const std::vector<TrialResult> results = collect_parallel<TrialResult>(
-      static_cast<std::size_t>(trials),
-      [&](std::size_t t) {
-        RandomPsrcsSource source(mix_seed(master_seed, t), params);
-        const KSetRunReport report = run_kset(source, config);
-        TrialResult r;
-        r.all_decided = report.all_decided;
-        r.k_agreement = report.verdict.k_agreement;
-        r.validity = report.verdict.validity;
-        r.bound_ok = !report.all_decided ||
-                     report.last_decision_round <=
-                         report.termination_bound(config.guard);
-        r.lemmas_clean = report.lemma_violations.empty();
-        r.distinct = report.distinct_values;
-        r.roots = static_cast<int>(report.root_components_final.size());
-        r.last_decision = report.last_decision_round;
-        r.r_st = report.skeleton_last_change;
-        r.messages = report.total_messages;
-        r.bytes = report.total_bytes;
-        r.max_msg_bytes = report.max_message_bytes;
-        return r;
-      },
-      threads);
-
-  McSummary summary;
-  for (const TrialResult& r : results) {
-    ++summary.runs;
-    if (!r.all_decided) ++summary.undecided_runs;
-    if (!r.k_agreement) ++summary.agreement_violations;
-    if (!r.validity) ++summary.validity_violations;
-    if (r.all_decided && !r.bound_ok) ++summary.bound_violations;
-    if (!r.lemmas_clean) ++summary.lemma_violation_runs;
-
-    summary.distinct_values.add(r.distinct);
-    summary.distinct_histogram.add(r.distinct);
-    summary.root_components.add(r.roots);
-    summary.root_histogram.add(r.roots);
-    if (r.all_decided) summary.last_decision_round.add(r.last_decision);
-    summary.stabilization_round.add(r.r_st);
-    summary.total_messages.add(static_cast<double>(r.messages));
-    summary.total_bytes.add(static_cast<double>(r.bytes));
-    summary.max_message_bytes.add(static_cast<double>(r.max_msg_bytes));
-  }
-  return summary;
+  const RandomPsrcsScenario scenario(params);
+  return run_scenario_trials(scenario, master_seed, trials, config, threads);
 }
 
 }  // namespace sskel

@@ -1,20 +1,27 @@
-// Monte-Carlo aggregation over random Psrcs(k) runs.
+// Monte-Carlo aggregation over seeded scenario trials.
 //
-// The statistical experiments (E2, E4, E5, parts of E8) all share one
-// shape: sample many seeded random adversaries, run Algorithm 1 on
-// each, and aggregate decision/skeleton/traffic metrics. This module
-// is that loop, parallelized over trials.
+// The statistical experiments (E2, E4, E5, E7, E11, parts of E8) all
+// share one shape: sample many seeded adversaries from a scenario
+// factory, run Algorithm 1 on each, and aggregate
+// decision/skeleton/traffic metrics. This module is that loop,
+// parallelized over trials; results are folded in trial order, so
+// every aggregate is bit-identical for every thread count.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "adversary/random_psrcs.hpp"
 #include "kset/runner.hpp"
+#include "mc/scenario.hpp"
 #include "util/stats.hpp"
 
 namespace sskel {
 
 struct McSummary {
+  /// name() of the scenario the trials came from.
+  std::string scenario;
   std::int64_t runs = 0;
   /// Runs in which some process failed to decide within max_rounds.
   std::int64_t undecided_runs = 0;
@@ -32,15 +39,37 @@ struct McSummary {
   Accumulator last_decision_round;   // over decided runs
   Accumulator stabilization_round;   // observed r_ST
   Accumulator total_messages;
-  Accumulator total_bytes;           // 0 unless measure_bytes
+  /// Byte accumulators are fed only when the run config enables
+  /// measure_bytes; bytes_measured records which case this was.
+  bool bytes_measured = false;
+  Accumulator total_bytes;
   Accumulator max_message_bytes;
   IntHistogram distinct_histogram;
   IntHistogram root_histogram;
+
+  /// Network accounting (net-backed scenarios only).
+  bool net_backed = false;
+  Accumulator late_messages;
+  Accumulator lost_messages;
+  Accumulator wall_clock_ms;  // simulated milliseconds
 };
 
-/// Runs `trials` random-Psrcs trials. Trial t uses the adversary seed
-/// mix_seed(master_seed, t); proposals default to distinct values.
-/// Thread count 0 = hardware concurrency.
+/// Optional per-trial hook, invoked in trial order after the parallel
+/// phase (so it is deterministic too). Receives the trial index and
+/// the full trial result; use it for per-trial tables the summary's
+/// accumulators don't capture.
+using TrialCallback = std::function<void(std::size_t, const ScenarioTrial&)>;
+
+/// Runs `trials` independent trials of `scenario`. Trial t uses the
+/// seed mix_seed(master_seed, t). Thread count 0 = hardware
+/// concurrency.
+[[nodiscard]] McSummary run_scenario_trials(
+    const ScenarioFactory& scenario, std::uint64_t master_seed, int trials,
+    const KSetRunConfig& config, unsigned threads = 0,
+    const TrialCallback& per_trial = {});
+
+/// The original random-Psrcs entry point, now a RandomPsrcsScenario
+/// instantiation of run_scenario_trials (same seeds, same results).
 [[nodiscard]] McSummary run_random_psrcs_trials(std::uint64_t master_seed,
                                                 int trials,
                                                 const RandomPsrcsParams& params,

@@ -1,0 +1,92 @@
+#include "mc/scenario.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "adversary/crash.hpp"
+#include "adversary/rotating.hpp"
+#include "util/assert.hpp"
+
+namespace sskel {
+
+namespace {
+
+ScenarioTrial from_report(KSetRunReport report) {
+  ScenarioTrial trial;
+  trial.kset = std::move(report);
+  return trial;
+}
+
+}  // namespace
+
+ScenarioTrial RandomPsrcsScenario::run_trial(
+    std::uint64_t seed, const KSetRunConfig& config) const {
+  RandomPsrcsSource source(seed, params_);
+  return from_report(run_kset(source, config));
+}
+
+CrashScenario::CrashScenario(ProcId n, int crashes, Round max_crash_round)
+    : n_(n), crashes_(crashes), max_crash_round_(max_crash_round) {
+  SSKEL_REQUIRE(n_ > 0);
+  SSKEL_REQUIRE(crashes_ >= 0 && static_cast<ProcId>(crashes_) < n_);
+  SSKEL_REQUIRE(max_crash_round_ >= 1);
+}
+
+ScenarioTrial CrashScenario::run_trial(std::uint64_t seed,
+                                       const KSetRunConfig& config) const {
+  const std::unique_ptr<CrashSource> source =
+      make_random_crash_source(seed, n_, crashes_, max_crash_round_);
+  return from_report(run_kset(*source, config));
+}
+
+PartitionScenario::PartitionScenario(PartitionParams params)
+    : params_(std::move(params)), n_(0) {
+  SSKEL_REQUIRE(!params_.blocks.empty());
+  n_ = params_.blocks.front().universe();
+}
+
+ScenarioTrial PartitionScenario::run_trial(
+    std::uint64_t seed, const KSetRunConfig& config) const {
+  PartitionSource source(seed, params_);
+  return from_report(run_kset(source, config));
+}
+
+RotatingScenario::RotatingScenario(ProcId n, Round hold)
+    : n_(n), hold_(hold) {
+  SSKEL_REQUIRE(n_ > 0);
+  SSKEL_REQUIRE(hold_ >= 1);
+}
+
+ScenarioTrial RotatingScenario::run_trial(std::uint64_t seed,
+                                          const KSetRunConfig& config) const {
+  const ProcId first_center =
+      static_cast<ProcId>(seed % static_cast<std::uint64_t>(n_));
+  const std::unique_ptr<GraphSource> source =
+      make_rotating_star_source(n_, hold_, first_center);
+  return from_report(run_kset(*source, config));
+}
+
+NetScenario::NetScenario(LinkMatrix links, NetConfig net)
+    : links_(std::move(links)), net_(std::move(net)) {
+  SSKEL_REQUIRE(links_.n() > 0);
+}
+
+ScenarioTrial NetScenario::run_trial(std::uint64_t seed,
+                                     const KSetRunConfig& config) const {
+  NetKSetConfig net_config;
+  net_config.run = config;
+  net_config.net = net_;
+  net_config.net.seed = seed;
+  const NetKSetReport report = run_kset_over_network(links_, net_config);
+
+  ScenarioTrial trial;
+  trial.kset = report.kset;
+  trial.net_backed = true;
+  trial.delivered_messages = report.delivered_messages;
+  trial.late_messages = report.late_messages;
+  trial.lost_messages = report.lost_messages;
+  trial.wall_clock = report.wall_clock;
+  return trial;
+}
+
+}  // namespace sskel

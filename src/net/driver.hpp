@@ -1,5 +1,6 @@
 // NetRoundDriver: the communication-closed round abstraction,
-// implemented on a simulated partially synchronous network.
+// implemented on a simulated partially synchronous network — the
+// network-backed RoundEngine.
 //
 // This is the "messaging boilerplate" beneath the paper's model. Each
 // process p has a local clock offset skew_p and a round duration D:
@@ -17,21 +18,25 @@
 // else, which is precisely the paper's unified model. Late messages
 // are discarded (communication closure) and counted.
 //
-// The driver reports each derived graph to observers (skeleton
-// trackers, predicate checkers), so the whole upper stack — Algorithm
-// 1, lemma monitors, Psrcs(k) analysis — runs unchanged on top of the
-// network substrate.
+// As a RoundEngine, the driver surfaces each derived graph through
+// step() and the shared observer bus, and feeds the shared RunTrace
+// (message counts, plus encoded bytes when a sizer is installed) — so
+// the whole upper stack, Algorithm 1 through KSetRunner, runs
+// unchanged on top of the network substrate, and NetConfig (skew,
+// latency distributions, drop rates) becomes a first-class adversary.
 #pragma once
 
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.hpp"
 #include "net/event_queue.hpp"
 #include "net/link.hpp"
 #include "rounds/algorithm.hpp"
+#include "rounds/engine.hpp"
 #include "util/rng.hpp"
 
 namespace sskel {
@@ -47,10 +52,9 @@ struct NetConfig {
 };
 
 template <typename Msg>
-class NetRoundDriver {
+class NetRoundDriver final : public RoundEngine<Msg> {
  public:
   using Process = Algorithm<Msg>;
-  using Observer = std::function<void(Round, const Digraph&)>;
 
   NetRoundDriver(NetConfig config, LinkMatrix links,
                  std::vector<std::unique_ptr<Process>> processes)
@@ -82,18 +86,16 @@ class NetRoundDriver {
     }
   }
 
-  [[nodiscard]] ProcId n() const {
+  [[nodiscard]] ProcId n() const override {
     return static_cast<ProcId>(processes_.size());
   }
 
-  [[nodiscard]] Process& process(ProcId p) {
+  [[nodiscard]] Process& process(ProcId p) override {
     return *processes_[static_cast<std::size_t>(p)];
   }
-  [[nodiscard]] const Process& process(ProcId p) const {
+  [[nodiscard]] const Process& process(ProcId p) const override {
     return *processes_[static_cast<std::size_t>(p)];
   }
-
-  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
 
   [[nodiscard]] SimTime now() const { return queue_.now(); }
 
@@ -103,32 +105,28 @@ class NetRoundDriver {
   [[nodiscard]] std::int64_t lost_messages() const { return lost_; }
   [[nodiscard]] std::int64_t delivered_messages() const { return delivered_; }
 
-  /// Completed rounds (min over processes).
-  [[nodiscard]] Round rounds_completed() const {
-    Round done = finalized_round_[0];
-    for (Round r : finalized_round_) done = std::min(done, r);
-    return done;
+  /// Rounds whose derived graph is complete (every process closed the
+  /// round). Rounds complete in order because skews stay below D.
+  [[nodiscard]] Round rounds_completed() const override {
+    return derived_rounds_;
+  }
+
+  /// Pumps the event queue until the next round's derived graph
+  /// completes; returns that graph.
+  const Digraph& step() override {
+    const Round target = derived_rounds_ + 1;
+    while (derived_rounds_ < target) {
+      const bool progressed = queue_.step();
+      SSKEL_ASSERT(progressed);
+    }
+    return last_graph_;
   }
 
   /// Runs the network until every process has finalized `rounds`
-  /// rounds.
+  /// rounds (absolute, unlike run()'s relative count).
   void run_rounds(Round rounds) {
     SSKEL_REQUIRE(rounds >= 0);
-    while (rounds_completed() < rounds) {
-      const bool progressed = queue_.step();
-      SSKEL_ASSERT(progressed);
-    }
-  }
-
-  /// Runs until `done()` holds (checked after each event) or
-  /// `max_rounds` rounds completed; returns whether done() fired.
-  bool run_until(const std::function<bool()>& done, Round max_rounds) {
-    while (rounds_completed() < max_rounds) {
-      if (done()) return true;
-      const bool progressed = queue_.step();
-      SSKEL_ASSERT(progressed);
-    }
-    return done();
+    while (rounds_completed() < rounds) step();
   }
 
  private:
@@ -182,6 +180,7 @@ class NetRoundDriver {
     RoundInbox& own = inbox_for(p, r);
     own.senders.insert(p);
     own.messages[static_cast<std::size_t>(p)] = msg;
+    account_delivery(r, msg);
 
     for (ProcId q = 0; q < n(); ++q) {
       if (q == p) continue;
@@ -211,6 +210,7 @@ class NetRoundDriver {
     RoundInbox& inbox = inbox_for(to, r);
     inbox.senders.insert(from);
     inbox.messages[static_cast<std::size_t>(from)] = msg;
+    account_delivery(r, msg);
   }
 
   void close_round(ProcId p, Round r) {
@@ -232,34 +232,52 @@ class NetRoundDriver {
     start_round(p, r + 1);
   }
 
-  struct PendingGraph {
+  struct PendingRound {
     Round round = 0;
     Digraph graph;
     ProcId rows = 0;
+    std::int64_t bytes = 0;
+    std::int64_t max_message_bytes = 0;
   };
 
-  /// Collects per-process rows into whole derived graphs and fires the
-  /// observers once a round's last row lands. Rounds complete in
-  /// order: the last close of round r (at r*D + max skew) precedes the
-  /// first close of round r+1 (at (r+1)*D + min skew) because skews
-  /// are constrained below D.
+  PendingRound& pending_for(Round r) {
+    for (PendingRound& pg : pending_rounds_) {
+      if (pg.round == r) return pg;
+    }
+    pending_rounds_.push_back(PendingRound{r, Digraph(n()), 0, 0, 0});
+    return pending_rounds_.back();
+  }
+
+  /// Byte accounting for one on-time delivery (sizer installed only).
+  void account_delivery(Round r, const Msg& msg) {
+    if (!this->sizer_) return;
+    const std::int64_t bytes = this->sizer_(msg);
+    PendingRound& rec = pending_for(r);
+    rec.bytes += bytes;
+    rec.max_message_bytes = std::max(rec.max_message_bytes, bytes);
+  }
+
+  /// Collects per-process rows into whole derived graphs; once a
+  /// round's last row lands, records the round in the trace and fires
+  /// the observer bus. Rounds complete in order: the last close of
+  /// round r (at r*D + max skew) precedes the first close of round
+  /// r+1 (at (r+1)*D + min skew) because skews are constrained below
+  /// D.
   void derived_row(ProcId p, Round r, const ProcSet& senders) {
-    PendingGraph* rec = nullptr;
-    for (PendingGraph& pg : pending_graphs_) {
-      if (pg.round == r) {
-        rec = &pg;
-        break;
-      }
-    }
-    if (rec == nullptr) {
-      pending_graphs_.push_back(PendingGraph{r, Digraph(n()), 0});
-      rec = &pending_graphs_.back();
-    }
-    for (ProcId q : senders) rec->graph.add_edge(q, p);
-    if (++rec->rows == n()) {
-      for (const Observer& obs : observers_) obs(r, rec->graph);
-      std::erase_if(pending_graphs_,
-                    [r](const PendingGraph& pg) { return pg.round == r; });
+    PendingRound& rec = pending_for(r);
+    for (ProcId q : senders) rec.graph.add_edge(q, p);
+    if (++rec.rows == n()) {
+      RoundStats stats;
+      stats.round = r;
+      stats.messages_delivered = rec.graph.edge_count();
+      stats.bytes_delivered = rec.bytes;
+      stats.max_message_bytes = rec.max_message_bytes;
+      this->trace_.record(stats);
+      this->bus_.notify(r, rec.graph);
+      last_graph_ = std::move(rec.graph);
+      ++derived_rounds_;
+      std::erase_if(pending_rounds_,
+                    [r](const PendingRound& pg) { return pg.round == r; });
     }
   }
 
@@ -268,10 +286,11 @@ class NetRoundDriver {
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
   EventQueue queue_;
-  std::vector<Observer> observers_;
   std::vector<std::vector<RoundInbox>> inboxes_;
   std::vector<Round> finalized_round_;
-  std::vector<PendingGraph> pending_graphs_;
+  std::vector<PendingRound> pending_rounds_;
+  Digraph last_graph_;
+  Round derived_rounds_ = 0;
   std::int64_t late_ = 0;
   std::int64_t lost_ = 0;
   std::int64_t delivered_ = 0;

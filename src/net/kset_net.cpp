@@ -1,65 +1,17 @@
 #include "net/kset_net.hpp"
 
-#include <algorithm>
-#include <memory>
-
-#include "graph/scc.hpp"
-#include "kset/runner.hpp"
-#include "skeleton/tracker.hpp"
+#include <utility>
 
 namespace sskel {
 
 NetKSetReport run_kset_over_network(const LinkMatrix& links,
                                     const NetKSetConfig& config) {
   const ProcId n = links.n();
-  SSKEL_REQUIRE(config.k >= 1);
-
-  const std::vector<Value> proposals =
-      config.proposals.empty() ? default_proposals(n) : config.proposals;
-  SSKEL_REQUIRE(proposals.size() == static_cast<std::size_t>(n));
-
-  std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> procs;
-  std::vector<SkeletonKSetProcess*> views;
-  for (ProcId p = 0; p < n; ++p) {
-    auto proc = std::make_unique<SkeletonKSetProcess>(
-        n, p, proposals[static_cast<std::size_t>(p)], config.guard);
-    views.push_back(proc.get());
-    procs.push_back(std::move(proc));
-  }
-
-  NetRoundDriver<SkeletonMessage> driver(config.net, links, std::move(procs));
-  SkeletonTracker tracker(n);
-  driver.add_observer(tracker.observer());
-
-  const Round max_rounds =
-      config.max_rounds > 0 ? config.max_rounds : 8 * n + 32;
-  auto all_decided = [&] {
-    return std::all_of(
-        views.begin(), views.end(),
-        [](const SkeletonKSetProcess* v) { return v->decided(); });
-  };
-  driver.run_until(all_decided, max_rounds);
+  NetRoundDriver<SkeletonMessage> driver(
+      config.net, links, make_kset_processes(n, config.run));
 
   NetKSetReport report;
-  report.n = n;
-  report.all_decided = all_decided();
-  report.rounds_executed = driver.rounds_completed();
-  for (const SkeletonKSetProcess* v : views) {
-    Outcome o;
-    o.proposal = v->proposal();
-    o.decided = v->decided();
-    if (v->decided()) {
-      o.decision = v->decision();
-      o.decision_round = v->decision_round();
-      report.last_decision_round =
-          std::max(report.last_decision_round, v->decision_round());
-    }
-    report.outcomes.push_back(o);
-  }
-  report.verdict = verify_kset(report.outcomes, config.k);
-  report.distinct_values = report.verdict.distinct_decisions;
-  report.final_skeleton = tracker.skeleton();
-  report.skeleton_last_change = tracker.last_change_round();
+  report.kset = run_kset_on_engine(driver, config.run);
   report.delivered_messages = driver.delivered_messages();
   report.late_messages = driver.late_messages();
   report.lost_messages = driver.lost_messages();

@@ -5,39 +5,30 @@
 // concrete system: timely links realize the hub cover that implies
 // Psrcs(k) on the *derived* skeleton, and the decisions obey the same
 // k ceiling — measured end to end through real (simulated) message
-// timing, deadlines and discards.
+// timing, deadlines and discards. The run itself is the shared
+// run_kset_on_engine() over a NetRoundDriver, so every KSetRunReport
+// field (lemma monitoring, Psrcs analysis, byte accounting) is
+// available on the network substrate too; this wrapper only adds the
+// network-level accounting on top.
 #pragma once
 
-#include <vector>
-
-#include "graph/digraph.hpp"
-#include "kset/skeleton_kset.hpp"
-#include "kset/verify.hpp"
+#include "kset/runner.hpp"
 #include "net/driver.hpp"
 
 namespace sskel {
 
 struct NetKSetConfig {
-  int k = 1;
+  /// The full runner configuration (k, proposals, guard, max_rounds,
+  /// tail, lemma monitor, byte measurement) — identical to the
+  /// simulator entry point.
+  KSetRunConfig run;
+  /// The network substrate: round duration D, clock skews, seed.
   NetConfig net;
-  /// Proposals; empty = default distinct values.
-  std::vector<Value> proposals;
-  DecisionGuard guard = DecisionGuard::kAfterRoundN;
-  Round max_rounds = 0;  // 0 -> 8n + 32
 };
 
 struct NetKSetReport {
-  ProcId n = 0;
-  std::vector<Outcome> outcomes;
-  KSetVerdict verdict;
-  bool all_decided = false;
-  Round rounds_executed = 0;
-  Round last_decision_round = 0;
-  int distinct_values = 0;
-
-  /// Skeleton of the *derived* communication graphs.
-  Digraph final_skeleton;
-  Round skeleton_last_change = 0;
+  /// The substrate-agnostic report, exactly as run_kset() produces it.
+  KSetRunReport kset;
 
   /// Network-level accounting.
   std::int64_t delivered_messages = 0;

@@ -1,0 +1,14 @@
+#include "rounds/engine.hpp"
+
+namespace sskel {
+
+void ObserverBus::add(Observer obs) {
+  SSKEL_REQUIRE(obs != nullptr);
+  observers_.push_back(std::move(obs));
+}
+
+void ObserverBus::notify(Round r, const Digraph& graph) const {
+  for (const Observer& obs : observers_) obs(r, graph);
+}
+
+}  // namespace sskel

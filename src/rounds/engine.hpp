@@ -1,0 +1,128 @@
+// RoundEngine: the execution-substrate boundary of the library.
+//
+// The paper's central reduction (Sec. II, Eq. (5)-(7)) is that
+// asynchrony, clock skew and faults all collapse into one object — the
+// per-round communication graph G^r. Everything above that object
+// (Algorithm 1, skeleton trackers, lemma monitors, Psrcs(k) analysis)
+// therefore must not care *where* the graphs come from. RoundEngine is
+// that boundary: any substrate that can (1) execute communication-
+// closed rounds over a fixed process set and (2) surface the round's
+// communication graph implements it, and the whole upper stack runs
+// unchanged on top.
+//
+// Two substrates ship today:
+//   * Simulator (rounds/simulator.hpp) — deterministic rounds driven
+//     by an abstract GraphSource (the paper's model, verbatim);
+//   * NetRoundDriver (net/driver.hpp) — a round synchronizer over a
+//     simulated partially synchronous network, whose *derived* graphs
+//     encode real message timing, deadlines and drops.
+//
+// Shared machinery lives here: the ObserverBus (per-round callbacks
+// receiving G^r after the round's transitions — a consistent
+// end-of-round cut on every substrate), the RunTrace (per-round
+// message/byte accounting), the optional message sizer, and the
+// run/run_until drivers, which are defined once so that predicate
+// evaluation costs are identical on every substrate (done() runs at
+// most once on entry and once per completed round).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "rounds/algorithm.hpp"
+#include "rounds/trace.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+/// Fan-out of per-round callbacks. Observers fire in registration
+/// order once per completed round, receiving the round number and the
+/// round's communication graph (self-loops closed), with every process
+/// already in its end-of-round state.
+class ObserverBus {
+ public:
+  using Observer = std::function<void(Round, const Digraph&)>;
+
+  void add(Observer obs);
+  void notify(Round r, const Digraph& graph) const;
+
+  [[nodiscard]] std::size_t size() const { return observers_.size(); }
+  [[nodiscard]] bool empty() const { return observers_.empty(); }
+
+ private:
+  std::vector<Observer> observers_;
+};
+
+/// A substrate executing communication-closed rounds for one algorithm
+/// instance per process. `Msg` is the algorithm's message type.
+template <typename Msg>
+class RoundEngine {
+ public:
+  using Process = Algorithm<Msg>;
+  /// Optional encoded-size model: bytes for one message instance.
+  using MessageSizer = std::function<std::int64_t(const Msg&)>;
+
+  virtual ~RoundEngine() = default;
+
+  RoundEngine(const RoundEngine&) = delete;
+  RoundEngine& operator=(const RoundEngine&) = delete;
+
+  /// Number of processes in the universe.
+  [[nodiscard]] virtual ProcId n() const = 0;
+
+  /// Rounds fully executed so far (every process has finished its
+  /// transition for each counted round).
+  [[nodiscard]] virtual Round rounds_completed() const = 0;
+
+  [[nodiscard]] virtual Process& process(ProcId p) = 0;
+  [[nodiscard]] virtual const Process& process(ProcId p) const = 0;
+
+  /// Executes one full round; returns the round's communication graph
+  /// (self-loops closed; for network substrates, the *derived* graph
+  /// of on-time deliveries).
+  virtual const Digraph& step() = 0;
+
+  /// Observer registration, shared across substrates.
+  [[nodiscard]] ObserverBus& observers() { return bus_; }
+  void add_observer(ObserverBus::Observer obs) { bus_.add(std::move(obs)); }
+
+  /// Installs the byte-accounting model; per-round byte totals then
+  /// appear in the trace.
+  void set_message_sizer(MessageSizer sizer) { sizer_ = std::move(sizer); }
+
+  /// Per-round message/byte accounting of the run so far.
+  [[nodiscard]] const RunTrace& trace() const { return trace_; }
+
+  /// Runs `rounds` additional rounds.
+  void run(Round rounds) {
+    SSKEL_REQUIRE(rounds >= 0);
+    for (Round i = 0; i < rounds; ++i) step();
+  }
+
+  /// Runs until `done()` holds or `rounds_completed()` reaches
+  /// `max_rounds`; returns true iff the predicate fired. `done` is
+  /// evaluated once on entry and once after each completed round —
+  /// never twice for the same state, so expensive predicates are not
+  /// double-charged.
+  bool run_until(const std::function<bool()>& done, Round max_rounds) {
+    if (done()) return true;
+    while (rounds_completed() < max_rounds) {
+      step();
+      if (done()) return true;
+    }
+    return false;
+  }
+
+ protected:
+  RoundEngine() = default;
+
+  ObserverBus bus_;
+  MessageSizer sizer_;
+  RunTrace trace_;
+};
+
+}  // namespace sskel

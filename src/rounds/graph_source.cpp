@@ -21,6 +21,13 @@ Digraph ScheduleSource::graph(Round r) {
   return prefix_[idx];
 }
 
+void ScheduleSource::graph_into(Round r, Digraph& out) {
+  SSKEL_REQUIRE(r >= 1);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(r - 1), prefix_.size() - 1);
+  out = prefix_[idx];  // copy-assign: reuses out's storage once sized
+}
+
 FunctionSource::FunctionSource(ProcId n, std::function<Digraph(Round)> fn)
     : n_(n), fn_(std::move(fn)) {
   SSKEL_REQUIRE(n > 0);

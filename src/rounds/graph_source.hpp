@@ -31,6 +31,12 @@ class GraphSource {
   /// self-loops on top of whatever is returned (a process always
   /// hears from itself).
   [[nodiscard]] virtual Digraph graph(Round r) = 0;
+
+  /// Writes the round-r graph into `out`, reusing its adjacency
+  /// storage when already sized for this universe. Sources on the
+  /// Monte-Carlo hot path override this so a steady-state round
+  /// performs no graph allocations; the default delegates to graph().
+  virtual void graph_into(Round r, Digraph& out) { out = graph(r); }
 };
 
 /// A fixed prefix of graphs followed by the last graph forever. The
@@ -44,6 +50,7 @@ class ScheduleSource final : public GraphSource {
 
   [[nodiscard]] ProcId n() const override;
   [[nodiscard]] Digraph graph(Round r) override;
+  void graph_into(Round r, Digraph& out) override;
 
   [[nodiscard]] std::size_t prefix_rounds() const { return prefix_.size(); }
 

@@ -1,4 +1,5 @@
-// The deterministic round simulator.
+// The deterministic round simulator: the GraphSource-backed
+// RoundEngine.
 //
 // Executes communication-closed rounds over a fixed set of processes:
 // every round r, (1) query the GraphSource for G^r and close it under
@@ -8,16 +9,22 @@
 // (4) starts, so a message sent in round r can only be received in
 // round r — the communication-closed property of Sec. II.
 //
-// Observers (per-round callbacks receiving G^r) let higher layers —
-// skeleton trackers, lemma monitors, predicate checkers — watch a run
-// without the kernel depending on them.
+// Observers on the engine's bus fire once per round after all
+// transitions (the consistent end-of-round cut shared with the network
+// substrate), receiving G^r.
+//
+// Hot path: the round graph and the per-process outboxes are reused
+// across rounds — GraphSource::graph_into writes G^r into the same
+// Digraph every round, so a steady-state round performs no graph
+// allocations.
 #pragma once
 
-#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "rounds/algorithm.hpp"
+#include "rounds/engine.hpp"
 #include "rounds/graph_source.hpp"
 #include "rounds/trace.hpp"
 #include "util/assert.hpp"
@@ -25,12 +32,9 @@
 namespace sskel {
 
 template <typename Msg>
-class Simulator {
+class Simulator final : public RoundEngine<Msg> {
  public:
   using Process = Algorithm<Msg>;
-  using Observer = std::function<void(Round, const Digraph&)>;
-  /// Optional encoded-size model: bytes for one message instance.
-  using MessageSizer = std::function<std::int64_t(const Msg&)>;
 
   /// Takes ownership of the processes. `processes[i]` must have id i.
   Simulator(GraphSource& source,
@@ -45,33 +49,27 @@ class Simulator {
     outbox_.resize(processes_.size());
   }
 
-  [[nodiscard]] ProcId n() const { return source_.n(); }
+  [[nodiscard]] ProcId n() const override { return source_.n(); }
   [[nodiscard]] Round current_round() const { return round_; }
-  [[nodiscard]] const RunTrace& trace() const { return trace_; }
+  [[nodiscard]] Round rounds_completed() const override { return round_; }
 
-  [[nodiscard]] Process& process(ProcId p) {
+  [[nodiscard]] Process& process(ProcId p) override {
     SSKEL_REQUIRE(p >= 0 && p < n());
     return *processes_[static_cast<std::size_t>(p)];
   }
-  [[nodiscard]] const Process& process(ProcId p) const {
+  [[nodiscard]] const Process& process(ProcId p) const override {
     SSKEL_REQUIRE(p >= 0 && p < n());
     return *processes_[static_cast<std::size_t>(p)];
   }
-
-  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
-
-  void set_message_sizer(MessageSizer sizer) { sizer_ = std::move(sizer); }
 
   /// Executes one full round; returns the communication graph used
   /// (after self-loop closure).
-  const Digraph& step() {
+  const Digraph& step() override {
     const Round r = ++round_;
-    graph_ = source_.graph(r);
+    source_.graph_into(r, graph_);
     SSKEL_REQUIRE(graph_.n() == n());
     SSKEL_REQUIRE(graph_.nodes() == ProcSet::full(n()));
     graph_.add_self_loops();
-
-    for (const Observer& obs : observers_) obs(r, graph_);
 
     // Phase 1: all sends, from beginning-of-round state.
     for (std::size_t i = 0; i < processes_.size(); ++i) {
@@ -84,10 +82,10 @@ class Simulator {
     for (ProcId p = 0; p < n(); ++p) {
       const ProcSet& senders = graph_.in_neighbors(p);
       stats.messages_delivered += senders.count();
-      if (sizer_) {
+      if (this->sizer_) {
         for (ProcId q : senders) {
           const std::int64_t bytes =
-              sizer_(outbox_[static_cast<std::size_t>(q)]);
+              this->sizer_(outbox_[static_cast<std::size_t>(q)]);
           stats.bytes_delivered += bytes;
           stats.max_message_bytes = std::max(stats.max_message_bytes, bytes);
         }
@@ -95,36 +93,19 @@ class Simulator {
       const Inbox<Msg> inbox(senders, outbox_);
       processes_[static_cast<std::size_t>(p)]->transition(r, inbox);
     }
-    trace_.record(stats);
+    this->trace_.record(stats);
+
+    // End-of-round cut: every process is in its round-r final state.
+    this->bus_.notify(r, graph_);
     return graph_;
-  }
-
-  /// Runs `rounds` additional rounds.
-  void run(Round rounds) {
-    SSKEL_REQUIRE(rounds >= 0);
-    for (Round i = 0; i < rounds; ++i) step();
-  }
-
-  /// Runs until `done()` returns true (checked after every round) or
-  /// `max_rounds` total rounds have executed; returns true iff the
-  /// predicate fired.
-  bool run_until(const std::function<bool()>& done, Round max_rounds) {
-    while (round_ < max_rounds) {
-      step();
-      if (done()) return true;
-    }
-    return done();
   }
 
  private:
   GraphSource& source_;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::vector<Observer> observers_;
-  MessageSizer sizer_;
   std::vector<Msg> outbox_;
   Digraph graph_;
   Round round_ = 0;
-  RunTrace trace_;
 };
 
 }  // namespace sskel

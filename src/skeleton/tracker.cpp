@@ -13,9 +13,9 @@ void SkeletonTracker::observe(Round r, const Digraph& graph) {
   SSKEL_REQUIRE(graph.n() == n_);
   SSKEL_REQUIRE(r == round_ + 1);
   round_ = r;
-  const Digraph before = skeleton_;
+  scratch_ = skeleton_;  // copy-assign: reuses scratch storage
   skeleton_.intersect_with(graph);
-  if (skeleton_ != before) last_change_ = r;
+  if (skeleton_ != scratch_) last_change_ = r;
   if (history_ == History::kKeepAll) past_.push_back(skeleton_);
 }
 

@@ -64,6 +64,7 @@ class SkeletonTracker {
   ProcId n_;
   History history_;
   Digraph skeleton_;
+  Digraph scratch_;  // previous skeleton, reused across observe() calls
   std::vector<Digraph> past_;  // past_[r-1] = G∩r
   Round round_ = 0;
   Round last_change_ = 0;

@@ -1,0 +1,119 @@
+// Integration: the full KSetRunner analysis stack (SkeletonTracker,
+// LemmaMonitor, Psrcs(k) analysis, byte accounting) over the
+// *network* substrate — run_kset_on_engine on a NetRoundDriver with
+// skewed clocks and lossy links, with zero algorithm-side changes.
+//
+// The paper's claims are about the model, not the simulator: Theorem 1
+// (<= k root components) and Lemma 11's termination bound must hold on
+// the derived skeleton of a partially synchronous network exactly as
+// they do on an abstract GraphSource.
+#include <gtest/gtest.h>
+
+#include "graph/scc.hpp"
+#include "kset/runner.hpp"
+#include "net/driver.hpp"
+#include "predicates/psrcs.hpp"
+
+namespace sskel {
+namespace {
+
+/// k singleton hubs, every process assigned to hub (p % k): timely
+/// hub->member links riding over an otherwise lossy mesh.
+LinkMatrix hub_links(ProcId n, int k, double flaky_probability) {
+  Digraph stable(n);
+  stable.add_self_loops();
+  for (ProcId p = 0; p < n; ++p) {
+    stable.add_edge(p % static_cast<ProcId>(k), p);
+  }
+  LinkMatrix links = LinkMatrix::all_flaky(n, flaky_probability);
+  links.upgrade_to_timely(stable, 100, 700);
+  return links;
+}
+
+TEST(NetRunnerTest, FullReportOverSkewedLossyNetwork) {
+  const ProcId n = 9;
+  const int k = 3;
+
+  KSetRunConfig config;
+  config.k = k;
+  config.attach_lemma_monitor = true;
+  config.measure_bytes = true;
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    NetConfig net;
+    net.round_duration = 1000;
+    net.seed = seed;
+    for (ProcId p = 0; p < n; ++p) {
+      net.skews.push_back((static_cast<SimTime>(p) * 37) % 201);
+    }
+
+    NetRoundDriver<SkeletonMessage> driver(net, hub_links(n, k, 0.4),
+                                           make_kset_processes(n, config));
+    const KSetRunReport report = run_kset_on_engine(driver, config);
+
+    ASSERT_TRUE(report.all_decided) << "seed " << seed;
+    EXPECT_EQ(report.n, n);
+
+    // k-set agreement end to end through deadlines and drops.
+    EXPECT_TRUE(report.verdict.all_hold()) << "seed " << seed;
+    EXPECT_LE(report.distinct_values, k);
+
+    // Lemma 11: every decision lands within max(r_ST,1) + 2n - 1 (+1
+    // for the strict guard), measured against the *derived* skeleton.
+    EXPECT_LE(report.last_decision_round,
+              report.termination_bound(config.guard))
+        << "seed " << seed;
+
+    // Theorem 1 on the derived skeleton: the timely hubs form a hub
+    // cover, so Psrcs(k) holds and at most k root components survive.
+    EXPECT_TRUE(check_psrcs_exact(report.final_skeleton, k).holds);
+    EXPECT_LE(report.root_components_final.size(),
+              static_cast<std::size_t>(k));
+
+    // The lemma monitor ran over the network-derived rounds and found
+    // nothing.
+    EXPECT_TRUE(report.lemma_violations.empty())
+        << "seed " << seed << ": " << report.lemma_violations.front();
+
+    // Byte accounting flows from the driver's deliveries into the
+    // shared trace.
+    EXPECT_GT(report.total_messages, 0);
+    EXPECT_GT(report.total_bytes, 0);
+    EXPECT_GT(report.max_message_bytes, 0);
+
+    // Network-level counters remain accessible on the driver.
+    EXPECT_GT(driver.delivered_messages(), 0);
+    EXPECT_EQ(driver.rounds_completed(), report.rounds_executed);
+  }
+}
+
+TEST(NetRunnerTest, SimulatorAndNetworkAgreeOnCleanNetworks) {
+  // On an all-timely network the derived graphs are complete every
+  // round — exactly what a complete-graph GraphSource produces — so
+  // both substrates must reach the same decisions.
+  const ProcId n = 5;
+  KSetRunConfig config;
+  config.k = 1;
+
+  NetConfig net;
+  net.round_duration = 1000;
+  NetRoundDriver<SkeletonMessage> driver(net, LinkMatrix::all_timely(n, 50, 400),
+                                         make_kset_processes(n, config));
+  const KSetRunReport over_net = run_kset_on_engine(driver, config);
+
+  ScheduleSource source({Digraph::complete(n)});
+  const KSetRunReport over_sim = run_kset(source, config);
+
+  ASSERT_TRUE(over_net.all_decided);
+  ASSERT_TRUE(over_sim.all_decided);
+  ASSERT_EQ(over_net.outcomes.size(), over_sim.outcomes.size());
+  for (std::size_t p = 0; p < over_net.outcomes.size(); ++p) {
+    EXPECT_EQ(over_net.outcomes[p].decision, over_sim.outcomes[p].decision);
+    EXPECT_EQ(over_net.outcomes[p].decision_round,
+              over_sim.outcomes[p].decision_round);
+  }
+  EXPECT_EQ(over_net.final_skeleton, over_sim.final_skeleton);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -28,14 +28,14 @@ LinkMatrix hub_links(ProcId n, int k, double flaky_probability) {
 
 TEST(NetKSetTest, AllTimelyGivesConsensus) {
   NetKSetConfig config;
-  config.k = 1;
+  config.run.k = 1;
   const NetKSetReport report =
       run_kset_over_network(LinkMatrix::all_timely(5, 100, 800), config);
-  ASSERT_TRUE(report.all_decided);
-  EXPECT_TRUE(report.verdict.all_hold());
-  EXPECT_EQ(report.distinct_values, 1);
-  EXPECT_EQ(report.outcomes[0].decision, 7);
-  EXPECT_EQ(report.final_skeleton, Digraph::complete(5));
+  ASSERT_TRUE(report.kset.all_decided);
+  EXPECT_TRUE(report.kset.verdict.all_hold());
+  EXPECT_EQ(report.kset.distinct_values, 1);
+  EXPECT_EQ(report.kset.outcomes[0].decision, 7);
+  EXPECT_EQ(report.kset.final_skeleton, Digraph::complete(5));
 }
 
 TEST(NetKSetTest, HubTopologySatisfiesPsrcsKAndKAgreement) {
@@ -43,36 +43,36 @@ TEST(NetKSetTest, HubTopologySatisfiesPsrcsKAndKAgreement) {
     const ProcId n = 9;
     const int k = 3;
     NetKSetConfig config;
-    config.k = k;
+    config.run.k = k;
     config.net.seed = seed;
     const NetKSetReport report =
         run_kset_over_network(hub_links(n, k, 0.4), config);
-    ASSERT_TRUE(report.all_decided) << "seed " << seed;
-    EXPECT_TRUE(report.verdict.all_hold()) << "seed " << seed;
+    ASSERT_TRUE(report.kset.all_decided) << "seed " << seed;
+    EXPECT_TRUE(report.kset.verdict.all_hold()) << "seed " << seed;
 
     // The derived skeleton contains the timely hub edges, so the hubs
     // are a hub cover: Psrcs(k) holds on the derived skeleton.
     ProcSet hubs(n);
     for (ProcId h = 0; h < static_cast<ProcId>(k); ++h) hubs.insert(h);
-    EXPECT_TRUE(is_hub_cover(report.final_skeleton, hubs));
-    EXPECT_TRUE(check_psrcs_exact(report.final_skeleton, k).holds);
+    EXPECT_TRUE(is_hub_cover(report.kset.final_skeleton, hubs));
+    EXPECT_TRUE(check_psrcs_exact(report.kset.final_skeleton, k).holds);
     // Theorem 1 on the derived skeleton.
-    EXPECT_LE(root_components(report.final_skeleton).size(),
+    EXPECT_LE(root_components(report.kset.final_skeleton).size(),
               static_cast<std::size_t>(k));
   }
 }
 
 TEST(NetKSetTest, WallClockMatchesRounds) {
   NetKSetConfig config;
-  config.k = 1;
+  config.run.k = 1;
   config.net.round_duration = 2000;
   const NetKSetReport report =
       run_kset_over_network(LinkMatrix::all_timely(4, 50, 300), config);
-  ASSERT_TRUE(report.all_decided);
+  ASSERT_TRUE(report.kset.all_decided);
   // Simulated time is rounds x duration (within one round of slack for
   // the in-flight boundary).
   EXPECT_GE(report.wall_clock,
-            static_cast<SimTime>(report.last_decision_round) * 2000);
+            static_cast<SimTime>(report.kset.last_decision_round) * 2000);
 }
 
 TEST(NetKSetTest, FlakyEverythingStillSafeWhenLonersForm) {
@@ -81,29 +81,29 @@ TEST(NetKSetTest, FlakyEverythingStillSafeWhenLonersForm) {
   // validity and termination must still hold (they are predicate-free).
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     NetKSetConfig config;
-    config.k = 1;  // judge against consensus to observe the spread
+    config.run.k = 1;  // judge against consensus to observe the spread
     config.net.seed = seed;
     const NetKSetReport report =
         run_kset_over_network(LinkMatrix::all_flaky(5, 0.5), config);
-    ASSERT_TRUE(report.all_decided) << "seed " << seed;
-    EXPECT_TRUE(report.verdict.validity);
-    EXPECT_GE(report.distinct_values, 1);
-    EXPECT_LE(report.distinct_values, 5);
+    ASSERT_TRUE(report.kset.all_decided) << "seed " << seed;
+    EXPECT_TRUE(report.kset.verdict.validity);
+    EXPECT_GE(report.kset.distinct_values, 1);
+    EXPECT_LE(report.kset.distinct_values, 5);
   }
 }
 
 TEST(NetKSetTest, SkewedClocksStillAgree) {
   NetKSetConfig config;
-  config.k = 1;
+  config.run.k = 1;
   config.net.round_duration = 1000;
   config.net.skews = {0, 150, 300, 450, 600};
   // Tight delays keep every link timely in both directions despite
   // the 600us worst-case skew: d <= D - 600 suffices.
   const NetKSetReport report =
       run_kset_over_network(LinkMatrix::all_timely(5, 50, 350), config);
-  ASSERT_TRUE(report.all_decided);
-  EXPECT_EQ(report.distinct_values, 1);
-  EXPECT_EQ(report.final_skeleton, Digraph::complete(5));
+  ASSERT_TRUE(report.kset.all_decided);
+  EXPECT_EQ(report.kset.distinct_values, 1);
+  EXPECT_EQ(report.kset.final_skeleton, Digraph::complete(5));
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Tests for the RoundEngine boundary itself: run_until's predicate
+// discipline, observer-bus semantics, and the end-of-round cut — the
+// contracts every substrate (simulator, network driver) must honor.
+#include "rounds/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "rounds/graph_source.hpp"
+#include "rounds/simulator.hpp"
+
+namespace sskel {
+namespace {
+
+/// Counts its own transitions; message is the sender id.
+class CountingProcess final : public Algorithm<int> {
+ public:
+  CountingProcess(ProcId n, ProcId id) : Algorithm(n, id) {}
+  int send(Round) override { return static_cast<int>(id()); }
+  void transition(Round, const Inbox<int>&) override { ++transitions; }
+  int transitions = 0;
+};
+
+std::vector<std::unique_ptr<Algorithm<int>>> make_counters(ProcId n) {
+  std::vector<std::unique_ptr<Algorithm<int>>> procs;
+  for (ProcId p = 0; p < n; ++p) {
+    procs.push_back(std::make_unique<CountingProcess>(n, p));
+  }
+  return procs;
+}
+
+ScheduleSource complete_source(ProcId n) {
+  return ScheduleSource({Digraph::complete(n)});
+}
+
+TEST(RoundEngineTest, RunUntilEvaluatesDoneOncePerRoundPlusEntry) {
+  ScheduleSource source = complete_source(3);
+  Simulator<int> sim(source, make_counters(3));
+  RoundEngine<int>& engine = sim;
+
+  int evaluations = 0;
+  const bool fired = engine.run_until(
+      [&] {
+        ++evaluations;
+        return false;
+      },
+      5);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.rounds_completed(), 5);
+  // Once on entry + once after each of the 5 rounds — never a second
+  // evaluation at the max_rounds cap.
+  EXPECT_EQ(evaluations, 6);
+}
+
+TEST(RoundEngineTest, RunUntilEntryTrueRunsNoRounds) {
+  ScheduleSource source = complete_source(3);
+  Simulator<int> sim(source, make_counters(3));
+
+  int evaluations = 0;
+  const bool fired = sim.run_until(
+      [&] {
+        ++evaluations;
+        return true;
+      },
+      5);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(sim.rounds_completed(), 0);
+}
+
+TEST(RoundEngineTest, RunUntilStopsAtFirstTrueEvaluation) {
+  ScheduleSource source = complete_source(2);
+  Simulator<int> sim(source, make_counters(2));
+
+  int evaluations = 0;
+  const bool fired = sim.run_until(
+      [&] {
+        ++evaluations;
+        return sim.rounds_completed() >= 3;
+      },
+      10);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.rounds_completed(), 3);
+  EXPECT_EQ(evaluations, 4);  // entry + rounds 1..3
+}
+
+TEST(RoundEngineTest, ObserversFireInRegistrationOrder) {
+  ScheduleSource source = complete_source(2);
+  Simulator<int> sim(source, make_counters(2));
+
+  std::vector<int> order;
+  sim.add_observer([&](Round, const Digraph&) { order.push_back(1); });
+  sim.add_observer([&](Round, const Digraph&) { order.push_back(2); });
+  EXPECT_EQ(sim.observers().size(), 2u);
+
+  sim.run(2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(RoundEngineTest, ObserversSeeEndOfRoundState) {
+  // The bus fires after all transitions: an observer reading process
+  // state must see the *completed* round on every substrate.
+  ScheduleSource source = complete_source(3);
+  auto procs = make_counters(3);
+  std::vector<const CountingProcess*> views;
+  for (const auto& p : procs) {
+    views.push_back(static_cast<const CountingProcess*>(p.get()));
+  }
+  Simulator<int> sim(source, std::move(procs));
+
+  std::vector<int> seen;
+  sim.add_observer([&](Round r, const Digraph& g) {
+    EXPECT_EQ(g.n(), 3);
+    for (const CountingProcess* v : views) {
+      EXPECT_EQ(v->transitions, r) << "observer fired before transitions";
+    }
+    seen.push_back(static_cast<int>(r));
+  });
+  sim.run(4);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(RoundEngineTest, PolymorphicAccessMatchesConcrete) {
+  ScheduleSource source = complete_source(4);
+  Simulator<int> sim(source, make_counters(4));
+  RoundEngine<int>& engine = sim;
+
+  EXPECT_EQ(engine.n(), 4);
+  const Digraph& g = engine.step();
+  EXPECT_EQ(g, Digraph::complete(4));
+  EXPECT_EQ(engine.rounds_completed(), 1);
+  for (ProcId p = 0; p < 4; ++p) {
+    const auto& proc =
+        dynamic_cast<const CountingProcess&>(engine.process(p));
+    EXPECT_EQ(proc.transitions, 1);
+  }
+}
+
+TEST(RoundEngineTest, TraceAccumulatesThroughBase) {
+  ScheduleSource source = complete_source(3);
+  Simulator<int> sim(source, make_counters(3));
+  RoundEngine<int>& engine = sim;
+  engine.set_message_sizer([](const int&) { return std::int64_t{5}; });
+  engine.run(2);
+  // Complete graph on 3 nodes: 9 deliveries per round.
+  EXPECT_EQ(engine.trace().total_messages(), 18);
+  EXPECT_EQ(engine.trace().total_bytes(), 90);
+  EXPECT_EQ(engine.trace().max_message_bytes(), 5);
+}
+
+}  // namespace
+}  // namespace sskel
