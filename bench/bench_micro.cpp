@@ -1,18 +1,33 @@
 // E9 — microbenchmarks (google-benchmark): the graph and skeleton
 // kernels that dominate simulation cost, plus end-to-end round
 // throughput of Algorithm 1.
+//
+// Besides the console table, the binary writes BENCH_micro.json
+// (machine-readable records: op, n, k, ns/op, counters) for CI
+// artifacts and regression tracking. SSKEL_SMOKE=1 shrinks
+// per-benchmark min time so the whole suite finishes in seconds;
+// SSKEL_BENCH_JSON overrides the output path.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "adversary/random_psrcs.hpp"
 #include "graph/reach.hpp"
 #include "graph/scc.hpp"
 #include "kset/runner.hpp"
 #include "kset/skeleton_kset.hpp"
+#include "predicates/analysis.hpp"
+#include "predicates/psrcs.hpp"
 #include "rounds/simulator.hpp"
 #include "skeleton/codec.hpp"
 #include "skeleton/tracker.hpp"
+#include "util/bench_json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -126,6 +141,101 @@ void BM_CodecRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_CodecRoundTrip)->Range(8, 256);
 
+/// Per-round skeleton analytics on a post-stabilization round,
+/// recomputed from scratch every time — the pre-caching behavior:
+/// SCC decomposition, root components, and the exact Psrcs(k) check
+/// all rerun although the skeleton did not change.
+void BM_PostStabilizationAnalytics_Fresh(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = 3;
+  params.root_components = 3;
+  RandomPsrcsSource source(21, params);
+  SkeletonTracker tracker(n);
+  Round r = 1;
+  tracker.observe(r, source.stable_skeleton());
+  for (auto _ : state) {
+    ++r;
+    tracker.observe(r, source.stable_skeleton());
+    benchmark::DoNotOptimize(
+        strongly_connected_components(tracker.skeleton()));
+    benchmark::DoNotOptimize(root_components(tracker.skeleton()));
+    benchmark::DoNotOptimize(check_psrcs_exact(tracker.skeleton(), 3));
+  }
+}
+BENCHMARK(BM_PostStabilizationAnalytics_Fresh)->Range(16, 256);
+
+/// The same post-stabilization round through the version-stamped
+/// caches: observe() detects that the intersection removed nothing,
+/// so every analytics read is a cache hit. The acceptance bar is a
+/// >= 10x ratio against the _Fresh variant.
+void BM_PostStabilizationAnalytics_Cached(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = 3;
+  params.root_components = 3;
+  RandomPsrcsSource source(21, params);
+  SkeletonTracker tracker(n);
+  SkeletonPredicateCache cache;
+  Round r = 1;
+  tracker.observe(r, source.stable_skeleton());
+  for (auto _ : state) {
+    ++r;
+    tracker.observe(r, source.stable_skeleton());
+    benchmark::DoNotOptimize(&tracker.current_scc());
+    benchmark::DoNotOptimize(&tracker.current_root_components());
+    benchmark::DoNotOptimize(
+        &cache.psrcs_exact(tracker.skeleton(), tracker.version(), 3));
+  }
+}
+BENCHMARK(BM_PostStabilizationAnalytics_Cached)->Range(16, 256);
+
+/// Branch-and-bound Psrcs(k) decision on the stable skeleton of a
+/// random Psrcs(k) adversary (the predicate holds, so the search must
+/// exhaust its pruned space — the worst case). Counters export the
+/// subsets visited so BENCH_micro.json records the pruning factor
+/// against the brute-force baseline below.
+void BM_PsrcsExactPruned(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = k;
+  params.root_components = k;
+  RandomPsrcsSource source(22, params);
+  const Digraph& skel = source.stable_skeleton();
+  std::int64_t subsets = 0;
+  for (auto _ : state) {
+    const PsrcsCheck check = check_psrcs_exact(skel, k);
+    subsets = check.subsets_checked;
+    benchmark::DoNotOptimize(check.holds);
+  }
+  state.counters["subsets_visited"] = static_cast<double>(subsets);
+}
+BENCHMARK(BM_PsrcsExactPruned)->Args({16, 3})->Args({20, 4})->Args({24, 3});
+
+/// The literal C(n, k+1) enumeration on the same instances.
+void BM_PsrcsBruteforce(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = k;
+  params.root_components = k;
+  RandomPsrcsSource source(22, params);
+  const Digraph& skel = source.stable_skeleton();
+  std::int64_t subsets = 0;
+  for (auto _ : state) {
+    const PsrcsCheck check = check_psrcs_bruteforce(skel, k);
+    subsets = check.subsets_checked;
+    benchmark::DoNotOptimize(check.holds);
+  }
+  state.counters["subsets_visited"] = static_cast<double>(subsets);
+}
+BENCHMARK(BM_PsrcsBruteforce)->Args({16, 3})->Args({20, 4})->Args({24, 3});
+
 /// End-to-end: one full round of Algorithm 1 for n processes on a
 /// stable hub topology (send + deliver + transition for all n).
 void BM_AlgorithmOneRound(benchmark::State& state) {
@@ -165,6 +275,90 @@ void BM_FullRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRun)->Range(4, 64);
 
+/// Console output as usual, plus a capture of every per-iteration run
+/// for the BENCH_micro.json dump (aggregates and complexity fits are
+/// console-only).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run.report_big_o || run.report_rms || run.error_occurred) continue;
+      runs_.push_back(run);
+    }
+  }
+
+  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+/// "BM_Name/16/3" -> op "BM_Name", args {16, 3} (n, then k when
+/// present). Non-numeric path components are ignored.
+void append_record(BenchJson& json, const JsonCaptureReporter::Run& run) {
+  const std::string name = run.benchmark_name();
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    const std::size_t slash = name.find('/', start);
+    if (slash == std::string::npos) {
+      parts.push_back(name.substr(start));
+      break;
+    }
+    parts.push_back(name.substr(start, slash - start));
+    start = slash + 1;
+  }
+  BenchRecord& rec = json.add(parts.empty() ? name : parts[0]);
+  std::vector<std::int64_t> args;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& p = parts[i];
+    if (p.empty() ||
+        !std::all_of(p.begin(), p.end(),
+                     [](unsigned char c) { return std::isdigit(c); })) {
+      continue;
+    }
+    args.push_back(std::stoll(p));
+  }
+  if (!args.empty()) rec.set("n", args[0]);
+  if (args.size() > 1) rec.set("k", args[1]);
+  rec.set("ns_per_op", run.GetAdjustedRealTime());
+  rec.set("iterations", static_cast<std::int64_t>(run.iterations));
+  for (const auto& [key, counter] : run.counters) {
+    rec.set(key, counter.value);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Smoke mode (CI): cut per-benchmark min time so the suite runs in
+  // seconds; the numbers are indicative, the JSON schema identical.
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (std::getenv("SSKEL_SMOKE") != nullptr) {
+    args.push_back(min_time.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  BenchJson json("micro");
+  for (const auto& run : reporter.runs()) append_record(json, run);
+  const char* path_env = std::getenv("SSKEL_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_micro.json";
+  if (json.write_file(path)) {
+    std::cout << "\nwrote " << path << " (" << reporter.runs().size()
+              << " records)\n";
+  } else {
+    std::cerr << "\nwarning: could not write " << path << '\n';
+  }
+  benchmark::Shutdown();
+  return 0;
+}

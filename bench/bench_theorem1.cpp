@@ -5,9 +5,18 @@
 // Sweep: n x k x j (engineered root components), 100 seeded trials per
 // row. Columns report the distribution of root components and distinct
 // decisions; the "viol" columns must stay 0.
+// Besides the table, the binary writes BENCH_theorem1.json: one
+// record per sweep row, including the Psrcs(k) decision cost on the
+// row's stable skeleton (branch-and-bound subsets visited vs the
+// C(n, k+1) brute-force baseline). SSKEL_SMOKE=1 cuts the trial count
+// for CI; SSKEL_BENCH_JSON overrides the output path.
+#include <cstdlib>
 #include <iostream>
 
+#include "adversary/random_psrcs.hpp"
 #include "mc/montecarlo.hpp"
+#include "predicates/psrcs.hpp"
+#include "util/bench_json.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -27,8 +36,10 @@ int main() {
       {12, 4, 4}, {16, 2, 2}, {16, 5, 5}, {24, 3, 3}, {32, 4, 4},
       {48, 6, 6}, {64, 4, 4},
   };
-  const int trials = 100;
+  const bool smoke = std::getenv("SSKEL_SMOKE") != nullptr;
+  const int trials = smoke ? 10 : 100;
 
+  BenchJson json("theorem1");
   Table table("root components and decision values vs k (100 trials/row)",
               {"n", "k", "j", "roots mean", "roots max", "values mean",
                "values max", "values hist", "agree viol", "root>k viol"});
@@ -56,8 +67,46 @@ int main() {
                    cell(s.distinct_values.max(), 0),
                    s.distinct_histogram.to_string(),
                    cell(s.agreement_violations), cell(root_viol)});
+
+    // Psrcs(k) decision cost on this row's stable skeleton: the
+    // branch-and-bound checker must agree with the brute-force
+    // enumeration while visiting fewer subsets.
+    // (the C(n, k+1) baseline is only affordable on the smaller rows;
+    // -1 marks rows where it was skipped).
+    RandomPsrcsSource source(0xE2, params);
+    const Digraph& skel = source.stable_skeleton();
+    const PsrcsCheck pruned = check_psrcs_exact(skel, row.k);
+    std::int64_t brute_subsets = -1;
+    if (row.n <= 32) {
+      const PsrcsCheck brute = check_psrcs_bruteforce(skel, row.k);
+      brute_subsets = brute.subsets_checked;
+      all_ok = all_ok && pruned.holds == brute.holds;
+    }
+    json.add("theorem1_row")
+        .set("n", row.n)
+        .set("k", row.k)
+        .set("j", row.j)
+        .set("trials", trials)
+        .set("roots_mean", s.root_components.mean())
+        .set("roots_max", s.root_components.max())
+        .set("values_mean", s.distinct_values.mean())
+        .set("values_max", s.distinct_values.max())
+        .set("agreement_violations", s.agreement_violations)
+        .set("root_bound_violations", root_viol)
+        .set("psrcs_holds", static_cast<std::int64_t>(pruned.holds))
+        .set("subsets_visited_pruned", pruned.subsets_checked)
+        .set("subsets_visited_bruteforce", brute_subsets);
   }
   table.print(std::cout);
+
+  const char* path_env = std::getenv("SSKEL_BENCH_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_theorem1.json";
+  if (json.write_file(path)) {
+    std::cout << "wrote " << path << '\n';
+  } else {
+    std::cerr << "warning: could not write " << path << '\n';
+  }
   std::cout << (all_ok ? "RESULT: Theorem 1 bound held in every trial.\n"
                        : "RESULT: VIOLATIONS FOUND (see table).\n");
   return all_ok ? 0 : 1;

@@ -94,22 +94,24 @@ void Digraph::add_self_loops() {
   for (ProcId p : nodes_) add_edge(p, p);
 }
 
-void Digraph::intersect_with(const Digraph& other) {
+bool Digraph::intersect_with(const Digraph& other) {
   SSKEL_REQUIRE(n_ == other.n_);
-  nodes_ &= other.nodes_;
+  bool changed = nodes_.intersect_changed(other.nodes_);
   for (ProcId p = 0; p < n_; ++p) {
     const auto i = static_cast<std::size_t>(p);
     if (!nodes_.contains(p)) {
+      if (!out_[i].empty() || !in_[i].empty()) changed = true;
       out_[i].clear();
       in_[i].clear();
       continue;
     }
-    out_[i] &= other.out_[i];
-    in_[i] &= other.in_[i];
+    changed |= out_[i].intersect_changed(other.out_[i]);
+    changed |= in_[i].intersect_changed(other.in_[i]);
     // Edges must stay within the (possibly shrunken) node set.
-    out_[i] &= nodes_;
-    in_[i] &= nodes_;
+    changed |= out_[i].intersect_changed(nodes_);
+    changed |= in_[i].intersect_changed(nodes_);
   }
+  return changed;
 }
 
 void Digraph::union_with(const Digraph& other) {

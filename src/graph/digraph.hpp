@@ -87,8 +87,11 @@ class Digraph {
   void add_self_loops();
 
   /// Edge-and-node intersection, the G ∩ G' of footnote 3. Requires
-  /// equal universes.
-  void intersect_with(const Digraph& other);
+  /// equal universes. Returns true when the intersection removed at
+  /// least one node or edge — the change flag is computed inside the
+  /// word-parallel AND, so callers (the skeleton tracker's version
+  /// stamp) learn "nothing shrank" for free.
+  bool intersect_with(const Digraph& other);
 
   /// Edge-and-node union. Requires equal universes.
   void union_with(const Digraph& other);

@@ -1,9 +1,33 @@
 #include "graph/labeled_digraph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 namespace sskel {
+
+namespace {
+std::atomic<std::int64_t> g_reachability_computations{0};
+}  // namespace
+
+void GraphStructure::capture(const LabeledDigraph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  nodes_ = g.nodes();
+  if (rows_.size() != n) rows_.resize(n, ProcSet(g.n()));
+  for (ProcId q = 0; q < g.n(); ++q) {
+    rows_[static_cast<std::size_t>(q)] = g.out_edges(q);
+  }
+  valid_ = true;
+}
+
+bool GraphStructure::matches(const LabeledDigraph& g) const {
+  if (!valid_ || rows_.size() != static_cast<std::size_t>(g.n())) return false;
+  if (nodes_ != g.nodes()) return false;
+  for (ProcId q = 0; q < g.n(); ++q) {
+    if (rows_[static_cast<std::size_t>(q)] != g.out_edges(q)) return false;
+  }
+  return true;
+}
 
 LabeledDigraph::LabeledDigraph(ProcId n, ProcId owner)
     : n_(n),
@@ -90,6 +114,7 @@ void LabeledDigraph::purge_labels_up_to(Round cutoff) {
 }
 
 ProcSet LabeledDigraph::reachable_from(ProcId start) const {
+  g_reachability_computations.fetch_add(1, std::memory_order_relaxed);
   ProcSet visited(n_);
   if (!nodes_.contains(start)) return visited;
   visited.insert(start);
@@ -106,6 +131,7 @@ ProcSet LabeledDigraph::reachable_from(ProcId start) const {
 }
 
 ProcSet LabeledDigraph::reaching_set(ProcId target) const {
+  g_reachability_computations.fetch_add(1, std::memory_order_relaxed);
   ProcSet visited(n_);
   if (!nodes_.contains(target)) return visited;
   visited.insert(target);
@@ -125,9 +151,16 @@ ProcSet LabeledDigraph::reaching_set(ProcId target) const {
   return visited;
 }
 
-void LabeledDigraph::prune_not_reaching(ProcId owner) {
+ProcSet LabeledDigraph::prune_not_reaching(ProcId owner) {
   SSKEL_REQUIRE(nodes_.contains(owner));
-  const ProcSet keep = reaching_set(owner);
+  ProcSet keep = reaching_set(owner);
+  restrict_to_reaching(keep, owner);
+  return keep;
+}
+
+void LabeledDigraph::restrict_to_reaching(const ProcSet& keep, ProcId owner) {
+  SSKEL_REQUIRE(nodes_.contains(owner));
+  SSKEL_REQUIRE(keep.contains(owner));
   for (ProcId q = 0; q < n_; ++q) {
     ProcSet& row = rows_[static_cast<std::size_t>(q)];
     if (row.empty()) continue;
@@ -181,6 +214,10 @@ Digraph LabeledDigraph::unlabeled() const {
     for (ProcId p : rows_[static_cast<std::size_t>(q)]) g.add_edge(q, p);
   }
   return g;
+}
+
+std::int64_t LabeledDigraph::reachability_computations() {
+  return g_reachability_computations.load(std::memory_order_relaxed);
 }
 
 bool LabeledDigraph::strongly_connected() const {

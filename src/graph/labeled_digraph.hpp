@@ -22,6 +22,31 @@
 
 namespace sskel {
 
+class LabeledDigraph;
+
+/// Structural fingerprint of a LabeledDigraph: the node set plus the
+/// out-edge rows, labels ignored. Line-25 pruning and Line-28 strong
+/// connectivity depend only on this, so a process whose post-purge
+/// structure matches the previous round's snapshot can reuse both
+/// results instead of re-running the reachability fixpoints
+/// (DESIGN.md §8). capture() reuses its buffers, so the steady-state
+/// round cost is the O(n^2/64) word compare plus one copy.
+class GraphStructure {
+ public:
+  /// Records the structure of `g`. O(n^2/64), no allocation after the
+  /// first call on graphs of the same n.
+  void capture(const LabeledDigraph& g);
+
+  /// True iff `g` has exactly the nodes and edges recorded by the
+  /// last capture(). False before any capture.
+  [[nodiscard]] bool matches(const LabeledDigraph& g) const;
+
+ private:
+  bool valid_ = false;
+  ProcSet nodes_;
+  std::vector<ProcSet> rows_;
+};
+
 class LabeledDigraph {
  public:
   LabeledDigraph() = default;
@@ -66,8 +91,17 @@ class LabeledDigraph {
   void purge_labels_up_to(Round cutoff);
 
   /// Removes every node (except `owner`) from which `owner` is not
-  /// reachable, with all incident edges (Line 25).
-  void prune_not_reaching(ProcId owner);
+  /// reachable, with all incident edges (Line 25). Returns the kept
+  /// node set so callers can replay the prune on a structurally
+  /// identical graph via restrict_to_reaching.
+  ProcSet prune_not_reaching(ProcId owner);
+
+  /// Applies a precomputed Line-25 keep-set: removes every node
+  /// outside `keep` (except `owner`) with its incident edges, without
+  /// running the reachability fixpoint. Only valid when `keep` is the
+  /// set prune_not_reaching(owner) would compute — i.e. when the
+  /// graph's structure matches the one that produced `keep`.
+  void restrict_to_reaching(const ProcSet& keep, ProcId owner);
 
   [[nodiscard]] std::int64_t edge_count() const;
 
@@ -81,6 +115,12 @@ class LabeledDigraph {
 
   /// Strong connectivity of the present node set (Line 28's test).
   [[nodiscard]] bool strongly_connected() const;
+
+  /// Process-wide count of reachability fixpoints run (reachable_from
+  /// + reaching_set calls). Tests assert the post-stabilization tail
+  /// of Algorithm 1 stops paying for them once the structure cache
+  /// kicks in.
+  [[nodiscard]] static std::int64_t reachability_computations();
 
   /// Out-neighbors of q (targets of labeled edges from q). Kept as a
   /// bitset alongside the label matrix so that merge/iteration cost

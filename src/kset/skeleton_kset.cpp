@@ -60,7 +60,21 @@ void SkeletonKSetProcess::transition(Round r, const Inbox<SkeletonMessage>& inbo
     g_.merge_max(inbox.from(q).graph);
   }
   g_.purge_labels_up_to(r - n());  // Line 24
-  g_.prune_not_reaching(id());     // Line 25
+
+  // Line 25 — with change-driven reuse. The prune (and the Line-28
+  // connectivity test) depend only on G_p's structure, which repeats
+  // round after round once the skeleton stabilizes; when the
+  // post-purge structure matches the previous round's snapshot, the
+  // cached keep-set replays the prune without a reachability fixpoint
+  // and the cached connectivity verdict answers Line 28.
+  if (structure_.matches(g_)) {
+    g_.restrict_to_reaching(cached_keep_, id());
+    ++reach_cache_hits_;
+  } else {
+    structure_.capture(g_);
+    cached_keep_ = g_.prune_not_reaching(id());
+    cached_sc_valid_ = false;
+  }
 
   if (!decided_) {  // Line 26
     // Line 27: x_p := min of the estimates heard from timely
@@ -74,11 +88,18 @@ void SkeletonKSetProcess::transition(Round r, const Inbox<SkeletonMessage>& inbo
     x_ = best;
 
     // Lines 28-30: decide once the approximation is strongly
-    // connected after the round guard.
-    if (guard_passed(r) && g_.strongly_connected()) {
-      decided_ = true;
-      decision_round_ = r;
-      path_ = DecisionPath::kConnected;
+    // connected after the round guard. The verdict is evaluated
+    // lazily and reused until the structure changes.
+    if (guard_passed(r)) {
+      if (!cached_sc_valid_) {
+        cached_sc_ = g_.strongly_connected();
+        cached_sc_valid_ = true;
+      }
+      if (cached_sc_) {
+        decided_ = true;
+        decision_round_ = r;
+        path_ = DecisionPath::kConnected;
+      }
     }
   }
 }

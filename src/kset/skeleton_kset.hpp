@@ -76,6 +76,12 @@ class SkeletonKSetProcess final : public Algorithm<SkeletonMessage> {
   /// G_p, the current approximation of the stable skeleton.
   [[nodiscard]] const LabeledDigraph& approximation() const { return g_; }
 
+  /// Rounds whose Line-25 prune (and, when reached, Line-28 test)
+  /// were answered from the structure cache instead of recomputed.
+  [[nodiscard]] std::int64_t reachability_cache_hits() const {
+    return reach_cache_hits_;
+  }
+
  private:
   [[nodiscard]] bool guard_passed(Round r) const {
     return guard_ == DecisionGuard::kAfterRoundN ? r > n() : r >= n();
@@ -89,6 +95,18 @@ class SkeletonKSetProcess final : public Algorithm<SkeletonMessage> {
   Round decision_round_ = 0;
   DecisionPath path_ = DecisionPath::kNone;
   DecisionGuard guard_;
+
+  /// Change-driven reuse of the Line-25/Line-28 reachability work
+  /// (DESIGN.md §8). Both depend only on G_p's structure (nodes +
+  /// edges, labels ignored), and once the skeleton stabilizes the
+  /// post-purge structure repeats round after round — so the previous
+  /// round's keep-set and connectivity verdict stay valid as long as
+  /// the snapshot matches.
+  GraphStructure structure_;       // post-purge, pre-prune snapshot
+  ProcSet cached_keep_;            // Line-25 keep-set for structure_
+  bool cached_sc_ = false;         // Line-28 verdict for structure_
+  bool cached_sc_valid_ = false;   // Line 28 evaluated lazily
+  std::int64_t reach_cache_hits_ = 0;
 };
 
 }  // namespace sskel

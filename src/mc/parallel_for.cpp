@@ -1,6 +1,10 @@
 #include "mc/parallel_for.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 namespace sskel {
 
@@ -10,29 +14,158 @@ unsigned resolve_thread_count(unsigned requested) {
   return std::max(1u, hw);
 }
 
+namespace detail {
+
+namespace {
+/// Set while the thread executes pool work (helpers always; the
+/// submitting thread for the duration of its job), so nested
+/// parallel_for calls run inline instead of deadlocking on the pool.
+thread_local bool t_on_worker = false;
+}  // namespace
+
+struct WorkerPool::Impl {
+  /// One in-flight job. Lives on the submitting thread's stack; the
+  /// pool guarantees no helper touches it after run() returns.
+  struct Job {
+    void (*invoke)(void*, std::size_t) = nullptr;
+    void* ctx = nullptr;
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> next{0};
+  };
+
+  /// Serializes submitters: the pool runs one job at a time.
+  std::mutex submit_mutex;
+
+  /// Guards everything below.
+  std::mutex mutex;
+  std::condition_variable_any wake_cv;  // helpers park here between jobs
+  std::condition_variable done_cv;      // submitter waits for helpers here
+  Job* job = nullptr;
+  std::uint64_t generation = 0;  // bumps per job; helpers watch it
+  unsigned tickets = 0;          // helpers still allowed to join the job
+  int in_flight = 0;             // helpers currently inside the job
+  std::int64_t jobs = 0;
+
+  std::vector<std::jthread> helpers;  // last member: joins before the rest dies
+
+  static void work(Job& job) {
+    while (true) {
+      const std::size_t begin =
+          job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (begin >= job.count) return;
+      const std::size_t end = std::min(job.count, begin + job.chunk);
+      for (std::size_t i = begin; i < end; ++i) job.invoke(job.ctx, i);
+    }
+  }
+
+  void helper_main(std::stop_token stop) {
+    t_on_worker = true;
+    std::unique_lock<std::mutex> lock(mutex);
+    std::uint64_t seen = 0;
+    while (true) {
+      wake_cv.wait(lock, stop, [&] { return generation != seen; });
+      if (stop.stop_requested()) return;
+      seen = generation;
+      if (job == nullptr || tickets == 0) continue;
+      --tickets;
+      ++in_flight;
+      Job* current = job;
+      lock.unlock();
+      work(*current);
+      lock.lock();
+      if (--in_flight == 0) done_cv.notify_one();
+    }
+  }
+
+  void ensure_helpers() {
+    if (!helpers.empty()) return;
+    const unsigned target = resolve_thread_count(0);
+    const unsigned helper_target = target > 1 ? target - 1 : 0;
+    helpers.reserve(helper_target);
+    for (unsigned h = 0; h < helper_target; ++h) {
+      helpers.emplace_back(
+          [this](std::stop_token stop) { helper_main(stop); });
+    }
+  }
+};
+
+WorkerPool::WorkerPool() = default;
+
+/// jthread members request stop and join: helpers wake from their
+/// stop-token-aware wait and return, so process exit is clean (no
+/// leaked threads for the sanitizers to flag).
+WorkerPool::~WorkerPool() = default;
+
+WorkerPool& WorkerPool::instance() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::Impl* WorkerPool::impl() {
+  std::call_once(once_, [this] { impl_ = std::make_unique<Impl>(); });
+  return impl_.get();
+}
+
+bool WorkerPool::on_worker_thread() { return t_on_worker; }
+
+unsigned WorkerPool::helper_count() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  return static_cast<unsigned>(i->helpers.size());
+}
+
+std::int64_t WorkerPool::jobs_dispatched() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  return i->jobs;
+}
+
+void WorkerPool::run(std::size_t count, unsigned participants,
+                     void (*invoke)(void*, std::size_t), void* ctx) {
+  Impl& pool = *impl();
+  // One job at a time: concurrent submitters queue here.
+  std::lock_guard<std::mutex> submit(pool.submit_mutex);
+
+  Impl::Job job;
+  job.invoke = invoke;
+  job.ctx = ctx;
+  job.count = count;
+  // Chunked claiming: big enough to keep the cursor cold, small
+  // enough that uneven trial costs still balance (~8 chunks/worker).
+  job.chunk = std::max<std::size_t>(
+      1, count / (static_cast<std::size_t>(participants) * 8));
+
+  {
+    std::lock_guard<std::mutex> lock(pool.mutex);
+    pool.ensure_helpers();
+    pool.job = &job;
+    pool.tickets = participants - 1;  // the caller is a participant too
+    ++pool.generation;
+    ++pool.jobs;
+  }
+  pool.wake_cv.notify_all();
+
+  // The submitting thread works the same cursor; mark it as "inside
+  // the pool" so the job's own nested parallel calls run inline.
+  t_on_worker = true;
+  Impl::work(job);
+  t_on_worker = false;
+
+  // The cursor is exhausted; wait until every helper that joined has
+  // left the job before the stack frame holding it unwinds.
+  std::unique_lock<std::mutex> lock(pool.mutex);
+  pool.done_cv.wait(lock, [&] { return pool.in_flight == 0; });
+  pool.job = nullptr;
+  pool.tickets = 0;
+}
+
+}  // namespace detail
+
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn,
                   unsigned threads) {
-  if (count == 0) return;
-  const unsigned workers = static_cast<unsigned>(
-      std::min<std::size_t>(resolve_thread_count(threads), count));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      fn(i);
-    }
-  };
-  std::vector<std::jthread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  // jthreads join on destruction.
+  parallel_for<const std::function<void(std::size_t)>&>(count, fn, threads);
 }
 
 }  // namespace sskel

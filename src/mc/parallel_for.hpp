@@ -2,18 +2,30 @@
 //
 // Simulation runs are embarrassingly parallel: each trial has its own
 // seed, its own GraphSource, and its own simulator, sharing nothing.
-// parallel_for hands trial indices to a fixed pool of std::jthread
-// workers via an atomic counter (dynamic scheduling — trial costs vary
-// wildly with the sampled topology, so static blocks would straggle).
-// Determinism: results are keyed by trial index, never by completion
-// order; with the seed-per-trial discipline (mix_seed(master, index))
-// any thread count produces bit-identical aggregates.
+// parallel_for hands index ranges to a lazily created *persistent*
+// worker pool (scenario sweeps call it thousands of times per
+// experiment; spawning threads per call used to dominate small
+// sweeps). Scheduling is dynamic — workers claim chunks off a shared
+// atomic cursor, since trial costs vary wildly with the sampled
+// topology and static blocks would straggle. Determinism: results are
+// keyed by trial index, never by completion order; with the
+// seed-per-trial discipline (mix_seed(master, index)) any thread
+// count produces bit-identical aggregates.
+//
+// The templated overloads are the hot path: the callable is passed by
+// reference through a type-erased (function-pointer, context) pair,
+// so no std::function is constructed and nothing allocates per call.
+// The std::function overloads remain as thin forwarders for existing
+// callers.
 #pragma once
 
-#include <atomic>
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <thread>
+#include <memory>
+#include <mutex>
+#include <type_traits>
 #include <vector>
 
 namespace sskel {
@@ -22,13 +34,86 @@ namespace sskel {
 /// concurrency, at least 1.
 [[nodiscard]] unsigned resolve_thread_count(unsigned requested);
 
+namespace detail {
+
+/// The process-wide persistent worker pool. Created lazily on the
+/// first parallel call that actually needs helpers; workers then park
+/// on a condition variable between jobs instead of being re-spawned.
+/// One job runs at a time (concurrent submitters serialize), and the
+/// submitting thread always participates in its own job, so a pool of
+/// hardware_concurrency - 1 helpers saturates the machine.
+class WorkerPool {
+ public:
+  static WorkerPool& instance();
+
+  /// Runs invoke(ctx, i) for every i in [0, count) using up to
+  /// `participants` threads (the caller plus participants - 1 pool
+  /// helpers), claiming chunked index ranges off an atomic cursor.
+  /// Blocks until every index is done and no helper still touches the
+  /// job. invoke must not throw.
+  void run(std::size_t count, unsigned participants,
+           void (*invoke)(void*, std::size_t), void* ctx);
+
+  /// True when the calling thread is a pool helper. Nested parallel
+  /// calls from inside a job run inline (a helper re-submitting would
+  /// deadlock against the job that occupies the pool).
+  [[nodiscard]] static bool on_worker_thread();
+
+  /// Helper threads currently alive (0 before the first parallel job).
+  [[nodiscard]] unsigned helper_count();
+
+  /// Jobs dispatched through the pool since process start (tests
+  /// assert the pool is reused rather than re-created).
+  [[nodiscard]] std::int64_t jobs_dispatched();
+
+ private:
+  WorkerPool();
+  ~WorkerPool();
+  struct Impl;
+  Impl* impl();  // lazily constructed; joined + destroyed at exit
+
+  std::once_flag once_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace detail
+
 /// Invokes fn(i) for every i in [0, count), distributing indices over
 /// `threads` workers (0 = hardware concurrency). Runs inline when
-/// count <= 1 or only one thread is available. fn must not throw.
+/// count <= 1, when only one thread is requested, or when called from
+/// inside another parallel_for job. fn must not throw.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0) {
+  if (count == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(resolve_thread_count(threads), count));
+  if (workers <= 1 || detail::WorkerPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  using Callable = std::remove_reference_t<Fn>;
+  detail::WorkerPool::instance().run(
+      count, workers,
+      [](void* ctx, std::size_t i) { (*static_cast<Callable*>(ctx))(i); },
+      const_cast<std::remove_const_t<Callable>*>(std::addressof(fn)));
+}
+
+/// std::function forwarder (kept for existing callers and ABI
+/// stability of the tests; hot callers use the templated overload).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   unsigned threads = 0);
 
 /// Maps fn over [0, count) into an index-ordered vector.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> collect_parallel(std::size_t count, Fn&& fn,
+                                              unsigned threads = 0) {
+  std::vector<T> results(count);
+  parallel_for(
+      count, [&](std::size_t i) { results[i] = fn(i); }, threads);
+  return results;
+}
+
+/// std::function forwarder, see above.
 template <typename T>
 [[nodiscard]] std::vector<T> collect_parallel(
     std::size_t count, const std::function<T(std::size_t)>& fn,

@@ -74,6 +74,31 @@ std::optional<int> min_psrcs_k(const Digraph& skeleton) {
   return k;
 }
 
+const PsrcsCheck& SkeletonPredicateCache::psrcs_exact(const Digraph& skeleton,
+                                                      std::uint64_t version,
+                                                      int k) {
+  for (auto& [cached_k, cache] : psrcs_by_k_) {
+    if (cached_k == k) {
+      return cache.get(version,
+                       [&] { return check_psrcs_exact(skeleton, k); });
+    }
+  }
+  psrcs_by_k_.emplace_back(k, VersionedCache<PsrcsCheck>{});
+  return psrcs_by_k_.back().second.get(
+      version, [&] { return check_psrcs_exact(skeleton, k); });
+}
+
+const PredicateProfile& SkeletonPredicateCache::profile(
+    const Digraph& skeleton, std::uint64_t version) {
+  return profile_.get(version, [&] { return profile_skeleton(skeleton); });
+}
+
+std::int64_t SkeletonPredicateCache::psrcs_recomputes() const {
+  std::int64_t total = 0;
+  for (const auto& [k, cache] : psrcs_by_k_) total += cache.recomputes();
+  return total;
+}
+
 PredicateProfile profile_skeleton(const Digraph& skeleton) {
   PredicateProfile profile;
   profile.root_components =

@@ -10,9 +10,14 @@
 // the relation measurable on arbitrary skeletons.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "graph/digraph.hpp"
+#include "predicates/psrcs.hpp"
+#include "util/versioned_cache.hpp"
 
 namespace sskel {
 
@@ -38,5 +43,35 @@ struct PredicateProfile {
 };
 
 [[nodiscard]] PredicateProfile profile_skeleton(const Digraph& skeleton);
+
+/// Change-driven predicate evaluation: caches Psrcs(k) verdicts and
+/// the Theorem-1 profile of a monitored skeleton, keyed on the
+/// SkeletonTracker's version stamp. Monotonicity (Lemma 1) makes the
+/// version a complete invalidation key, so per-round re-evaluation in
+/// the post-stabilization tail is a pointer return, not a subset
+/// search. Callers pass (skeleton, version) pairs from the same
+/// tracker; mixing trackers in one cache is a usage error.
+class SkeletonPredicateCache {
+ public:
+  /// check_psrcs_exact(skeleton, k), recomputed only on version bumps.
+  const PsrcsCheck& psrcs_exact(const Digraph& skeleton,
+                                std::uint64_t version, int k);
+
+  /// profile_skeleton(skeleton), recomputed only on version bumps.
+  const PredicateProfile& profile(const Digraph& skeleton,
+                                  std::uint64_t version);
+
+  /// Total underlying Psrcs searches actually run, summed over all k
+  /// (for the cache-invalidation property tests).
+  [[nodiscard]] std::int64_t psrcs_recomputes() const;
+
+  [[nodiscard]] std::int64_t profile_recomputes() const {
+    return profile_.recomputes();
+  }
+
+ private:
+  std::vector<std::pair<int, VersionedCache<PsrcsCheck>>> psrcs_by_k_;
+  VersionedCache<PredicateProfile> profile_;
+};
 
 }  // namespace sskel

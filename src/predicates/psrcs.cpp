@@ -18,7 +18,100 @@ std::optional<TwoSourceWitness> find_two_source(const Digraph& skeleton,
   return std::nullopt;
 }
 
+namespace {
+
+/// Branch-and-bound state for the sourceless-subset search. A subset
+/// S violates Psrcs(k) iff |S| = k+1 and no process has out-edges to
+/// two distinct members; the search grows sourceless subsets member
+/// by member and therefore never touches the C(n, k+1) - (number of
+/// sourceless subsets) bulk of the lattice.
+struct SourcelessSearch {
+  const Digraph& g;
+  /// Candidates in ascending in-coverage order.
+  std::vector<ProcId> order;
+  /// conflicts[v] = processes that share a potential 2-source with v:
+  /// the union of out(p) over p in in(v). Adding v to S makes exactly
+  /// these ids infeasible, so feasibility of a later candidate is one
+  /// bit test against the accumulated mask.
+  std::vector<ProcSet> conflicts;
+  int target;
+  ProcSet current;
+  std::int64_t visited = 0;
+  std::optional<ProcSet> found;
+
+  /// Extends `current` (of size `size`) with candidates from
+  /// order[index..]; `blocked` masks every id whose inclusion would
+  /// create a 2-source. Returns true once a sourceless subset of
+  /// `target` members is found.
+  bool dfs(std::size_t index, const ProcSet& blocked, int size) {
+    if (size == target) {
+      found = current;
+      return true;
+    }
+    for (std::size_t i = index; i < order.size(); ++i) {
+      // Bound: the remaining candidates cannot fill the subset.
+      if (size + static_cast<int>(order.size() - i) < target) return false;
+      const ProcId v = order[i];
+      if (blocked.contains(v)) continue;  // pruned: 2-source witnessed
+      ++visited;
+      current.insert(v);
+      ProcSet next_blocked = blocked;
+      next_blocked |= conflicts[static_cast<std::size_t>(v)];
+      if (dfs(i + 1, next_blocked, size + 1)) return true;
+      current.erase(v);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
 PsrcsCheck check_psrcs_exact(const Digraph& skeleton, int k) {
+  SSKEL_REQUIRE(k >= 1);
+  const ProcId n = skeleton.n();
+  PsrcsCheck result;
+  result.holds = true;
+  if (k + 1 > n) return result;  // vacuous: no (k+1)-subsets exist
+
+  SourcelessSearch search{skeleton,
+                          {},
+                          {},
+                          k + 1,
+                          ProcSet(n),
+                          0,
+                          std::nullopt};
+
+  // Precompute the per-candidate conflict bitsets from the skeleton's
+  // out-neighborhood rows (once per skeleton version — callers that
+  // re-check every round go through SkeletonPredicateCache).
+  search.conflicts.assign(static_cast<std::size_t>(n), ProcSet(n));
+  for (ProcId v = 0; v < n; ++v) {
+    ProcSet& c = search.conflicts[static_cast<std::size_t>(v)];
+    for (ProcId p : skeleton.in_neighbors(v)) {
+      c |= skeleton.out_neighbors(p);
+    }
+  }
+
+  // Ascending in-coverage: processes heard by few sources pack into
+  // sourceless subsets most easily, so violations surface early.
+  search.order.reserve(static_cast<std::size_t>(n));
+  for (ProcId v = 0; v < n; ++v) search.order.push_back(v);
+  std::stable_sort(search.order.begin(), search.order.end(),
+                   [&](ProcId a, ProcId b) {
+                     return skeleton.in_neighbors(a).count() <
+                            skeleton.in_neighbors(b).count();
+                   });
+
+  search.dfs(0, ProcSet(n), 0);
+  result.subsets_checked = search.visited;
+  if (search.found.has_value()) {
+    result.holds = false;
+    result.violating_subset = std::move(search.found);
+  }
+  return result;
+}
+
+PsrcsCheck check_psrcs_bruteforce(const Digraph& skeleton, int k) {
   SSKEL_REQUIRE(k >= 1);
   PsrcsCheck result;
   result.holds = true;

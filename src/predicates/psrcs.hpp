@@ -38,14 +38,38 @@ struct PsrcsCheck {
   bool holds = false;
   /// When violated: a (k+1)-subset with no 2-source.
   std::optional<ProcSet> violating_subset;
-  /// Number of subsets examined (cost diagnostics).
+  /// Number of subsets examined: full (k+1)-subsets for the
+  /// brute-force enumerator, sourceless partial subsets materialized
+  /// for the branch-and-bound procedure (cost diagnostics).
   std::int64_t subsets_checked = 0;
 };
 
-/// Exhaustive check of Psrcs(k) on a skeleton: enumerates every
-/// (k+1)-subset of Pi. Cost C(n, k+1); intended for the test/verify
-/// scales (n <= ~24 or small k). Checks Eq. (8) literally.
+/// Exact decision procedure for Psrcs(k): branch-and-bound search for
+/// a "sourceless" (k+1)-subset (a set S such that no process has
+/// stable edges to two distinct members of S — exactly a violator of
+/// Eq. (8)). Instead of enumerating all C(n, k+1) subsets it grows
+/// sourceless partial subsets only:
+///   * per-candidate conflict bitsets ("everything sharing a 2-source
+///     with v") are precomputed once from the out-neighborhood rows,
+///     so extending a partial subset is one word-parallel OR;
+///   * any extension already witnessed by a 2-source is pruned at
+///     O(1) via the accumulated conflict mask;
+///   * candidates are tried in ascending in-coverage order (sparsely
+///     covered processes first), which finds violating subsets early;
+///   * branches that cannot reach size k+1 are cut by a remaining-
+///     candidates bound.
+/// Same contract and verdicts as check_psrcs_bruteforce, orders of
+/// magnitude fewer subsets visited on non-trivial instances; the
+/// violating witness may differ (any sourceless (k+1)-subset is a
+/// valid witness).
 [[nodiscard]] PsrcsCheck check_psrcs_exact(const Digraph& skeleton, int k);
+
+/// The literal Eq. (8) enumeration over every (k+1)-subset of Pi.
+/// Cost C(n, k+1); kept as the reference oracle for randomized
+/// equivalence tests of check_psrcs_exact and for subset-count
+/// baselines in the benches. Intended for n <= ~24 or small k.
+[[nodiscard]] PsrcsCheck check_psrcs_bruteforce(const Digraph& skeleton,
+                                                int k);
 
 /// Randomized refutation search: samples `samples` subsets of size
 /// k+1 and reports a violation if one is found. Never proves the

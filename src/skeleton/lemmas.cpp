@@ -1,5 +1,6 @@
 #include "skeleton/lemmas.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "graph/reach.hpp"
@@ -23,11 +24,34 @@ void LemmaMonitor::report(Round r, ProcId p, const std::string& what) {
   violations_.push_back(os.str());
 }
 
+const Digraph& LemmaMonitor::component_graph(ProcId p) {
+  const SccDecomposition& scc = tracker_.current_scc();
+  const std::vector<Digraph>& induced =
+      induced_components_.get(tracker_.version(), [&] {
+        // One induced subgraph per component, plus a trailing empty
+        // graph serving nodes absent from the skeleton.
+        std::vector<Digraph> out;
+        out.reserve(scc.components.size() + 1);
+        for (const ProcSet& comp : scc.components) {
+          out.push_back(tracker_.skeleton().induced(comp));
+        }
+        out.push_back(tracker_.skeleton().induced(ProcSet(n_)));
+        return out;
+      });
+  const int idx = scc.component_of[static_cast<std::size_t>(p)];
+  const std::size_t slot =
+      idx < 0 ? induced.size() - 1 : static_cast<std::size_t>(idx);
+  return induced[slot];
+}
+
 void LemmaMonitor::observe_round(Round r, const Digraph& comm_graph,
                                  const std::vector<ProcessSnapshot>& snaps) {
   SSKEL_REQUIRE(snaps.size() == static_cast<std::size_t>(n_));
   tracker_.observe(r, comm_graph);
   const Digraph& skel = tracker_.skeleton();
+  // Lemma 7's historical base decomposition, computed lazily once per
+  // round (it is the same graph for every process).
+  std::optional<SccDecomposition> scc_base;
 
   for (ProcId p = 0; p < n_; ++p) {
     const auto pi = static_cast<std::size_t>(p);
@@ -65,9 +89,7 @@ void LemmaMonitor::observe_round(Round r, const Digraph& comm_graph,
     }
 
     if (checks_.lemma5 && r >= n_) {
-      const ProcSet cp = component_of(skel, p);
-      const Digraph comp_graph = skel.induced(cp);
-      if (!comp_graph.is_subgraph_of(gp.unlabeled())) {
+      if (!component_graph(p).is_subgraph_of(gp.unlabeled())) {
         report(r, p, "Lemma 5: C_p^r not a subgraph of G_p^r");
       }
     }
@@ -98,10 +120,18 @@ void LemmaMonitor::observe_round(Round r, const Digraph& comm_graph,
     }
 
     if (checks_.lemma7 && sc && r >= n_) {
-      // G_p^R strongly connected => G_p^R subseteq C_p^{R-n+1}.
+      // G_p^R strongly connected => G_p^R subseteq C_p^{R-n+1}. The
+      // base skeleton is shared by every process this round, so its
+      // decomposition is computed at most once per observe_round.
       const Round base = r - n_ + 1;
       const Digraph& skel_base = tracker_.skeleton_at(base);
-      const ProcSet cp = component_of(skel_base, p);
+      if (!scc_base.has_value()) {
+        scc_base = strongly_connected_components(skel_base);
+      }
+      const int idx = scc_base->component_of[static_cast<std::size_t>(p)];
+      const ProcSet cp = idx < 0
+                             ? ProcSet(n_)
+                             : scc_base->components[static_cast<std::size_t>(idx)];
       const Digraph comp_graph = skel_base.induced(cp);
       if (!gp.unlabeled().is_subgraph_of(comp_graph)) {
         report(r, p, "Lemma 7: strongly connected G_p^r exceeds C_p^{r-n+1}");
@@ -135,15 +165,12 @@ void LemmaMonitor::finalize() {
   if (!checks_.theorem8) return;
   // Treat the final skeleton as G∩∞ (valid when the run extends past
   // source stabilization; the runner guarantees this).
-  const Digraph& stable = tracker_.skeleton();
   for (ProcId p = 0; p < n_; ++p) {
     const auto& [r, gp] = first_sc_[static_cast<std::size_t>(p)];
     if (r == 0 || r < n_) continue;  // Theorem 8 assumes R >= n
     const Digraph unl = gp.unlabeled();
     for (ProcId q : unl.nodes()) {
-      const ProcSet cq = component_of(stable, q);
-      const Digraph comp_graph = stable.induced(cq);
-      if (!comp_graph.is_subgraph_of(unl)) {
+      if (!component_graph(q).is_subgraph_of(unl)) {
         report(r, p,
                "Theorem 8: strongly connected G_p^R misses part of C_q^inf "
                "for q=" + std::to_string(q));

@@ -12,7 +12,11 @@
 // NOT satisfy Psrcs(k).
 //
 // Cost: the per-round sweep is O(n^3)-ish with full history; monitors
-// are test/verification equipment, not part of the algorithm.
+// are test/verification equipment, not part of the algorithm. The
+// skeleton-derived inputs of every check (SCC decomposition, induced
+// component subgraphs) are cached on the tracker's version stamp, so
+// rounds that leave the skeleton untouched — the entire tail after
+// r_ST — reuse them instead of re-running Tarjan per process.
 #pragma once
 
 #include <string>
@@ -21,6 +25,7 @@
 #include "graph/labeled_digraph.hpp"
 #include "skeleton/tracker.hpp"
 #include "util/types.hpp"
+#include "util/versioned_cache.hpp"
 
 namespace sskel {
 
@@ -67,12 +72,26 @@ class LemmaMonitor {
 
   [[nodiscard]] const SkeletonTracker& tracker() const { return tracker_; }
 
+  /// Recomputation count of the cached induced-component-subgraph
+  /// analytics (for the cache-invalidation property tests; equals
+  /// skeleton version bumps + 1 when queried every round).
+  [[nodiscard]] std::int64_t analytics_recomputes() const {
+    return induced_components_.recomputes();
+  }
+
  private:
   void report(Round r, ProcId p, const std::string& what);
+
+  /// Induced subgraph of the current skeleton's component containing
+  /// p, served from the version-keyed cache (one induced graph per
+  /// SCC, all built on the first query after a version bump).
+  [[nodiscard]] const Digraph& component_graph(ProcId p);
 
   ProcId n_;
   LemmaChecks checks_;
   SkeletonTracker tracker_;
+  /// induced[c] = skeleton restricted to component c of current_scc().
+  mutable VersionedCache<std::vector<Digraph>> induced_components_;
   std::vector<std::string> violations_;
   std::vector<Value> prev_estimates_;
   /// First strongly-connected approximation snapshot per process, for

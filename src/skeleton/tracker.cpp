@@ -13,9 +13,12 @@ void SkeletonTracker::observe(Round r, const Digraph& graph) {
   SSKEL_REQUIRE(graph.n() == n_);
   SSKEL_REQUIRE(r == round_ + 1);
   round_ = r;
-  scratch_ = skeleton_;  // copy-assign: reuses scratch storage
-  skeleton_.intersect_with(graph);
-  if (skeleton_ != scratch_) last_change_ = r;
+  // The AND itself detects shrinkage — no pre-round copy, no graph
+  // comparison. A no-op round costs exactly the intersection.
+  if (skeleton_.intersect_with(graph)) {
+    last_change_ = r;
+    ++version_;
+  }
   if (history_ == History::kKeepAll) past_.push_back(skeleton_);
 }
 
@@ -23,6 +26,25 @@ const Digraph& SkeletonTracker::skeleton_at(Round r) const {
   SSKEL_REQUIRE(history_ == History::kKeepAll);
   SSKEL_REQUIRE(r >= 1 && r <= static_cast<Round>(past_.size()));
   return past_[static_cast<std::size_t>(r - 1)];
+}
+
+const SkeletonTracker::Analytics& SkeletonTracker::analytics() const {
+  return analytics_.get(version_, [&] {
+    Analytics a;
+    a.scc = strongly_connected_components(skeleton_);
+    for (int idx : root_component_indices(skeleton_, a.scc)) {
+      a.roots.push_back(a.scc.components[static_cast<std::size_t>(idx)]);
+    }
+    return a;
+  });
+}
+
+const SccDecomposition& SkeletonTracker::current_scc() const {
+  return analytics().scc;
+}
+
+const std::vector<ProcSet>& SkeletonTracker::current_root_components() const {
+  return analytics().roots;
 }
 
 }  // namespace sskel

@@ -9,16 +9,26 @@
 // round at which the skeleton changed — for a source that stabilizes,
 // that round *is* r_ST once enough rounds have elapsed.
 //
+// Change-driven analytics: every observe() is a word-parallel AND that
+// also reports whether anything shrank. The tracker exposes that as a
+// monotonically increasing version() stamp, and keys its own derived
+// analytics (SCC decomposition, root components) on it. After r_ST the
+// version stops moving, so the per-round cost of "observe + query all
+// analytics" collapses to the AND itself — O(n^2/64) — instead of
+// O(n^2 + SCC).
+//
 // Optionally retains the whole history G∩1, G∩2, ... for the lemma
 // monitors (O(rounds * n^2 / 8) bits).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "graph/digraph.hpp"
 #include "graph/scc.hpp"
 #include "util/types.hpp"
+#include "util/versioned_cache.hpp"
 
 namespace sskel {
 
@@ -55,19 +65,51 @@ class SkeletonTracker {
   /// the source has stabilized, this equals the paper's r_ST.
   [[nodiscard]] Round last_change_round() const { return last_change_; }
 
-  /// Root components of the current skeleton (Theorem 1's objects).
-  [[nodiscard]] std::vector<ProcSet> current_root_components() const {
-    return root_components(skeleton_);
+  /// Version stamp of the skeleton: starts at 0 and bumps exactly when
+  /// a round's intersection removed a node or edge. Monotonicity makes
+  /// this a complete invalidation key for anything derived from the
+  /// skeleton.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Number of consecutive rounds (counting backwards from the
+  /// current one) whose observation left the skeleton untouched. Once
+  /// the source has stabilized this grows without bound; equals
+  /// rounds_observed() - last_change_round().
+  [[nodiscard]] Round stabilized_for() const { return round_ - last_change_; }
+
+  /// SCC decomposition of the current skeleton, cached on version():
+  /// recomputed only after a round that actually shrank the skeleton.
+  [[nodiscard]] const SccDecomposition& current_scc() const;
+
+  /// Root components of the current skeleton (Theorem 1's objects),
+  /// cached on version() like current_scc().
+  [[nodiscard]] const std::vector<ProcSet>& current_root_components() const;
+
+  /// Number of times the SCC/root-component analytics actually ran.
+  /// With a query every round this equals version bumps + 1 (the
+  /// initial fill) — the cache-invalidation property tests pin that.
+  [[nodiscard]] std::int64_t analytics_recomputes() const {
+    return analytics_.recomputes();
   }
 
  private:
+  struct Analytics {
+    SccDecomposition scc;
+    std::vector<ProcSet> roots;
+  };
+
+  /// The version-cached SCC + root-component bundle (one Tarjan run
+  /// serves both accessors).
+  [[nodiscard]] const Analytics& analytics() const;
+
   ProcId n_;
   History history_;
   Digraph skeleton_;
-  Digraph scratch_;  // previous skeleton, reused across observe() calls
   std::vector<Digraph> past_;  // past_[r-1] = G∩r
   Round round_ = 0;
   Round last_change_ = 0;
+  std::uint64_t version_ = 0;
+  mutable VersionedCache<Analytics> analytics_;
 };
 
 }  // namespace sskel

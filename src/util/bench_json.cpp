@@ -1,0 +1,118 @@
+#include "util/bench_json.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace sskel {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(10);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+BenchRecord& BenchRecord::set(std::string key, std::int64_t value) {
+  Field f;
+  f.key = std::move(key);
+  f.kind = Kind::kInt;
+  f.int_value = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+BenchRecord& BenchRecord::set(std::string key, double value) {
+  Field f;
+  f.key = std::move(key);
+  f.kind = Kind::kDouble;
+  f.double_value = value;
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+BenchRecord& BenchRecord::set(std::string key, std::string value) {
+  Field f;
+  f.key = std::move(key);
+  f.kind = Kind::kString;
+  f.string_value = std::move(value);
+  fields_.push_back(std::move(f));
+  return *this;
+}
+
+void BenchRecord::write(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (const Field& f : fields_) {
+    if (!first) os << ", ";
+    first = false;
+    write_escaped(os, f.key);
+    os << ": ";
+    switch (f.kind) {
+      case Kind::kInt: os << f.int_value; break;
+      case Kind::kDouble: write_double(os, f.double_value); break;
+      case Kind::kString: write_escaped(os, f.string_value); break;
+    }
+  }
+  os << '}';
+}
+
+BenchJson::BenchJson(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+BenchRecord& BenchJson::add(const std::string& op) {
+  records_.emplace_back();
+  records_.back().set("op", op);
+  return records_.back();
+}
+
+void BenchJson::write(std::ostream& os) const {
+  os << "{\n  \"bench\": ";
+  write_escaped(os, bench_name_);
+  os << ",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    os << "    ";
+    records_[i].write(os);
+    if (i + 1 < records_.size()) os << ',';
+    os << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+bool BenchJson::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace sskel

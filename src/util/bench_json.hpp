@@ -1,0 +1,75 @@
+// Machine-readable benchmark output (BENCH_*.json).
+//
+// Every experiment binary prints human-oriented tables; CI and
+// downstream tooling additionally want stable, parseable records
+// (op, n, k, ns/op, subsets visited, ...). BenchJson collects flat
+// key/value records and writes them as one JSON document:
+//
+//   {
+//     "bench": "micro",
+//     "records": [
+//       {"op": "psrcs_exact", "n": 24, "k": 3, "ns_per_op": 512.0},
+//       ...
+//     ]
+//   }
+//
+// Values are int64, double, or string; insertion order is preserved
+// so diffs of consecutive CI artifacts stay readable. No external
+// JSON dependency — the writer emits the subset of JSON it needs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sskel {
+
+/// One flat JSON object of ordered key/value fields.
+class BenchRecord {
+ public:
+  BenchRecord& set(std::string key, std::int64_t value);
+  BenchRecord& set(std::string key, double value);
+  BenchRecord& set(std::string key, std::string value);
+  /// Convenience for the int-ish types the benches juggle.
+  BenchRecord& set(std::string key, int value) {
+    return set(std::move(key), static_cast<std::int64_t>(value));
+  }
+
+  void write(std::ostream& os) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString };
+  struct Field {
+    std::string key;
+    Kind kind;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+  std::vector<Field> fields_;
+};
+
+/// A named collection of records, written as one JSON document.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  /// Appends a record initialized with {"op": op} and returns it for
+  /// chained set() calls. The reference stays valid until the next
+  /// add() (vector growth) — populate it before adding more.
+  BenchRecord& add(const std::string& op);
+
+  void write(std::ostream& os) const;
+
+  /// Writes to `path`; returns false (and writes nothing) on I/O
+  /// failure. Benches warn rather than abort on failure so a
+  /// read-only working directory never kills an experiment run.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace sskel

@@ -60,6 +60,18 @@ ProcSet& ProcSet::operator&=(const ProcSet& other) {
   return *this;
 }
 
+bool ProcSet::intersect_changed(const ProcSet& other) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  std::uint64_t removed = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t before = words_[i];
+    const std::uint64_t after = before & other.words_[i];
+    removed |= before ^ after;
+    words_[i] = after;
+  }
+  return removed != 0;
+}
+
 ProcSet& ProcSet::operator|=(const ProcSet& other) {
   SSKEL_REQUIRE(n_ == other.n_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];

@@ -78,6 +78,12 @@ class ProcSet {
 
   /// In-place intersection / union / difference.
   ProcSet& operator&=(const ProcSet& other);
+
+  /// In-place intersection that reports whether any member was
+  /// removed. The change test rides the word-parallel AND itself (one
+  /// compare per word), so skeleton maintenance can detect "this round
+  /// shrank nothing" at no extra asymptotic cost.
+  bool intersect_changed(const ProcSet& other);
   ProcSet& operator|=(const ProcSet& other);
   ProcSet& operator-=(const ProcSet& other);
 

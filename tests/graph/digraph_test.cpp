@@ -160,5 +160,25 @@ TEST(DigraphTest, SkeletonIntersectionChainIsMonotone) {
   EXPECT_EQ(skel.edge_count(), 34);
 }
 
+TEST(DigraphTest, IntersectWithReportsWhetherAnythingShrank) {
+  Digraph a = Digraph::complete(4);
+  EXPECT_FALSE(a.intersect_with(Digraph::complete(4)));  // identical
+
+  Digraph b = Digraph::complete(4);
+  b.remove_edge(0, 1);
+  EXPECT_TRUE(a.intersect_with(b));   // removed exactly (0 -> 1)
+  EXPECT_FALSE(a.intersect_with(b));  // already a subgraph: no-op
+  EXPECT_FALSE(a.has_edge(0, 1));
+}
+
+TEST(DigraphTest, IntersectWithReportsNodeRemoval) {
+  Digraph a = Digraph::self_loops_only(3);
+  Digraph b = Digraph::self_loops_only(3);
+  b.remove_node(2);
+  EXPECT_TRUE(a.intersect_with(b));
+  EXPECT_FALSE(a.nodes().contains(2));
+  EXPECT_FALSE(a.intersect_with(b));
+}
+
 }  // namespace
 }  // namespace sskel

@@ -122,6 +122,54 @@ TEST(LabeledDigraphTest, PruneKeepsOwnerAlways) {
   EXPECT_EQ(g.nodes().count(), 1);
 }
 
+TEST(LabeledDigraphTest, PruneReturnsKeepSetAndRestrictReplaysIt) {
+  LabeledDigraph g(6, 0);
+  g.set_edge(1, 0, 3);
+  g.set_edge(2, 1, 3);
+  g.set_edge(0, 3, 3);
+  g.set_edge(4, 5, 3);
+  LabeledDigraph replay = g;
+
+  const std::int64_t before = LabeledDigraph::reachability_computations();
+  const ProcSet keep = g.prune_not_reaching(0);
+  EXPECT_EQ(LabeledDigraph::reachability_computations(), before + 1);
+  EXPECT_EQ(keep, ProcSet::of(6, {0, 1, 2}));
+
+  // Replaying the keep-set on a structurally identical copy yields
+  // the same graph without running another reachability fixpoint.
+  replay.restrict_to_reaching(keep, 0);
+  EXPECT_EQ(LabeledDigraph::reachability_computations(), before + 1);
+  EXPECT_TRUE(replay == g);
+}
+
+TEST(GraphStructureTest, MatchesTracksNodesAndEdgesButNotLabels) {
+  LabeledDigraph g(4, 0);
+  g.set_edge(1, 0, 3);
+  GraphStructure snapshot;
+  EXPECT_FALSE(snapshot.matches(g));  // nothing captured yet
+  snapshot.capture(g);
+  EXPECT_TRUE(snapshot.matches(g));
+
+  g.set_edge(1, 0, 9);  // label-only change: same structure
+  EXPECT_TRUE(snapshot.matches(g));
+
+  g.set_edge(2, 0, 9);  // new edge (and node): structure changed
+  EXPECT_FALSE(snapshot.matches(g));
+  snapshot.capture(g);
+  EXPECT_TRUE(snapshot.matches(g));
+
+  g.remove_edge(2, 0);  // edge gone, node 2 still present
+  EXPECT_FALSE(snapshot.matches(g));
+}
+
+TEST(GraphStructureTest, MatchesRejectsDifferentUniverse) {
+  LabeledDigraph small(3, 0);
+  LabeledDigraph large(5, 0);
+  GraphStructure snapshot;
+  snapshot.capture(small);
+  EXPECT_FALSE(snapshot.matches(large));
+}
+
 TEST(LabeledDigraphTest, PruneDropsEdgesBetweenKeptAndPruned) {
   LabeledDigraph g(5, 0);
   g.set_edge(1, 0, 2);

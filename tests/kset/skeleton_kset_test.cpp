@@ -208,6 +208,40 @@ TEST(SkeletonKSetTest, PurgeDropsStaleKnowledge) {
   EXPECT_FALSE(view(sim, 1).approximation().has_node(0));
 }
 
+TEST(SkeletonKSetTest, PostStabilizationRoundsReuseReachability) {
+  // On a stable topology the post-purge structure of G_p repeats
+  // round after round, so the Line-25/Line-28 reachability work must
+  // come from the structure cache: zero fixpoints in the tail.
+  ScheduleSource src({Digraph::complete(3)});
+  Simulator<SkeletonMessage> sim(src, make_procs(3, {10, 20, 30}));
+  for (int r = 0; r < 4; ++r) sim.step();
+  for (ProcId p = 0; p < 3; ++p) ASSERT_TRUE(view(sim, p).decided());
+
+  const std::int64_t fixpoints_before =
+      LabeledDigraph::reachability_computations();
+  const std::int64_t hits_before = view(sim, 0).reachability_cache_hits();
+  for (int r = 0; r < 6; ++r) sim.step();
+  EXPECT_EQ(LabeledDigraph::reachability_computations(), fixpoints_before);
+  EXPECT_EQ(view(sim, 0).reachability_cache_hits(), hits_before + 6);
+}
+
+TEST(SkeletonKSetTest, StructureChangeInvalidatesReachabilityCache) {
+  // From round 3 on, p1 stops hearing p0, so the edge (0 -> 1) is
+  // never relabeled past 2 and the round-5 purge (cutoff 5 - n = 2)
+  // finally drops it from the approximations. That is the first
+  // structural change after stabilization — the prune must leave the
+  // cache and run a fresh fixpoint exactly there.
+  Digraph full = Digraph::complete(3);
+  Digraph broken = full;
+  broken.remove_edge(0, 1);
+  ScheduleSource src({full, full, broken});
+  Simulator<SkeletonMessage> sim(src, make_procs(3, {10, 20, 30}));
+  for (int r = 0; r < 4; ++r) sim.step();
+  const std::int64_t before = LabeledDigraph::reachability_computations();
+  sim.step();  // round 5: purge drops (0 -> 1), structure changes
+  EXPECT_GT(LabeledDigraph::reachability_computations(), before);
+}
+
 TEST(SkeletonKSetDeathTest, DecisionAccessorRequiresDecided) {
   SkeletonKSetProcess p(3, 0, 1);
   EXPECT_DEATH((void)p.decision(), "precondition");

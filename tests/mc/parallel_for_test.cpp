@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <numeric>
 
 namespace sskel {
@@ -31,6 +33,53 @@ TEST(ParallelForTest, ResolveThreadCount) {
   EXPECT_GE(resolve_thread_count(0), 1u);
 }
 
+TEST(ParallelForTest, MoveOnlyCallableUsesTemplatedOverload) {
+  // A move-only lambda cannot form a std::function, so this only
+  // compiles through the templated (allocation-free) overload.
+  std::atomic<int> hits{0};
+  auto token = std::make_unique<int>(7);
+  auto fn = [&hits, t = std::move(token)](std::size_t) { hits += *t; };
+  parallel_for(32, fn, 4);
+  EXPECT_EQ(hits.load(), 32 * 7);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  // A job body that itself calls parallel_for must not deadlock
+  // against the pool it is running on; nested calls execute inline.
+  std::atomic<int> hits{0};
+  parallel_for(
+      4,
+      [&](std::size_t) {
+        parallel_for(8, [&](std::size_t) { ++hits; }, 4);
+      },
+      4);
+  EXPECT_EQ(hits.load(), 32);
+}
+
+TEST(ParallelForTest, StdFunctionOverloadStillWorks) {
+  std::atomic<int> hits{0};
+  const std::function<void(std::size_t)> fn = [&](std::size_t) { ++hits; };
+  parallel_for(20, fn, 2);
+  EXPECT_EQ(hits.load(), 20);
+}
+
+TEST(ParallelForTest, PoolIsReusedAcrossCalls) {
+  // Requesting 4 workers engages the pool regardless of the machine's
+  // core count (on a single-core host it simply has zero helpers and
+  // the caller does all the work).
+  using detail::WorkerPool;
+  parallel_for(64, [](std::size_t) {}, 4);  // warm the pool
+  const unsigned helpers = WorkerPool::instance().helper_count();
+  const std::int64_t before = WorkerPool::instance().jobs_dispatched();
+  for (int i = 0; i < 10; ++i) {
+    parallel_for(64, [](std::size_t) {}, 4);
+  }
+  // Same helper threads, ten more jobs: the pool is persistent, not
+  // re-spawned per call.
+  EXPECT_EQ(WorkerPool::instance().helper_count(), helpers);
+  EXPECT_EQ(WorkerPool::instance().jobs_dispatched(), before + 10);
+}
+
 TEST(CollectParallelTest, ResultsIndexOrdered) {
   const std::vector<int> out = collect_parallel<int>(
       50, [](std::size_t i) { return static_cast<int>(i * i); }, 4);
@@ -44,6 +93,16 @@ TEST(CollectParallelTest, DeterministicAcrossThreadCounts) {
   const auto a = collect_parallel<int>(64, fn, 1);
   const auto b = collect_parallel<int>(64, fn, 8);
   EXPECT_EQ(a, b);
+}
+
+TEST(CollectParallelTest, StdFunctionOverloadStillWorks) {
+  const std::function<int(std::size_t)> fn = [](std::size_t i) {
+    return static_cast<int>(i) + 1;
+  };
+  const auto out = collect_parallel<int>(10, fn, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,125 @@
+// Cache-invalidation property tests for the change-driven analytics
+// (DESIGN.md §8): across randomized interleavings of shrinking and
+// no-op rounds, every version-cached result stays bit-identical to a
+// fresh recomputation, and the number of recomputations equals the
+// number of version bumps (+1 for the initial fill) — never once per
+// round.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/scc.hpp"
+#include "predicates/analysis.hpp"
+#include "predicates/psrcs.hpp"
+#include "skeleton/tracker.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+struct Edge {
+  ProcId from;
+  ProcId to;
+};
+
+/// Non-self-loop edges present in g.
+std::vector<Edge> removable_edges(const Digraph& g) {
+  std::vector<Edge> edges;
+  for (ProcId q : g.nodes()) {
+    for (ProcId p : g.out_neighbors(q)) {
+      if (q != p) edges.push_back({q, p});
+    }
+  }
+  return edges;
+}
+
+TEST(AnalyticsCacheProperty, CachedEqualsFreshAcrossRandomRuns) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(mix_seed(0xCAC4E, seed));
+    const ProcId n = static_cast<ProcId>(6 + rng.next_below(10));  // 6..15
+    SkeletonTracker tracker(n);
+    SkeletonPredicateCache predicates;
+    const int k = 2;
+
+    std::uint64_t bumps = 0;
+    std::int64_t psrcs_queries = 0;
+    // Prime both caches at version 0 so "recomputes == bumps + 1"
+    // holds even when the very first round already shrinks.
+    (void)tracker.current_root_components();
+    (void)predicates.psrcs_exact(tracker.skeleton(), tracker.version(), k);
+    const Round rounds = 40;
+    for (Round r = 1; r <= rounds; ++r) {
+      // Shrinking round with probability ~1/3 (while edges remain),
+      // no-op round otherwise. A no-op observes the complete graph, a
+      // shrinking round removes exactly one surviving non-loop edge.
+      Digraph g = Digraph::complete(n);
+      const std::vector<Edge> candidates = removable_edges(tracker.skeleton());
+      const bool shrink = !candidates.empty() && rng.next_below(3) == 0;
+      if (shrink) {
+        const Edge e = candidates[static_cast<std::size_t>(
+            rng.next_below(candidates.size()))];
+        g.remove_edge(e.from, e.to);
+      }
+
+      const std::uint64_t version_before = tracker.version();
+      tracker.observe(r, g);
+      if (shrink) {
+        ASSERT_EQ(tracker.version(), version_before + 1);
+        bumps += 1;
+      } else {
+        ASSERT_EQ(tracker.version(), version_before);
+      }
+
+      // Bit-identical to fresh recomputation, every round.
+      const SccDecomposition fresh = strongly_connected_components(
+          tracker.skeleton());
+      ASSERT_EQ(tracker.current_scc().component_of, fresh.component_of);
+      ASSERT_EQ(tracker.current_scc().components, fresh.components);
+      ASSERT_EQ(tracker.current_root_components(),
+                root_components(tracker.skeleton()));
+
+      const PsrcsCheck& cached =
+          predicates.psrcs_exact(tracker.skeleton(), tracker.version(), k);
+      const PsrcsCheck fresh_psrcs = check_psrcs_exact(tracker.skeleton(), k);
+      ++psrcs_queries;
+      ASSERT_EQ(cached.holds, fresh_psrcs.holds);
+      ASSERT_EQ(cached.violating_subset, fresh_psrcs.violating_subset);
+      ASSERT_EQ(cached.subsets_checked, fresh_psrcs.subsets_checked);
+
+      ASSERT_EQ(tracker.stabilized_for(),
+                tracker.rounds_observed() - tracker.last_change_round());
+    }
+
+    // The recompute counters are the heart of the property: work
+    // happened exactly once per version (plus the initial fill), not
+    // once per round.
+    ASSERT_GT(psrcs_queries, static_cast<std::int64_t>(bumps) + 1);
+    EXPECT_EQ(tracker.analytics_recomputes(),
+              static_cast<std::int64_t>(bumps) + 1);
+    EXPECT_EQ(predicates.psrcs_recomputes(),
+              static_cast<std::int64_t>(bumps) + 1);
+    EXPECT_EQ(tracker.version(), bumps);
+  }
+}
+
+TEST(AnalyticsCacheProperty, NoOpTailDoesNotRecompute) {
+  const ProcId n = 8;
+  SkeletonTracker tracker(n);
+  Digraph g = Digraph::complete(n);
+  g.remove_edge(0, 3);
+  tracker.observe(1, g);
+  (void)tracker.current_root_components();
+  const std::int64_t after_first = tracker.analytics_recomputes();
+
+  // A long post-stabilization tail: same graph every round.
+  for (Round r = 2; r <= 100; ++r) {
+    tracker.observe(r, g);
+    (void)tracker.current_scc();
+    (void)tracker.current_root_components();
+  }
+  EXPECT_EQ(tracker.analytics_recomputes(), after_first);
+  EXPECT_EQ(tracker.stabilized_for(), 99);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -46,6 +46,38 @@ TEST(SkeletonTrackerTest, StableObservationDoesNotChange) {
   EXPECT_EQ(t.rounds_observed(), 3);
 }
 
+TEST(SkeletonTrackerTest, VersionBumpsExactlyOnShrink) {
+  SkeletonTracker t(4);
+  EXPECT_EQ(t.version(), 0u);
+  Digraph g = Digraph::complete(4);
+  t.observe(1, g);
+  EXPECT_EQ(t.version(), 0u);  // complete ∩ complete: nothing removed
+  g.remove_edge(1, 2);
+  t.observe(2, g);
+  EXPECT_EQ(t.version(), 1u);
+  t.observe(3, g);  // same graph again: no bump
+  EXPECT_EQ(t.version(), 1u);
+  g.remove_edge(3, 0);
+  t.observe(4, g);
+  EXPECT_EQ(t.version(), 2u);
+}
+
+TEST(SkeletonTrackerTest, StabilizedForCountsQuietRounds) {
+  SkeletonTracker t(3);
+  Digraph g = Digraph::complete(3);
+  g.remove_edge(0, 1);
+  t.observe(1, g);
+  EXPECT_EQ(t.stabilized_for(), 0);
+  t.observe(2, g);
+  t.observe(3, g);
+  EXPECT_EQ(t.stabilized_for(), 2);
+  EXPECT_EQ(t.last_change_round(), 1);
+  g.remove_edge(1, 2);
+  t.observe(4, g);
+  EXPECT_EQ(t.stabilized_for(), 0);
+  EXPECT_EQ(t.last_change_round(), 4);
+}
+
 TEST(SkeletonTrackerTest, PtIsInNeighborRow) {
   SkeletonTracker t(3);
   Digraph g(3);
