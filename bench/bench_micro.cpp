@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/partition.hpp"
 #include "adversary/random_psrcs.hpp"
 #include "graph/reach.hpp"
 #include "graph/scc.hpp"
@@ -191,6 +192,71 @@ void BM_PostStabilizationAnalytics_Cached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PostStabilizationAnalytics_Cached)->Range(16, 256);
+
+/// A shrink-heavy skeleton run, SCC analytics recomputed with a full
+/// Tarjan + root scan after every skeleton change. The graph sequence
+/// (partition decay: 4 blocks, heavy transient cross noise) is
+/// precomputed outside the timed loop, so the measurement isolates
+/// intersection + analytics cost.
+void BM_SccShrinkTarjanRerun(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  PartitionParams params;
+  params.blocks = even_blocks(n, 4);
+  params.cross_noise_probability = 0.9;
+  const Round rounds = 60;
+  params.stabilization_round = rounds;
+  PartitionSource source(23, params);
+  std::vector<Digraph> sequence;
+  for (Round r = 1; r <= rounds; ++r) {
+    Digraph g = source.graph(r);
+    g.add_self_loops();
+    sequence.push_back(std::move(g));
+  }
+  for (auto _ : state) {
+    Digraph skel = Digraph::complete(n);
+    for (const Digraph& g : sequence) {
+      if (skel.intersect_with(g)) {
+        const SccDecomposition scc = strongly_connected_components(skel);
+        benchmark::DoNotOptimize(root_component_indices(skel, scc));
+        benchmark::DoNotOptimize(&scc);
+      }
+    }
+    benchmark::DoNotOptimize(skel);
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_SccShrinkTarjanRerun)->Range(64, 512);
+
+/// The same precomputed shrink-heavy sequence through the tracker's
+/// decremental SCC maintainer: each change is consumed as a removal
+/// delta and only the touched components are re-decomposed.
+void BM_SccShrinkIncremental(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  PartitionParams params;
+  params.blocks = even_blocks(n, 4);
+  params.cross_noise_probability = 0.9;
+  const Round rounds = 60;
+  params.stabilization_round = rounds;
+  PartitionSource source(23, params);
+  std::vector<Digraph> sequence;
+  for (Round r = 1; r <= rounds; ++r) {
+    Digraph g = source.graph(r);
+    g.add_self_loops();
+    sequence.push_back(std::move(g));
+  }
+  for (auto _ : state) {
+    SkeletonTracker tracker(n);
+    (void)tracker.current_scc();  // seed the maintainer
+    Round r = 0;
+    for (const Digraph& g : sequence) {
+      tracker.observe(++r, g);
+      benchmark::DoNotOptimize(&tracker.current_scc());
+      benchmark::DoNotOptimize(&tracker.current_root_components());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_SccShrinkIncremental)->Range(64, 512);
 
 /// Branch-and-bound Psrcs(k) decision on the stable skeleton of a
 /// random Psrcs(k) adversary (the predicate holds, so the search must

@@ -114,6 +114,45 @@ bool Digraph::intersect_with(const Digraph& other) {
   return changed;
 }
 
+bool Digraph::intersect_collect(const Digraph& other, GraphDelta& delta) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  ProcSet removed(n_);  // scratch, overwritten per row
+  const bool nodes_changed = nodes_.intersect_diff(other.nodes_, removed);
+  bool changed = nodes_changed;
+  for (ProcId p : removed) delta.removed_nodes.push_back(p);
+  for (ProcId p = 0; p < n_; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    if (!nodes_.contains(p)) {
+      if (!out_[i].empty() || !in_[i].empty()) changed = true;
+      // Every surviving out-edge of a removed node dies with it; the
+      // in-edges (q -> p) surface as out-row diffs of the surviving q
+      // below (rows are clamped to the shrunken node set).
+      for (ProcId q : out_[i]) delta.removed_edges.push_back({p, q});
+      out_[i].clear();
+      in_[i].clear();
+      continue;
+    }
+    if (out_[i].intersect_diff(other.out_[i], removed)) {
+      changed = true;
+      for (ProcId q : removed) delta.removed_edges.push_back({p, q});
+    }
+    // Rows were subsets of the old node set; a clamp to the shrunken
+    // set can only remove something when nodes actually disappeared
+    // this call — skip the second per-row pass otherwise.
+    if (nodes_changed) {
+      if (out_[i].intersect_diff(nodes_, removed)) {
+        changed = true;
+        for (ProcId q : removed) delta.removed_edges.push_back({p, q});
+      }
+      changed |= in_[i].intersect_changed(other.in_[i]);
+      changed |= in_[i].intersect_changed(nodes_);
+    } else {
+      changed |= in_[i].intersect_changed(other.in_[i]);
+    }
+  }
+  return changed;
+}
+
 void Digraph::union_with(const Digraph& other) {
   SSKEL_REQUIRE(n_ == other.n_);
   nodes_ |= other.nodes_;

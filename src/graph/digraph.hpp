@@ -14,12 +14,35 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/proc_set.hpp"
 #include "util/types.hpp"
 
 namespace sskel {
+
+/// What one (or several, when batched) shrink operations removed from
+/// a digraph. Produced by Digraph::intersect_collect and consumed by
+/// the decremental SCC maintainer: because skeletons only ever lose
+/// edges (Lemma 1), the total volume of deltas over an entire run is
+/// bounded by the initial edge count, so accumulating them is cheap.
+struct GraphDelta {
+  /// Removed edges as (from, to) pairs, each reported exactly once —
+  /// including the incident edges of removed nodes.
+  std::vector<std::pair<ProcId, ProcId>> removed_edges;
+  /// Nodes the shrink removed entirely.
+  std::vector<ProcId> removed_nodes;
+
+  void clear() {
+    removed_edges.clear();
+    removed_nodes.clear();
+  }
+
+  [[nodiscard]] bool empty() const {
+    return removed_edges.empty() && removed_nodes.empty();
+  }
+};
 
 class Digraph {
  public:
@@ -92,6 +115,15 @@ class Digraph {
   /// word-parallel AND, so callers (the skeleton tracker's version
   /// stamp) learn "nothing shrank" for free.
   bool intersect_with(const Digraph& other);
+
+  /// intersect_with that additionally *appends* every removed node and
+  /// edge to `delta` (existing delta contents are kept, so the skeleton
+  /// tracker can batch several shrink rounds into one delta). Each
+  /// removed edge is reported exactly once, via its out-row; the
+  /// incident edges of removed nodes are included. Costs one extra
+  /// ProcSet of scratch per call plus O(#removed) appends on top of the
+  /// word-parallel AND.
+  bool intersect_collect(const Digraph& other, GraphDelta& delta);
 
   /// Edge-and-node union. Requires equal universes.
   void union_with(const Digraph& other);

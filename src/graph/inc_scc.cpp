@@ -1,0 +1,186 @@
+#include "graph/inc_scc.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+namespace {
+
+/// Word-parallel BFS closure of `start` within `members`, following
+/// out-rows (forward = true) or in-rows (forward = false) of g.
+ProcSet masked_closure(const Digraph& g, ProcId start, const ProcSet& members,
+                       bool forward) {
+  ProcSet visited(g.n());
+  visited.insert(start);
+  ProcSet frontier = visited;
+  ProcSet next(g.n());
+  while (!frontier.empty()) {
+    next.clear();
+    for (ProcId v : frontier) {
+      next |= forward ? g.out_neighbors(v) : g.in_neighbors(v);
+    }
+    next &= members;
+    next -= visited;
+    visited |= next;
+    std::swap(frontier, next);
+  }
+  return visited;
+}
+
+}  // namespace
+
+void IncrementalScc::seed(const Digraph& g) {
+  scc_ = strongly_connected_components(g);
+  const int count = scc_.count();
+  origin_.assign(static_cast<std::size_t>(count), -1);
+  is_root_.assign(static_cast<std::size_t>(count), 0);
+  for (int c = 0; c < count; ++c) {
+    is_root_[static_cast<std::size_t>(c)] = derive_root(g, c) ? 1 : 0;
+  }
+  rebuild_root_list();
+  seeded_ = true;
+}
+
+bool IncrementalScc::derive_root(const Digraph& g, int c) const {
+  // Root iff no member hears from outside the component. In-rows only
+  // contain present nodes, so removed nodes never count as sources.
+  const ProcSet& comp = scc_.components[static_cast<std::size_t>(c)];
+  for (ProcId p : comp) {
+    if (!g.in_neighbors(p).is_subset_of(comp)) return false;
+  }
+  return true;
+}
+
+void IncrementalScc::rebuild_component_of(ProcId n) {
+  scc_.component_of.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t c = 0; c < scc_.components.size(); ++c) {
+    for (ProcId p : scc_.components[c]) {
+      scc_.component_of[static_cast<std::size_t>(p)] = static_cast<int>(c);
+    }
+  }
+}
+
+void IncrementalScc::rebuild_root_list() {
+  roots_.clear();
+  for (std::size_t c = 0; c < is_root_.size(); ++c) {
+    if (is_root_[c] != 0) roots_.push_back(static_cast<int>(c));
+  }
+}
+
+void IncrementalScc::decompose_local(const Digraph& g, const ProcSet& members,
+                                     std::vector<ProcSet>& out) {
+  // FW-BW with an explicit stack (a chain that shatters completely
+  // would otherwise recurse to depth |members|). An item is either a
+  // set still to decompose or a finished component to emit; pushing
+  // {B, R, emit(scc), F} in reverse yields the emission order
+  // F* scc R* B*, which is reverse topological: the pivot reaches all
+  // of F (so F's components must precede its own), all of B reaches
+  // the pivot, and R can only point into F — no edge runs from F, or
+  // from R into B, or between R and the pivot's component.
+  struct Item {
+    ProcSet set;
+    bool emit;
+  };
+  std::vector<Item> stack;
+  stack.push_back({members, false});
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    if (item.emit) {
+      out.push_back(std::move(item.set));
+      continue;
+    }
+    if (item.set.empty()) continue;
+    const ProcId pivot = item.set.first();
+    const ProcSet fwd = masked_closure(g, pivot, item.set, true);
+    const ProcSet bwd = masked_closure(g, pivot, item.set, false);
+    ProcSet scc = fwd & bwd;
+    ProcSet rest = item.set;
+    rest -= fwd;
+    rest -= bwd;
+    ProcSet fwd_only = fwd - scc;
+    stack.push_back({bwd - scc, false});
+    stack.push_back({std::move(rest), false});
+    stack.push_back({std::move(scc), true});
+    stack.push_back({std::move(fwd_only), false});
+  }
+}
+
+void IncrementalScc::apply(const Digraph& g, const GraphDelta& delta) {
+  SSKEL_REQUIRE(seeded_);
+  const ProcId n = g.n();
+  const int old_count = scc_.count();
+  // touched: lost an internal edge or a member — must be re-decomposed.
+  // lost_in_edge: head of a removed inter-component edge — root status
+  // must be re-derived even though the decomposition is untouched.
+  std::vector<char> touched(static_cast<std::size_t>(old_count), 0);
+  std::vector<char> lost_in_edge(static_cast<std::size_t>(old_count), 0);
+  for (const auto& [from, to] : delta.removed_edges) {
+    const int cf = scc_.component_of[static_cast<std::size_t>(from)];
+    const int ct = scc_.component_of[static_cast<std::size_t>(to)];
+    if (cf < 0 || ct < 0) continue;  // endpoint gone in an earlier apply
+    if (cf == ct) {
+      touched[static_cast<std::size_t>(cf)] = 1;
+    } else {
+      lost_in_edge[static_cast<std::size_t>(ct)] = 1;
+    }
+  }
+  for (ProcId p : delta.removed_nodes) {
+    const int c = scc_.component_of[static_cast<std::size_t>(p)];
+    if (c >= 0) touched[static_cast<std::size_t>(c)] = 1;
+  }
+
+  // Splice: untouched components keep their slot (and carried root
+  // flag unless they lost an in-edge); touched components are replaced
+  // in place by their locally ordered sub-components. Replacing one
+  // valid reverse-topological position by a locally valid ordering of
+  // its parts preserves global validity — every cross edge of a part
+  // is a cross edge the old component already had.
+  std::vector<ProcSet> new_components;
+  std::vector<char> new_is_root;
+  std::vector<char> recheck_root;
+  std::vector<int> new_origin;
+  new_components.reserve(static_cast<std::size_t>(old_count));
+  new_is_root.reserve(static_cast<std::size_t>(old_count));
+  recheck_root.reserve(static_cast<std::size_t>(old_count));
+  new_origin.reserve(static_cast<std::size_t>(old_count));
+  bool any_split = false;
+  std::vector<ProcSet> parts;
+  for (int c = 0; c < old_count; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (touched[ci] == 0) {
+      new_origin.push_back(c);
+      new_is_root.push_back(is_root_[ci]);
+      recheck_root.push_back(lost_in_edge[ci]);
+      new_components.push_back(std::move(scc_.components[ci]));
+      continue;
+    }
+    ProcSet members = scc_.components[ci] & g.nodes();
+    parts.clear();
+    decompose_local(g, members, parts);
+    ++resolved_;
+    if (parts.size() != 1) any_split = true;
+    for (ProcSet& part : parts) {
+      new_origin.push_back(-1);
+      new_is_root.push_back(0);
+      recheck_root.push_back(1);
+      new_components.push_back(std::move(part));
+    }
+  }
+  if (any_split) ++splits_;
+
+  scc_.components = std::move(new_components);
+  is_root_ = std::move(new_is_root);
+  origin_ = std::move(new_origin);
+  rebuild_component_of(n);
+  for (std::size_t c = 0; c < recheck_root.size(); ++c) {
+    if (recheck_root[c] != 0) {
+      is_root_[c] = derive_root(g, static_cast<int>(c)) ? 1 : 0;
+    }
+  }
+  rebuild_root_list();
+}
+
+}  // namespace sskel

@@ -1,0 +1,100 @@
+// IncrementalScc: decremental SCC maintenance for shrink-only graphs.
+//
+// The skeleton G∩r only ever loses nodes and edges (Lemma 1), so its
+// strongly connected components only ever *subdivide* and its
+// condensation DAG only ever gains granularity. That monotonicity
+// admits a maintainer that is seeded by one Tarjan pass and thereafter
+// consumes the removed-edge sets the skeleton intersection already
+// produces (Digraph::intersect_collect):
+//
+//   * a deleted edge whose endpoints live in different components
+//     cannot change the decomposition at all — only the head
+//     component's root status needs a recheck;
+//   * a deleted internal edge can split exactly its own component;
+//     the affected component is re-decomposed *locally* by pivot
+//     forward/backward reachability (word-parallel bitset BFS, the
+//     FW-BW scheme), and its sub-components are spliced into the old
+//     component's slot — untouched components and the reverse
+//     topological order of the condensation are patched, never
+//     recomputed;
+//   * root flags are carried for unaffected components and re-derived
+//     only for split products and components that lost an incoming
+//     condensation edge (edges never appear, so a root can only stop
+//     being a root by splitting, and a non-root can only become one by
+//     losing its last external in-edge).
+//
+// `strongly_connected_components` (graph/scc.hpp) remains the oracle:
+// the randomized equivalence tests replay every deletion sequence
+// against a fresh Tarjan run per step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+
+namespace sskel {
+
+class IncrementalScc {
+ public:
+  IncrementalScc() = default;
+
+  /// Seeds the maintainer from one full Tarjan pass over g.
+  void seed(const Digraph& g);
+
+  [[nodiscard]] bool seeded() const { return seeded_; }
+
+  /// Applies a batch of deletions: `g` must be the graph of the last
+  /// seed()/apply() call minus exactly the nodes and edges recorded in
+  /// `delta` (several shrink rounds may be batched into one delta —
+  /// shrink-only graphs remove every node and edge at most once, so
+  /// batches compose). Components only subdivide; the decomposition is
+  /// patched in place.
+  void apply(const Digraph& g, const GraphDelta& delta);
+
+  /// The maintained decomposition. Components are in a valid reverse
+  /// topological order of the condensation (same contract as Tarjan's
+  /// output, though not necessarily the same permutation).
+  [[nodiscard]] const SccDecomposition& decomposition() const { return scc_; }
+
+  /// Indices (ascending) of the root components — components with no
+  /// incoming edge from a different component (Theorem 1's objects).
+  [[nodiscard]] const std::vector<int>& root_indices() const { return roots_; }
+
+  /// origin_of()[c] is the index, in the decomposition *before* the
+  /// last seed()/apply(), of the component whose member set and
+  /// internal edges are unchanged and now sit at index c — or -1 when
+  /// component c was (re)built by that call. Consumers holding
+  /// per-component derived data (e.g. induced subgraphs) use this to
+  /// carry values across an apply instead of rebuilding everything.
+  [[nodiscard]] const std::vector<int>& origin_of() const { return origin_; }
+
+  /// Number of local re-decompositions run (touched components).
+  [[nodiscard]] std::int64_t components_resolved() const { return resolved_; }
+
+  /// Number of apply() calls that split at least one component.
+  [[nodiscard]] std::int64_t splitting_applies() const { return splits_; }
+
+ private:
+  /// FW-BW decomposition of `members` in the subgraph of g they
+  /// induce, appended to `out` in reverse topological order.
+  void decompose_local(const Digraph& g, const ProcSet& members,
+                       std::vector<ProcSet>& out);
+
+  /// Re-derives the root flag of component c from g's in-rows.
+  [[nodiscard]] bool derive_root(const Digraph& g, int c) const;
+
+  void rebuild_component_of(ProcId n);
+  void rebuild_root_list();
+
+  bool seeded_ = false;
+  SccDecomposition scc_;
+  std::vector<char> is_root_;  // parallel to scc_.components
+  std::vector<int> roots_;     // ascending indices of root components
+  std::vector<int> origin_;    // parallel to scc_.components
+  std::int64_t resolved_ = 0;
+  std::int64_t splits_ = 0;
+};
+
+}  // namespace sskel

@@ -93,6 +93,15 @@ const PredicateProfile& SkeletonPredicateCache::profile(
   return profile_.get(version, [&] { return profile_skeleton(skeleton); });
 }
 
+const PredicateProfile& SkeletonPredicateCache::profile_with_roots(
+    const Digraph& skeleton, std::uint64_t version,
+    const std::vector<ProcSet>& root_components) {
+  return profile_.get(version, [&] {
+    return profile_skeleton(skeleton,
+                            static_cast<int>(root_components.size()));
+  });
+}
+
 std::int64_t SkeletonPredicateCache::psrcs_recomputes() const {
   std::int64_t total = 0;
   for (const auto& [k, cache] : psrcs_by_k_) total += cache.recomputes();
@@ -100,9 +109,13 @@ std::int64_t SkeletonPredicateCache::psrcs_recomputes() const {
 }
 
 PredicateProfile profile_skeleton(const Digraph& skeleton) {
+  return profile_skeleton(
+      skeleton, static_cast<int>(root_components(skeleton).size()));
+}
+
+PredicateProfile profile_skeleton(const Digraph& skeleton, int root_count) {
   PredicateProfile profile;
-  profile.root_components =
-      static_cast<int>(root_components(skeleton).size());
+  profile.root_components = root_count;
   const auto k = min_psrcs_k(skeleton);
   profile.min_k = k.value_or(skeleton.n());
   profile.theorem1_consistent = profile.root_components <= profile.min_k;

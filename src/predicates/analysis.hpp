@@ -44,6 +44,14 @@ struct PredicateProfile {
 
 [[nodiscard]] PredicateProfile profile_skeleton(const Digraph& skeleton);
 
+/// Variant for callers that already maintain the skeleton's root
+/// components (e.g. SkeletonTracker's incremental SCC analytics):
+/// takes the root-component count as given and skips the internal
+/// Tarjan pass, so profiling a tracked skeleton costs only the min-k
+/// search.
+[[nodiscard]] PredicateProfile profile_skeleton(const Digraph& skeleton,
+                                                int root_count);
+
 /// Change-driven predicate evaluation: caches Psrcs(k) verdicts and
 /// the Theorem-1 profile of a monitored skeleton, keyed on the
 /// SkeletonTracker's version stamp. Monotonicity (Lemma 1) makes the
@@ -60,6 +68,14 @@ class SkeletonPredicateCache {
   /// profile_skeleton(skeleton), recomputed only on version bumps.
   const PredicateProfile& profile(const Digraph& skeleton,
                                   std::uint64_t version);
+
+  /// Like profile(), but reuses the caller's already-maintained root
+  /// components (a SkeletonTracker's current_root_components()) so a
+  /// recompute runs no Tarjan of its own. Callers must pass roots that
+  /// belong to `skeleton` at `version`.
+  const PredicateProfile& profile_with_roots(
+      const Digraph& skeleton, std::uint64_t version,
+      const std::vector<ProcSet>& root_components);
 
   /// Total underlying Psrcs searches actually run, summed over all k
   /// (for the cache-invalidation property tests).

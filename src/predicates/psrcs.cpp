@@ -1,8 +1,20 @@
 #include "predicates/psrcs.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace sskel {
+
+double binomial_double(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double c = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    c *= static_cast<double>(n - k + i);
+    c /= static_cast<double>(i);
+  }
+  return c;
+}
 
 std::optional<TwoSourceWitness> find_two_source(const Digraph& skeleton,
                                                 const ProcSet& s) {
@@ -154,11 +166,26 @@ PsrcsCheck check_psrcs_sampled(const Digraph& skeleton, int k, int samples,
     for (int i = 0; i <= k; ++i) subset.insert(ids[static_cast<std::size_t>(i)]);
     ++result.subsets_checked;
     if (!find_two_source(skeleton, subset)) {
+      // A sampled violation is as good as an exact one: the subset is
+      // the certificate. certified/confidence keep their defaults.
       result.holds = false;
       result.violating_subset = subset;
       return result;
     }
   }
+  // Sampled pass: not a proof. Report the miss-probability bound —
+  // a violator (if any) is hit with probability >= 1/C(n, k+1) per
+  // sample, so `samples` misses refute its existence with confidence
+  // 1 - (1 - 1/C(n, k+1))^samples, computed via expm1/log1p so tiny
+  // per-sample probabilities do not round to zero.
+  result.certified = false;
+  const double total = binomial_double(n, k + 1);
+  // samples == 0 would make `samples * log1p(-1/1)` the 0 * -inf NaN;
+  // zero samples refute nothing, so the bound is plainly 0.
+  result.confidence =
+      samples > 0 && std::isfinite(total) && total >= 1.0
+          ? -std::expm1(static_cast<double>(samples) * std::log1p(-1.0 / total))
+          : 0.0;
   return result;
 }
 

@@ -33,7 +33,7 @@ struct TwoSourceWitness {
 [[nodiscard]] std::optional<TwoSourceWitness> find_two_source(
     const Digraph& skeleton, const ProcSet& s);
 
-/// Result of an exact Psrcs(k) check.
+/// Result of a Psrcs(k) check.
 struct PsrcsCheck {
   bool holds = false;
   /// When violated: a (k+1)-subset with no 2-source.
@@ -42,6 +42,23 @@ struct PsrcsCheck {
   /// brute-force enumerator, sourceless partial subsets materialized
   /// for the branch-and-bound procedure (cost diagnostics).
   std::int64_t subsets_checked = 0;
+  /// True when the verdict is a proof: every verdict of the exact and
+  /// brute-force checkers, and a sampled *violation* (the witness is
+  /// the proof). A sampled pass sets this to false — it only says no
+  /// violating subset was drawn.
+  bool certified = true;
+  /// Statistical weight of the verdict, in [0, 1]. Certified verdicts
+  /// carry 1.0. For an uncertified sampled pass this is the
+  /// (1 - delta)-style bound P(detect a violation | one exists): if
+  /// Psrcs(k) is false at least one of the C(n, k+1) subsets is
+  /// sourceless, so each uniform sample hits a violator with
+  /// probability >= 1/C(n, k+1) and s misses give
+  ///   confidence = 1 - (1 - 1/C(n, k+1))^s.
+  /// Conservative (assumes a single violator) and vanishingly small
+  /// for large n unless samples scale with C(n, k+1) — which is
+  /// exactly the caveat callers must surface instead of treating the
+  /// verdict as an exact certificate.
+  double confidence = 1.0;
 };
 
 /// Exact decision procedure for Psrcs(k): branch-and-bound search for
@@ -74,9 +91,17 @@ struct PsrcsCheck {
 /// Randomized refutation search: samples `samples` subsets of size
 /// k+1 and reports a violation if one is found. Never proves the
 /// predicate, but scales to any n; used by large-n benches as a
-/// sanity screen.
+/// sanity screen. A found violation is certified (the subset is a
+/// witness); a pass is returned with certified = false and the
+/// miss-probability confidence bound documented on PsrcsCheck, so a
+/// sampled pass can no longer masquerade as an exact verdict.
 [[nodiscard]] PsrcsCheck check_psrcs_sampled(const Digraph& skeleton, int k,
                                              int samples, Rng& rng);
+
+/// C(n, k) evaluated in double precision (exact while representable,
+/// +inf on overflow). Exposed for tests pinning the sampled-verdict
+/// confidence bound.
+[[nodiscard]] double binomial_double(int n, int k);
 
 /// A *hub cover* of size m is a set H of m processes such that every
 /// process has a stable in-edge from some member of H. By pigeonhole,

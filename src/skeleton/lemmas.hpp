@@ -83,15 +83,24 @@ class LemmaMonitor {
   void report(Round r, ProcId p, const std::string& what);
 
   /// Induced subgraph of the current skeleton's component containing
-  /// p, served from the version-keyed cache (one induced graph per
-  /// SCC, all built on the first query after a version bump).
+  /// p, served from the version-keyed cache. On a version bump the
+  /// cache is *patched* in place: the tracker's component_origin() map
+  /// says which components survived the shrink untouched, and their
+  /// induced graphs are moved over instead of rebuilt — only split or
+  /// rebuilt components pay for a fresh induced() pass.
   [[nodiscard]] const Digraph& component_graph(ProcId p);
 
   ProcId n_;
   LemmaChecks checks_;
   SkeletonTracker tracker_;
-  /// induced[c] = skeleton restricted to component c of current_scc().
+  /// induced[c] = skeleton restricted to component c of current_scc(),
+  /// plus a trailing empty graph serving nodes absent from the
+  /// skeleton.
   mutable VersionedCache<std::vector<Digraph>> induced_components_;
+  /// Tracker analytics generation the cached induced graphs belong to;
+  /// component_origin() is only a valid carry map when we consumed the
+  /// immediately preceding generation.
+  mutable std::int64_t induced_generation_ = -1;
   std::vector<std::string> violations_;
   std::vector<Value> prev_estimates_;
   /// First strongly-connected approximation snapshot per process, for

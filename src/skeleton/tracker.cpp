@@ -14,8 +14,15 @@ void SkeletonTracker::observe(Round r, const Digraph& graph) {
   SSKEL_REQUIRE(r == round_ + 1);
   round_ = r;
   // The AND itself detects shrinkage — no pre-round copy, no graph
-  // comparison. A no-op round costs exactly the intersection.
-  if (skeleton_.intersect_with(graph)) {
+  // comparison. A no-op round costs exactly the intersection. Once the
+  // SCC maintainer is seeded the intersection also materializes what
+  // it removed, so the next analytics query can patch instead of
+  // recompute; before that (or when analytics are never queried) the
+  // delta-free path runs.
+  const bool changed = inc_scc_.seeded()
+                           ? skeleton_.intersect_collect(graph, pending_)
+                           : skeleton_.intersect_with(graph);
+  if (changed) {
     last_change_ = r;
     ++version_;
   }
@@ -28,23 +35,41 @@ const Digraph& SkeletonTracker::skeleton_at(Round r) const {
   return past_[static_cast<std::size_t>(r - 1)];
 }
 
-const SkeletonTracker::Analytics& SkeletonTracker::analytics() const {
-  return analytics_.get(version_, [&] {
-    Analytics a;
-    a.scc = strongly_connected_components(skeleton_);
-    for (int idx : root_component_indices(skeleton_, a.scc)) {
-      a.roots.push_back(a.scc.components[static_cast<std::size_t>(idx)]);
-    }
-    return a;
-  });
+void SkeletonTracker::refresh_analytics() const {
+  if (analytics_valid_ && analytics_version_ == version_) return;
+  if (!inc_scc_.seeded()) {
+    inc_scc_.seed(skeleton_);
+  } else {
+    inc_scc_.apply(skeleton_, pending_);
+  }
+  pending_.clear();
+  roots_.clear();
+  for (int idx : inc_scc_.root_indices()) {
+    roots_.push_back(
+        inc_scc_.decomposition().components[static_cast<std::size_t>(idx)]);
+  }
+  analytics_version_ = version_;
+  analytics_valid_ = true;
+  ++analytics_recomputes_;
 }
 
 const SccDecomposition& SkeletonTracker::current_scc() const {
-  return analytics().scc;
+  refresh_analytics();
+  return inc_scc_.decomposition();
 }
 
 const std::vector<ProcSet>& SkeletonTracker::current_root_components() const {
-  return analytics().roots;
+  refresh_analytics();
+  return roots_;
+}
+
+const std::vector<int>& SkeletonTracker::current_root_indices() const {
+  refresh_analytics();
+  return inc_scc_.root_indices();
+}
+
+const std::vector<int>& SkeletonTracker::component_origin() const {
+  return inc_scc_.origin_of();
 }
 
 }  // namespace sskel

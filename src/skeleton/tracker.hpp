@@ -26,9 +26,9 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/inc_scc.hpp"
 #include "graph/scc.hpp"
 #include "util/types.hpp"
-#include "util/versioned_cache.hpp"
 
 namespace sskel {
 
@@ -77,30 +77,52 @@ class SkeletonTracker {
   /// rounds_observed() - last_change_round().
   [[nodiscard]] Round stabilized_for() const { return round_ - last_change_; }
 
-  /// SCC decomposition of the current skeleton, cached on version():
-  /// recomputed only after a round that actually shrank the skeleton.
+  /// SCC decomposition of the current skeleton. The first query seeds
+  /// an IncrementalScc maintainer with one Tarjan pass; after that the
+  /// intersection in observe() records the removed nodes/edges
+  /// (Digraph::intersect_collect) and each stale query *patches* the
+  /// decomposition instead of recomputing it — only components that
+  /// lost an internal edge or a member are re-decomposed, locally.
+  /// The result is a valid reverse-topological ordering of the
+  /// condensation (Tarjan's contract), though not necessarily Tarjan's
+  /// exact permutation.
   [[nodiscard]] const SccDecomposition& current_scc() const;
 
   /// Root components of the current skeleton (Theorem 1's objects),
-  /// cached on version() like current_scc().
+  /// maintained alongside current_scc().
   [[nodiscard]] const std::vector<ProcSet>& current_root_components() const;
 
-  /// Number of times the SCC/root-component analytics actually ran.
-  /// With a query every round this equals version bumps + 1 (the
-  /// initial fill) — the cache-invalidation property tests pin that.
+  /// Indices into current_scc().components of the root components,
+  /// ascending.
+  [[nodiscard]] const std::vector<int>& current_root_indices() const;
+
+  /// After the analytics have been brought up to date (any analytics
+  /// accessor at the current version), component_origin()[c] is the
+  /// index this component had in the decomposition served by the
+  /// *previous* analytics refresh, or -1 when it was (re)built. Valid
+  /// for consumers that query every refresh generation (compare
+  /// analytics_recomputes()); lets them carry per-component derived
+  /// data across a shrink. Empty before the first query.
+  [[nodiscard]] const std::vector<int>& component_origin() const;
+
+  /// Number of times the SCC/root-component analytics actually ran
+  /// (seed or incremental patch). With a query every round this equals
+  /// version bumps + 1 (the initial seed) — the cache-invalidation
+  /// property tests pin that.
   [[nodiscard]] std::int64_t analytics_recomputes() const {
-    return analytics_.recomputes();
+    return analytics_recomputes_;
+  }
+
+  /// Local re-decompositions the incremental maintainer ran — the
+  /// work metric the benchmarks report next to full-Tarjan reruns.
+  [[nodiscard]] std::int64_t scc_components_resolved() const {
+    return inc_scc_.components_resolved();
   }
 
  private:
-  struct Analytics {
-    SccDecomposition scc;
-    std::vector<ProcSet> roots;
-  };
-
-  /// The version-cached SCC + root-component bundle (one Tarjan run
-  /// serves both accessors).
-  [[nodiscard]] const Analytics& analytics() const;
+  /// Brings the incremental maintainer up to date with skeleton_
+  /// (seed on first call, apply pending deltas on later ones).
+  void refresh_analytics() const;
 
   ProcId n_;
   History history_;
@@ -109,7 +131,15 @@ class SkeletonTracker {
   Round round_ = 0;
   Round last_change_ = 0;
   std::uint64_t version_ = 0;
-  mutable VersionedCache<Analytics> analytics_;
+  // Analytics state: lazily seeded, then delta-driven. pending_ only
+  // accumulates once the maintainer is seeded, so runs that never ask
+  // for analytics keep the plain (delta-free) intersection path.
+  mutable IncrementalScc inc_scc_;
+  mutable GraphDelta pending_;
+  mutable std::vector<ProcSet> roots_;
+  mutable std::uint64_t analytics_version_ = 0;
+  mutable bool analytics_valid_ = false;
+  mutable std::int64_t analytics_recomputes_ = 0;
 };
 
 }  // namespace sskel

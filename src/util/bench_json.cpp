@@ -1,9 +1,12 @@
 #include "util/bench_json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 
 namespace sskel {
 
@@ -34,8 +37,18 @@ void write_double(std::ostream& os, double v) {
     os << "null";  // JSON has no NaN/Inf
     return;
   }
-  std::ostringstream tmp;
-  tmp.precision(10);
+  // Shortest representation that round-trips exactly (to_chars without
+  // a precision argument). precision(10) silently loses the last ~7
+  // bits of the mantissa, which is enough to corrupt ns/op deltas in
+  // the bench-regression diffs.
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) {
+    os.write(buf, ptr - buf);
+    return;
+  }
+  std::ostringstream tmp;  // unreachable fallback, still round-trips
+  tmp.precision(std::numeric_limits<double>::max_digits10);
   tmp << v;
   os << tmp.str();
 }

@@ -72,6 +72,21 @@ bool ProcSet::intersect_changed(const ProcSet& other) {
   return removed != 0;
 }
 
+bool ProcSet::intersect_diff(const ProcSet& other, ProcSet& removed) {
+  SSKEL_REQUIRE(n_ == other.n_);
+  SSKEL_REQUIRE(removed.n_ == n_);
+  std::uint64_t any = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t before = words_[i];
+    const std::uint64_t after = before & other.words_[i];
+    const std::uint64_t gone = before ^ after;
+    removed.words_[i] = gone;
+    any |= gone;
+    words_[i] = after;
+  }
+  return any != 0;
+}
+
 ProcSet& ProcSet::operator|=(const ProcSet& other) {
   SSKEL_REQUIRE(n_ == other.n_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];

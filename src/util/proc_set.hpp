@@ -84,6 +84,15 @@ class ProcSet {
   /// compare per word), so skeleton maintenance can detect "this round
   /// shrank nothing" at no extra asymptotic cost.
   bool intersect_changed(const ProcSet& other);
+
+  /// In-place intersection that additionally *materializes* the
+  /// removed members: after the call, `removed` holds exactly the
+  /// members this intersection deleted (its previous contents are
+  /// overwritten). `removed` must share the universe. Same word-
+  /// parallel cost as intersect_changed; this is what lets skeleton
+  /// maintenance hand the per-round deletion set to the decremental
+  /// SCC maintainer for free.
+  bool intersect_diff(const ProcSet& other, ProcSet& removed);
   ProcSet& operator|=(const ProcSet& other);
   ProcSet& operator-=(const ProcSet& other);
 

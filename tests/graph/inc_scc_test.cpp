@@ -1,0 +1,313 @@
+// Tests for IncrementalScc, the decremental SCC maintainer.
+//
+// The maintainer's contract: after any sequence of seed/apply calls,
+// its decomposition is *equivalent* to a fresh Tarjan run on the same
+// graph — identical partition into components, identical root set, and
+// a valid reverse-topological ordering of the condensation. The
+// component *permutation* may differ from Tarjan's (splicing preserves
+// validity, not Tarjan's exact emission order), so the randomized
+// equivalence tests compare semantics, never raw vectors.
+#include "graph/inc_scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/scc.hpp"
+#include "util/rng.hpp"
+
+namespace sskel {
+namespace {
+
+/// Sorted-by-first-member view of a component list, for set-equality
+/// comparison that ignores emission order.
+std::vector<ProcSet> sorted_components(const std::vector<ProcSet>& comps) {
+  std::vector<ProcSet> out = comps;
+  std::sort(out.begin(), out.end(),
+            [](const ProcSet& a, const ProcSet& b) {
+              return a.first() < b.first();
+            });
+  return out;
+}
+
+std::vector<ProcSet> root_sets(const SccDecomposition& scc,
+                               const std::vector<int>& indices) {
+  std::vector<ProcSet> out;
+  for (int idx : indices) {
+    out.push_back(scc.components[static_cast<std::size_t>(idx)]);
+  }
+  return sorted_components(out);
+}
+
+/// Asserts that the maintainer's decomposition is equivalent to a
+/// fresh Tarjan run on g: same partition, same roots, internally
+/// consistent component_of, and a valid reverse-topological order.
+void expect_equivalent(const Digraph& g, const IncrementalScc& inc,
+                       const std::string& context) {
+  SCOPED_TRACE(context);
+  const SccDecomposition& got = inc.decomposition();
+  const SccDecomposition want = strongly_connected_components(g);
+
+  // Same partition (order-insensitive).
+  ASSERT_EQ(got.count(), want.count());
+  EXPECT_EQ(sorted_components(got.components),
+            sorted_components(want.components));
+
+  // component_of is consistent with the member sets and covers exactly
+  // the present nodes.
+  ASSERT_EQ(got.component_of.size(), static_cast<std::size_t>(g.n()));
+  for (ProcId p = 0; p < g.n(); ++p) {
+    const int c = got.component_of[static_cast<std::size_t>(p)];
+    if (!g.has_node(p)) {
+      EXPECT_EQ(c, -1) << "absent node p" << p << " has a component";
+      continue;
+    }
+    ASSERT_GE(c, 0) << "present node p" << p << " unassigned";
+    ASSERT_LT(c, got.count());
+    EXPECT_TRUE(got.components[static_cast<std::size_t>(c)].contains(p));
+  }
+
+  // Valid reverse topological order: an edge C_a -> C_b implies b < a.
+  for (ProcId u : g.nodes()) {
+    for (ProcId v : g.out_neighbors(u)) {
+      const int cu = got.component_of[static_cast<std::size_t>(u)];
+      const int cv = got.component_of[static_cast<std::size_t>(v)];
+      if (cu != cv) {
+        EXPECT_LT(cv, cu) << "edge p" << u << "->p" << v
+                          << " violates reverse-topological order";
+      }
+    }
+  }
+
+  // Same root components.
+  EXPECT_EQ(root_sets(got, inc.root_indices()),
+            root_sets(want, root_component_indices(g, want)));
+}
+
+Digraph random_graph(ProcId n, Rng& rng, int edge_percent) {
+  Digraph g(n);
+  g.add_self_loops();
+  for (ProcId u = 0; u < n; ++u) {
+    for (ProcId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (rng.next_below(100) < static_cast<std::uint64_t>(edge_percent)) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::pair<ProcId, ProcId>> present_edges(const Digraph& g) {
+  std::vector<std::pair<ProcId, ProcId>> edges;
+  for (ProcId u : g.nodes()) {
+    for (ProcId v : g.out_neighbors(u)) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+/// Removes node p from g and records the removal in `delta` using the
+/// same convention Digraph::intersect_collect emits: the node itself
+/// plus every incident edge (out-edges from p's row, in-edges as
+/// removed out-edges of the surviving sources).
+void remove_node_with_delta(Digraph& g, ProcId p, GraphDelta& delta) {
+  delta.removed_nodes.push_back(p);
+  for (ProcId q : g.out_neighbors(p)) delta.removed_edges.push_back({p, q});
+  for (ProcId q : g.in_neighbors(p)) {
+    if (q != p) delta.removed_edges.push_back({q, p});
+  }
+  g.remove_node(p);
+}
+
+// --- targeted unit tests ---------------------------------------------------
+
+TEST(IncSccTest, SeedMatchesTarjan) {
+  Rng rng(7);
+  const Digraph g = random_graph(12, rng, 25);
+  IncrementalScc inc;
+  inc.seed(g);
+  EXPECT_TRUE(inc.seeded());
+  expect_equivalent(g, inc, "seed");
+}
+
+TEST(IncSccTest, CycleSplitsIntoChain) {
+  // 0 -> 1 -> 2 -> 3 -> 0: removing one edge shatters the 4-cycle into
+  // four singleton components, and the unique root moves to the tail.
+  Digraph g(4);
+  for (ProcId p = 0; p < 4; ++p) g.add_edge(p, (p + 1) % 4);
+  IncrementalScc inc;
+  inc.seed(g);
+  ASSERT_EQ(inc.decomposition().count(), 1);
+
+  GraphDelta delta;
+  delta.removed_edges.push_back({3, 0});
+  g.remove_edge(3, 0);
+  inc.apply(g, delta);
+  expect_equivalent(g, inc, "after cycle cut");
+  EXPECT_EQ(inc.decomposition().count(), 4);
+  EXPECT_EQ(inc.splitting_applies(), 1);
+}
+
+TEST(IncSccTest, InterComponentRemovalOnlyPatchesRoots) {
+  // Two 2-cycles joined by a bridge; cutting the bridge cannot split
+  // anything but promotes the downstream component to a root.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 2);
+  IncrementalScc inc;
+  inc.seed(g);
+  ASSERT_EQ(inc.decomposition().count(), 2);
+  ASSERT_EQ(inc.root_indices().size(), 1u);
+
+  GraphDelta delta;
+  delta.removed_edges.push_back({1, 2});
+  g.remove_edge(1, 2);
+  inc.apply(g, delta);
+  expect_equivalent(g, inc, "after bridge cut");
+  EXPECT_EQ(inc.decomposition().count(), 2);
+  EXPECT_EQ(inc.root_indices().size(), 2u);
+  // No component lost an internal edge, so nothing was re-decomposed.
+  EXPECT_EQ(inc.components_resolved(), 0);
+  EXPECT_EQ(inc.splitting_applies(), 0);
+  // Both components survived in place.
+  for (int origin : inc.origin_of()) EXPECT_GE(origin, 0);
+}
+
+TEST(IncSccTest, NodeRemovalSplitsItsComponent) {
+  // 5-cycle; removing the middle node leaves a 4-chain of singletons.
+  Digraph g(5);
+  for (ProcId p = 0; p < 5; ++p) g.add_edge(p, (p + 1) % 5);
+  IncrementalScc inc;
+  inc.seed(g);
+
+  GraphDelta delta;
+  remove_node_with_delta(g, 2, delta);
+  inc.apply(g, delta);
+  expect_equivalent(g, inc, "after node removal");
+  EXPECT_EQ(inc.decomposition().count(), 4);
+}
+
+TEST(IncSccTest, BatchedDeltaComposes) {
+  // Several rounds of shrinkage folded into one apply() must land on
+  // the same decomposition as applying them one by one.
+  Rng rng(99);
+  Digraph g = random_graph(14, rng, 30);
+  Digraph g_batched = g;
+  IncrementalScc step_by_step;
+  IncrementalScc batched;
+  step_by_step.seed(g);
+  batched.seed(g_batched);
+
+  GraphDelta batch;
+  for (int round = 0; round < 4; ++round) {
+    auto edges = present_edges(g);
+    if (edges.empty()) break;
+    GraphDelta single;
+    for (int j = 0; j < 3 && !edges.empty(); ++j) {
+      const auto pick = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(edges.size())));
+      const auto [u, v] = edges[pick];
+      edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (!g.has_edge(u, v)) continue;
+      g.remove_edge(u, v);
+      g_batched.remove_edge(u, v);
+      single.removed_edges.push_back({u, v});
+      batch.removed_edges.push_back({u, v});
+    }
+    step_by_step.apply(g, single);
+  }
+  batched.apply(g_batched, batch);
+  expect_equivalent(g, step_by_step, "step-by-step");
+  expect_equivalent(g_batched, batched, "batched");
+}
+
+TEST(IncSccTest, EmptyDeltaIsNoOp) {
+  Rng rng(3);
+  const Digraph g = random_graph(10, rng, 20);
+  IncrementalScc inc;
+  inc.seed(g);
+  const GraphDelta empty;
+  inc.apply(g, empty);
+  expect_equivalent(g, inc, "empty delta");
+  EXPECT_EQ(inc.components_resolved(), 0);
+}
+
+// --- randomized equivalence ------------------------------------------------
+
+/// One random deletion sequence: seed on a random graph, then delete
+/// random edge batches (occasionally a whole node) down to the empty
+/// graph, checking equivalence against a fresh Tarjan run — and the
+/// subdivide-only property — at every step.
+void run_random_sequence(std::uint64_t seed, ProcId n) {
+  Rng rng(seed);
+  Digraph g = random_graph(
+      n, rng, 10 + static_cast<int>(rng.next_below(40)));
+  IncrementalScc inc;
+  inc.seed(g);
+  expect_equivalent(g, inc, "seed (seed=" + std::to_string(seed) + ")");
+
+  for (int step = 0; step < 64; ++step) {
+    auto edges = present_edges(g);
+    if (edges.empty()) break;
+    const std::vector<ProcSet> before = inc.decomposition().components;
+
+    GraphDelta delta;
+    if (rng.next_below(8) == 0 && !g.nodes().empty()) {
+      // Node removal: pick a uniformly random present node.
+      ProcId victim = g.nodes().first();
+      const auto skip = rng.next_below(
+          static_cast<std::uint64_t>(g.nodes().count()));
+      for (std::uint64_t i = 0; i < skip; ++i) {
+        victim = g.nodes().next_after(victim);
+      }
+      remove_node_with_delta(g, victim, delta);
+    } else {
+      const auto batch = 1 + rng.next_below(3);
+      for (std::uint64_t j = 0; j < batch && !edges.empty(); ++j) {
+        const auto pick = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(edges.size())));
+        const auto [u, v] = edges[pick];
+        edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(pick));
+        g.remove_edge(u, v);
+        delta.removed_edges.push_back({u, v});
+      }
+    }
+
+    inc.apply(g, delta);
+    expect_equivalent(g, inc,
+                      "seed=" + std::to_string(seed) +
+                          " step=" + std::to_string(step));
+    if (::testing::Test::HasFailure()) return;
+
+    // Subdivide-only: every new component is contained in exactly one
+    // old component (shrink-only graphs never merge components).
+    for (const ProcSet& comp : inc.decomposition().components) {
+      int containers = 0;
+      for (const ProcSet& old : before) {
+        if (comp.is_subset_of(old)) ++containers;
+      }
+      EXPECT_EQ(containers, 1)
+          << "component not a subdivision at seed=" << seed
+          << " step=" << step;
+    }
+  }
+}
+
+TEST(IncSccRandomizedTest, EquivalentToTarjanOnRandomDeletionSequences) {
+  // 250 seeds x 4 sizes = 1000 random deletion sequences, each checked
+  // against the Tarjan oracle at every step.
+  const ProcId sizes[] = {5, 9, 16, 24};
+  for (ProcId n : sizes) {
+    for (std::uint64_t seed = 0; seed < 250; ++seed) {
+      run_random_sequence(mix_seed(seed, static_cast<std::uint64_t>(n)), n);
+      if (::testing::Test::HasFailure()) return;  // first failure is enough
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sskel

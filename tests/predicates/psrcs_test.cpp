@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "adversary/figure1.hpp"
 #include "adversary/impossibility.hpp"
 #include "util/rng.hpp"
@@ -122,6 +124,10 @@ TEST(CheckPsrcsSampledTest, FindsViolationsEventually) {
   Rng rng(5);
   const PsrcsCheck check = check_psrcs_sampled(g, 2, 200, rng);
   EXPECT_FALSE(check.holds);
+  // A sampled violation carries its witness, so it is a certificate.
+  EXPECT_TRUE(check.certified);
+  EXPECT_EQ(check.confidence, 1.0);
+  ASSERT_TRUE(check.violating_subset.has_value());
 }
 
 TEST(CheckPsrcsSampledTest, NeverRefutesTrue) {
@@ -132,12 +138,68 @@ TEST(CheckPsrcsSampledTest, NeverRefutesTrue) {
   const PsrcsCheck check = check_psrcs_sampled(g, 1, 500, rng);
   EXPECT_TRUE(check.holds);
   EXPECT_EQ(check.subsets_checked, 500);
+  // ... but a sampled pass is NOT a proof, and says so.
+  EXPECT_FALSE(check.certified);
+  EXPECT_GT(check.confidence, 0.0);
+  EXPECT_LT(check.confidence, 1.0);
+}
+
+TEST(CheckPsrcsSampledTest, PassConfidenceMatchesMissBound) {
+  // n = 10, k = 2: C(10, 3) = 120 subsets, so s no-hit samples refute
+  // a (hypothetical) single violator with confidence
+  // 1 - (1 - 1/120)^s.
+  Digraph g(10);
+  g.add_self_loops();
+  for (ProcId p = 0; p < 10; ++p) g.add_edge(0, p);
+  EXPECT_EQ(binomial_double(10, 3), 120.0);
+  for (const int samples : {1, 10, 400}) {
+    Rng rng(static_cast<std::uint64_t>(samples));
+    const PsrcsCheck check = check_psrcs_sampled(g, 2, samples, rng);
+    ASSERT_TRUE(check.holds);
+    EXPECT_FALSE(check.certified);
+    const double expected =
+        -std::expm1(static_cast<double>(samples) * std::log1p(-1.0 / 120.0));
+    EXPECT_DOUBLE_EQ(check.confidence, expected);
+  }
+  // More samples => strictly more confidence.
+  Rng rng_a(1);
+  Rng rng_b(1);
+  EXPECT_LT(check_psrcs_sampled(g, 2, 10, rng_a).confidence,
+            check_psrcs_sampled(g, 2, 1000, rng_b).confidence);
+  // Zero samples refute nothing.
+  Rng rng_c(1);
+  EXPECT_EQ(check_psrcs_sampled(g, 2, 0, rng_c).confidence, 0.0);
 }
 
 TEST(CheckPsrcsSampledTest, VacuousWhenSubsetTooLarge) {
   const Digraph g = Digraph::self_loops_only(3);
   Rng rng(7);
-  EXPECT_TRUE(check_psrcs_sampled(g, 5, 100, rng).holds);
+  const PsrcsCheck check = check_psrcs_sampled(g, 5, 100, rng);
+  EXPECT_TRUE(check.holds);
+  // No (k+1)-subsets exist: the pass is a (vacuous) proof.
+  EXPECT_TRUE(check.certified);
+  EXPECT_EQ(check.confidence, 1.0);
+}
+
+TEST(CheckPsrcsExactTest, VerdictsAreAlwaysCertified) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    Digraph g(8);
+    g.add_self_loops();
+    for (ProcId q = 0; q < 8; ++q) {
+      for (ProcId p = 0; p < 8; ++p) {
+        if (rng.next_bool(0.2)) g.add_edge(q, p);
+      }
+    }
+    for (const int k : {1, 2, 3}) {
+      const PsrcsCheck exact = check_psrcs_exact(g, k);
+      const PsrcsCheck brute = check_psrcs_bruteforce(g, k);
+      EXPECT_TRUE(exact.certified);
+      EXPECT_EQ(exact.confidence, 1.0);
+      EXPECT_TRUE(brute.certified);
+      EXPECT_EQ(brute.confidence, 1.0);
+    }
+  }
 }
 
 TEST(HubCoverTest, GreedyFindsCover) {

@@ -1,0 +1,89 @@
+// Tests for the BENCH_*.json writer — above all, that doubles
+// round-trip exactly. The bench-regression CI job diffs ns/op values
+// across runs; a writer that truncates the mantissa (the old
+// precision(10) bug) turns every diff into noise.
+#include "util/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sskel {
+namespace {
+
+/// Extracts the value written for `key` out of the single-record JSON
+/// document and parses it back with strtod — the same "any standard
+/// parser" contract the CI diff script relies on.
+double written_value(double v, const std::string& key = "x") {
+  BenchJson json("roundtrip");
+  json.add("probe").set(key, v);
+  std::ostringstream os;
+  json.write(os);
+  const std::string doc = os.str();
+  const std::string needle = "\"" + key + "\": ";
+  const auto pos = doc.find(needle);
+  EXPECT_NE(pos, std::string::npos) << doc;
+  const char* begin = doc.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  EXPECT_NE(begin, end) << "no parseable number for " << key << " in " << doc;
+  return parsed;
+}
+
+TEST(BenchJsonTest, DoublesRoundTripExactly) {
+  const std::vector<double> values = {
+      0.0,
+      0.1,
+      1.0 / 3.0,
+      2.0 / 3.0,
+      6.02e23,
+      1e-300,
+      12345.6789012345678,
+      -98765.43210987654,
+      3.141592653589793,
+      std::numeric_limits<double>::min(),        // smallest normal
+      std::numeric_limits<double>::denorm_min(), // subnormal
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      -std::numeric_limits<double>::epsilon(),
+      std::nextafter(1.0, 2.0),  // 1 + ulp: dies under precision(10)
+  };
+  for (const double v : values) {
+    EXPECT_EQ(written_value(v), v) << "value " << v << " did not round-trip";
+  }
+}
+
+TEST(BenchJsonTest, NonFiniteValuesBecomeNull) {
+  BenchJson json("roundtrip");
+  json.add("probe")
+      .set("inf", std::numeric_limits<double>::infinity())
+      .set("nan", std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream os;
+  json.write(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"inf\": null"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"nan\": null"), std::string::npos) << doc;
+}
+
+TEST(BenchJsonTest, IntegersAndStringsSurviveAlongsideDoubles) {
+  BenchJson json("roundtrip");
+  json.add("probe")
+      .set("count", static_cast<std::int64_t>(1234567890123456789LL))
+      .set("label", std::string("rotating"))
+      .set("ratio", 0.1);
+  std::ostringstream os;
+  json.write(os);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"count\": 1234567890123456789"), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"label\": \"rotating\""), std::string::npos) << doc;
+  EXPECT_EQ(written_value(0.1, "ratio"), 0.1);
+}
+
+}  // namespace
+}  // namespace sskel

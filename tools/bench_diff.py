@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and fail on large regressions.
+
+Usage:
+    bench_diff.py BASELINE CURRENT [--threshold 2.0]
+
+Records are matched on their identity fields (op plus n/k/adversary
+when present). For every matched pair the timing fields (*_ns,
+ns_per_op) and work counters (subsets_visited*) are compared; a value
+that grew by more than `threshold` x its baseline counts as a
+regression and flips the exit code to 1. Records present on only one
+side are reported but never fail the diff (benches come and go), and
+timing fields below a noise floor are skipped — sub-microsecond rows
+regress by scheduling jitter alone.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that identify a record rather than measure it.
+IDENTITY_FIELDS = ("op", "adversary", "n", "k", "j", "rounds")
+# Measured fields compared against the threshold: (suffix, noise floor).
+TIMING_SUFFIXES = ("_ns", "ns_per_op")
+COUNTER_PREFIXES = ("subsets_visited",)
+TIMING_NOISE_FLOOR_NS = 1000.0  # ignore sub-microsecond timings
+COUNTER_NOISE_FLOOR = 64.0
+
+
+def record_key(record):
+    return tuple((f, record[f]) for f in IDENTITY_FIELDS if f in record)
+
+
+def measured_fields(record):
+    for key, value in record.items():
+        if key in IDENTITY_FIELDS or not isinstance(value, (int, float)):
+            continue
+        if any(key.endswith(s) for s in TIMING_SUFFIXES):
+            yield key, float(value), TIMING_NOISE_FLOOR_NS
+        elif any(key.startswith(p) for p in COUNTER_PREFIXES):
+            yield key, float(value), COUNTER_NOISE_FLOOR
+
+
+def load_records(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    records = {}
+    for record in doc.get("records", []):
+        # Last record wins on duplicate keys; benches do not emit
+        # duplicates, but a malformed file should not crash the diff.
+        records[record_key(record)] = record
+    return doc.get("bench", "?"), records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when current > threshold * baseline")
+    args = parser.parse_args()
+
+    base_name, base = load_records(args.baseline)
+    cur_name, cur = load_records(args.current)
+    print(f"baseline: {args.baseline} (bench={base_name}, {len(base)} records)")
+    print(f"current:  {args.current} (bench={cur_name}, {len(cur)} records)")
+
+    regressions = []
+    compared = 0
+    for key, cur_rec in sorted(cur.items()):
+        base_rec = base.get(key)
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        if base_rec is None:
+            print(f"  new record (not compared): {label}")
+            continue
+        for field, cur_val, floor in measured_fields(cur_rec):
+            base_val = base_rec.get(field)
+            if not isinstance(base_val, (int, float)):
+                continue
+            base_val = float(base_val)
+            if base_val < floor and cur_val < floor:
+                continue
+            compared += 1
+            if base_val > 0 and cur_val > args.threshold * base_val:
+                ratio = cur_val / base_val
+                regressions.append(
+                    f"{label}: {field} {base_val:.6g} -> {cur_val:.6g} "
+                    f"({ratio:.2f}x > {args.threshold}x)")
+    for key in sorted(set(base) - set(cur)):
+        label = ", ".join(f"{k}={v}" for k, v in key)
+        print(f"  removed record (not compared): {label}")
+
+    print(f"compared {compared} measured values "
+          f"across {len(set(base) & set(cur))} matched records")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above threshold:")
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        return 1
+    print("no regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
