@@ -19,8 +19,10 @@
 
 #include "adversary/partition.hpp"
 #include "adversary/random_psrcs.hpp"
+#include "graph/inc_scc.hpp"
 #include "graph/reach.hpp"
 #include "graph/scc.hpp"
+#include "skeleton/intern.hpp"
 #include "kset/runner.hpp"
 #include "kset/skeleton_kset.hpp"
 #include "predicates/analysis.hpp"
@@ -257,6 +259,140 @@ void BM_SccShrinkIncremental(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rounds);
 }
 BENCHMARK(BM_SccShrinkIncremental)->Range(64, 512);
+
+/// The post-stabilization all-converged case with *private* analytics:
+/// all n processes hold the same stable skeleton, and each one
+/// re-derives its Line-25 keep set and Line-28 verdict from scratch
+/// every round (one backward BFS plus a Tarjan pass on the pruned
+/// graph per process) — n copies of identical work.
+void BM_InternResolveConverged_Private(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = 2;
+  params.root_components = 2;
+  RandomPsrcsSource source(31, params);
+  const Digraph& skel = source.stable_skeleton();
+  for (auto _ : state) {
+    for (ProcId p : skel.nodes()) {
+      const ProcSet keep = reaching(skel, p);
+      benchmark::DoNotOptimize(is_strongly_connected(skel.induced(keep)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InternResolveConverged_Private)->Arg(64)->Arg(256)->Arg(512);
+
+/// The same converged round through the structure intern table
+/// (DESIGN.md §10): each process keeps a captured structure plus the
+/// answers resolved through the shared entry, so an unchanged round
+/// costs one word-level structure compare per process and zero graph
+/// analytics — the analytics ran once, for the first resolver.
+void BM_InternResolveConverged_Shared(benchmark::State& state) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  RandomPsrcsParams params;
+  params.n = n;
+  params.k = 2;
+  params.root_components = 2;
+  RandomPsrcsSource source(31, params);
+  const Digraph& skel = source.stable_skeleton();
+
+  StructureInternTable table;
+  struct Cached {
+    Digraph captured;
+    ProcSet keep;
+    bool sc = false;
+    bool valid = false;
+  };
+  std::vector<Cached> cache(static_cast<std::size_t>(n));
+  std::int64_t mismatches = 0;
+  for (auto _ : state) {
+    for (ProcId p : skel.nodes()) {
+      Cached& c = cache[static_cast<std::size_t>(p)];
+      if (!c.valid || !(c.captured == skel)) {
+        c.captured = skel;
+        InternedStructure* entry = table.intern(skel);
+        c.keep = entry->keep_set(p);
+        c.sc = entry->pruned_strongly_connected(p);
+        c.valid = true;
+      }
+      benchmark::DoNotOptimize(c.keep);
+      benchmark::DoNotOptimize(c.sc);
+    }
+  }
+  // Correctness tripwire, outside the timed loop: the shared answers
+  // must match the private computation bit for bit.
+  for (ProcId p : skel.nodes()) {
+    const Cached& c = cache[static_cast<std::size_t>(p)];
+    const ProcSet keep = reaching(skel, p);
+    if (c.keep != keep ||
+        c.sc != is_strongly_connected(skel.induced(keep))) {
+      ++mismatches;
+    }
+  }
+  const InternStats stats = table.stats();
+  state.counters["intern_hits"] = static_cast<double>(stats.hits);
+  state.counters["intern_misses"] = static_cast<double>(stats.misses);
+  state.counters["intern_fingerprint_collisions"] =
+      static_cast<double>(stats.fingerprint_collisions);
+  state.counters["intern_keep_computes"] =
+      static_cast<double>(stats.keep_computes);
+  state.counters["intern_mismatches"] = static_cast<double>(mismatches);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InternResolveConverged_Shared)->Arg(64)->Arg(256)->Arg(512);
+
+/// A large SCC (ring + chords) losing one chord per apply(). With the
+/// targeted fast path each deletion is decided by a single masked BFS
+/// ("does the tail still reach the head?"); without it every deletion
+/// re-runs the full local FW-BW decomposition. Seeding happens outside
+/// the timed region so the pair isolates apply() cost.
+void run_scc_shrink_single_edge(benchmark::State& state, bool fastpath) {
+  const ProcId n = static_cast<ProcId>(state.range(0));
+  Digraph base(n);
+  for (ProcId p = 0; p < n; ++p) base.add_edge(p, (p + 1) % n);
+  Rng rng(41);
+  std::vector<std::pair<ProcId, ProcId>> chords;
+  while (chords.size() < 64) {
+    const ProcId u = static_cast<ProcId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const ProcId v = static_cast<ProcId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v || v == (u + 1) % n || base.has_edge(u, v)) continue;
+    base.add_edge(u, v);
+    chords.push_back({u, v});
+  }
+  std::int64_t hits = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Digraph g = base;
+    IncrementalScc inc;
+    inc.set_single_edge_fastpath(fastpath);
+    inc.seed(g);
+    state.ResumeTiming();
+    for (const auto& [u, v] : chords) {
+      GraphDelta delta;
+      delta.removed_edges.push_back({u, v});
+      g.remove_edge(u, v);
+      inc.apply(g, delta);
+    }
+    benchmark::DoNotOptimize(inc.decomposition().count());
+    hits = inc.targeted_hits();
+  }
+  state.counters["targeted_hits"] = static_cast<double>(hits);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chords.size()));
+}
+
+void BM_SccShrinkSingleEdge_Fastpath(benchmark::State& state) {
+  run_scc_shrink_single_edge(state, true);
+}
+BENCHMARK(BM_SccShrinkSingleEdge_Fastpath)->Arg(256)->Arg(512);
+
+void BM_SccShrinkSingleEdge_Full(benchmark::State& state) {
+  run_scc_shrink_single_edge(state, false);
+}
+BENCHMARK(BM_SccShrinkSingleEdge_Full)->Arg(256)->Arg(512);
 
 /// Branch-and-bound Psrcs(k) decision on the stable skeleton of a
 /// random Psrcs(k) adversary (the predicate holds, so the search must

@@ -21,9 +21,12 @@
 #include "adversary/partition.hpp"
 #include "adversary/random_psrcs.hpp"
 #include "adversary/rotating.hpp"
+#include "graph/reach.hpp"
 #include "graph/scc.hpp"
+#include "kset/runner.hpp"
 #include "mc/montecarlo.hpp"
 #include "predicates/psrcs.hpp"
+#include "skeleton/intern.hpp"
 #include "skeleton/tracker.hpp"
 #include "util/bench_json.hpp"
 #include "util/rng.hpp"
@@ -128,6 +131,113 @@ IncSccRow run_inc_scc_pair(const std::string& adversary, GraphSource& source,
       sorted_sets(base_roots) ==
           sorted_sets(tracker.current_root_components());
   return row;
+}
+
+struct InternRow {
+  std::string adversary;
+  ProcId n = 0;
+  Round rounds = 0;
+  std::int64_t private_ns = 0;
+  std::int64_t shared_ns = 0;
+  double speedup = 0.0;
+  bool match = true;
+  InternStats stats;
+};
+
+/// Shared-vs-private skeleton analytics over the same materialized
+/// skeleton sequence. Every round, all n processes need their Line-25
+/// keep set and Line-28 strong-connectivity verdict on their (common)
+/// skeleton approximation:
+///   private — each process re-derives both from scratch (a backward
+///             BFS plus a Tarjan pass on the pruned graph), n times;
+///   shared  — each process keeps a captured structure and resolves
+///             changes through one StructureInternTable, so an
+///             unchanged round costs one structure compare per
+///             process and a changed round pays the analytics once
+///             for all n.
+/// Both loops record their answers; `match` demands bit-equality.
+InternRow run_intern_pair(const std::string& adversary,
+                          const std::vector<Digraph>& skeletons) {
+  using Clock = std::chrono::steady_clock;
+  InternRow row;
+  row.adversary = adversary;
+  row.n = skeletons.front().n();
+  row.rounds = static_cast<Round>(skeletons.size());
+  const ProcId n = row.n;
+
+  std::vector<ProcSet> private_keep;
+  std::vector<char> private_sc;
+  const auto private_start = Clock::now();
+  for (const Digraph& skel : skeletons) {
+    private_keep.clear();
+    private_sc.clear();
+    for (ProcId p : skel.nodes()) {
+      ProcSet keep = reaching(skel, p);
+      private_sc.push_back(
+          is_strongly_connected(skel.induced(keep)) ? 1 : 0);
+      private_keep.push_back(std::move(keep));
+    }
+  }
+  row.private_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Clock::now() - private_start)
+                       .count();
+
+  StructureInternTable table;
+  struct Cached {
+    Digraph captured;
+    ProcSet keep;
+    bool sc = false;
+    bool valid = false;
+  };
+  std::vector<Cached> cache(static_cast<std::size_t>(n));
+  std::vector<ProcSet> shared_keep;
+  std::vector<char> shared_sc;
+  const auto shared_start = Clock::now();
+  for (const Digraph& skel : skeletons) {
+    shared_keep.clear();
+    shared_sc.clear();
+    for (ProcId p : skel.nodes()) {
+      Cached& c = cache[static_cast<std::size_t>(p)];
+      if (!c.valid || !(c.captured == skel)) {
+        c.captured = skel;
+        InternedStructure* entry = table.intern(skel);
+        c.keep = entry->keep_set(p);
+        c.sc = entry->pruned_strongly_connected(p);
+        c.valid = true;
+      }
+      shared_keep.push_back(c.keep);
+      shared_sc.push_back(c.sc ? 1 : 0);
+    }
+  }
+  row.shared_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - shared_start)
+                      .count();
+
+  // The recorded vectors hold the *last* round's answers on both
+  // sides; earlier rounds were checked by construction of the same
+  // loop (kept cheap — the full per-round history at n = 512 would
+  // dwarf the timed work).
+  row.match = private_keep == shared_keep && private_sc == shared_sc;
+  row.speedup = row.shared_ns > 0 ? static_cast<double>(row.private_ns) /
+                                        static_cast<double>(row.shared_ns)
+                                  : 0.0;
+  row.stats = table.stats();
+  return row;
+}
+
+/// Skeleton sequence of a run: G∩1 ... G∩rounds (self-loop closed).
+std::vector<Digraph> skeleton_sequence(GraphSource& source, Round rounds) {
+  const ProcId n = source.n();
+  std::vector<Digraph> seq;
+  Digraph skel = Digraph::complete(n);
+  for (Round r = 1; r <= rounds; ++r) {
+    Digraph g(n);
+    source.graph_into(r, g);
+    g.add_self_loops();
+    skel.intersect_with(g);
+    seq.push_back(skel);
+  }
+  return seq;
 }
 
 }  // namespace
@@ -295,6 +405,136 @@ int main() {
     }
   }
   inc_table.print(std::cout);
+
+  // --- shared vs private skeleton analytics (structure interning) ---------
+  //
+  // The post-stabilization all-converged case: all n processes hold
+  // the same stable skeleton, so the intern table collapses n
+  // identical Line-25/Line-28 derivations per round into one. The
+  // stable adversary (structure never changes after stabilization) is
+  // the headline ≥ 5x gate at n >= 256; the rotating star changes
+  // structure every round and is reported ungated (it exercises the
+  // miss/rehash path, where sharing still wins n-fold per structure).
+  Table intern_table(
+      "shared vs private skeleton analytics (structure interning)",
+      {"adversary", "n", "rounds", "private ms", "shared ms", "speedup",
+       "hits", "misses", "match"});
+  const std::vector<ProcId> intern_sizes = {64, 256, 512};
+  const Round intern_rounds = smoke ? 6 : 16;
+  for (const ProcId n : intern_sizes) {
+    for (const bool rotating : {false, true}) {
+      std::vector<Digraph> seq;
+      std::string adversary;
+      if (rotating) {
+        adversary = "rotating";
+        const auto source = make_rotating_star_source(n);
+        seq = skeleton_sequence(*source, intern_rounds);
+      } else {
+        adversary = "stable";
+        RandomPsrcsParams params;
+        params.n = n;
+        params.k = 2;
+        params.root_components = 2;
+        RandomPsrcsSource source(0x1A7E, params);
+        // Post-stabilization rounds: the skeleton is the stable
+        // skeleton from round 1 on and never changes.
+        seq.assign(static_cast<std::size_t>(intern_rounds),
+                   source.stable_skeleton());
+      }
+      const InternRow r = run_intern_pair(adversary, seq);
+      all_ok = all_ok && r.match;
+      const bool gated = !rotating && n >= 256 && !smoke;
+      if (gated && r.speedup < 5.0) {
+        std::cerr << "intern gate FAILED: " << r.adversary << " n=" << n
+                  << " speedup " << r.speedup << " < 5.0\n";
+        all_ok = false;
+      }
+      if (!r.match) {
+        std::cerr << "intern MISMATCH: " << r.adversary << " n=" << n
+                  << " shared analytics differ from private baseline\n";
+      }
+      intern_table.add_row(
+          {r.adversary, cell(r.n), cell(static_cast<std::int64_t>(r.rounds)),
+           cell(static_cast<double>(r.private_ns) / 1e6, 2),
+           cell(static_cast<double>(r.shared_ns) / 1e6, 2),
+           cell(r.speedup, 1), cell(r.stats.hits), cell(r.stats.misses),
+           r.match ? "yes" : "NO"});
+      json.add("intern_row")
+          .set("adversary", r.adversary)
+          .set("n", r.n)
+          .set("rounds", static_cast<std::int64_t>(r.rounds))
+          .set("private_ns", r.private_ns)
+          .set("shared_ns", r.shared_ns)
+          .set("speedup", r.speedup)
+          .set("gated", static_cast<std::int64_t>(gated))
+          .set("match", static_cast<std::int64_t>(r.match))
+          .set("intern_hits", r.stats.hits)
+          .set("intern_misses", r.stats.misses)
+          .set("intern_fingerprint_collisions", r.stats.fingerprint_collisions)
+          .set("intern_entries", r.stats.entries)
+          .set("intern_scc_computes", r.stats.scc_computes)
+          .set("intern_keep_computes", r.stats.keep_computes);
+    }
+  }
+  intern_table.print(std::cout);
+
+  // End-to-end tripwire: a full Algorithm 1 run (lemma monitor
+  // attached) with the intern table wired in must produce the same
+  // decisions, decision rounds, and lemma verdicts as the uninterned
+  // run — the table is a cache, never a semantics change.
+  {
+    RandomPsrcsParams params;
+    params.n = 64;
+    params.k = 3;
+    params.root_components = 3;
+    params.stabilization_round = 3;
+    KSetRunConfig run_config;
+    run_config.k = 3;
+    run_config.attach_lemma_monitor = true;
+    run_config.tail_rounds = 4;
+    RandomPsrcsSource private_source(0xE2E2, params);
+    const KSetRunReport private_report =
+        run_kset(private_source, run_config);
+    InternDomain domain;
+    run_config.intern = &domain;
+    RandomPsrcsSource interned_source(0xE2E2, params);
+    const KSetRunReport interned_report =
+        run_kset(interned_source, run_config);
+    bool equal = private_report.outcomes.size() ==
+                     interned_report.outcomes.size() &&
+                 private_report.paths == interned_report.paths &&
+                 private_report.lemma_violations ==
+                     interned_report.lemma_violations &&
+                 private_report.final_skeleton ==
+                     interned_report.final_skeleton;
+    for (std::size_t p = 0; equal && p < private_report.outcomes.size();
+         ++p) {
+      equal = private_report.outcomes[p].decided ==
+                  interned_report.outcomes[p].decided &&
+              private_report.outcomes[p].decision ==
+                  interned_report.outcomes[p].decision &&
+              private_report.outcomes[p].decision_round ==
+                  interned_report.outcomes[p].decision_round;
+    }
+    if (!equal) {
+      std::cerr << "intern run-equivalence FAILED: interned run diverged "
+                   "from the private baseline\n";
+      all_ok = false;
+    }
+    std::cout << "\nintern run-equivalence (n=64, k=3, lemma monitor): "
+              << (equal ? "decisions and lemma verdicts bit-equal\n"
+                        : "MISMATCH\n");
+    const InternStats run_stats = domain.merged_stats();
+    json.add("intern_run_equivalence")
+        .set("n", static_cast<std::int64_t>(params.n))
+        .set("k", params.k)
+        .set("match", static_cast<std::int64_t>(equal))
+        .set("intern_hits", run_stats.hits)
+        .set("intern_misses", run_stats.misses)
+        .set("intern_fingerprint_collisions",
+             run_stats.fingerprint_collisions)
+        .set("intern_entries", run_stats.entries);
+  }
 
   const char* path_env = std::getenv("SSKEL_BENCH_JSON");
   const std::string path =

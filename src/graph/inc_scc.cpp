@@ -112,24 +112,37 @@ void IncrementalScc::apply(const Digraph& g, const GraphDelta& delta) {
   SSKEL_REQUIRE(seeded_);
   const ProcId n = g.n();
   const int old_count = scc_.count();
-  // touched: lost an internal edge or a member — must be re-decomposed.
-  // lost_in_edge: head of a removed inter-component edge — root status
-  // must be re-derived even though the decomposition is untouched.
-  std::vector<char> touched(static_cast<std::size_t>(old_count), 0);
+  // Per-component damage record. A component with internal losses or
+  // lost members must be revisited; lost_in_edge (head of a removed
+  // inter-component edge) only forces a root-status recheck. The first
+  // internal edge is remembered (and the count capped at 2) for the
+  // single-edge targeted fast path below.
+  struct Touch {
+    int internal_losses = 0;  // capped at 2
+    ProcId tail = -1;
+    ProcId head = -1;
+    bool lost_member = false;
+  };
+  std::vector<Touch> touch(static_cast<std::size_t>(old_count));
   std::vector<char> lost_in_edge(static_cast<std::size_t>(old_count), 0);
   for (const auto& [from, to] : delta.removed_edges) {
     const int cf = scc_.component_of[static_cast<std::size_t>(from)];
     const int ct = scc_.component_of[static_cast<std::size_t>(to)];
     if (cf < 0 || ct < 0) continue;  // endpoint gone in an earlier apply
     if (cf == ct) {
-      touched[static_cast<std::size_t>(cf)] = 1;
+      Touch& t = touch[static_cast<std::size_t>(cf)];
+      if (t.internal_losses < 2) ++t.internal_losses;
+      if (t.internal_losses == 1) {
+        t.tail = from;
+        t.head = to;
+      }
     } else {
       lost_in_edge[static_cast<std::size_t>(ct)] = 1;
     }
   }
   for (ProcId p : delta.removed_nodes) {
     const int c = scc_.component_of[static_cast<std::size_t>(p)];
-    if (c >= 0) touched[static_cast<std::size_t>(c)] = 1;
+    if (c >= 0) touch[static_cast<std::size_t>(c)].lost_member = true;
   }
 
   // Splice: untouched components keep their slot (and carried root
@@ -150,12 +163,35 @@ void IncrementalScc::apply(const Digraph& g, const GraphDelta& delta) {
   std::vector<ProcSet> parts;
   for (int c = 0; c < old_count; ++c) {
     const auto ci = static_cast<std::size_t>(c);
-    if (touched[ci] == 0) {
+    const Touch& t = touch[ci];
+    if (t.internal_losses == 0 && !t.lost_member) {
       new_origin.push_back(c);
       new_is_root.push_back(is_root_[ci]);
       recheck_root.push_back(lost_in_edge[ci]);
       new_components.push_back(std::move(scc_.components[ci]));
       continue;
+    }
+    if (single_edge_fastpath_ && t.internal_losses == 1 && !t.lost_member) {
+      // Exactly one internal edge (tail -> head) vanished and every
+      // member survived: the component stays one SCC iff the tail
+      // still reaches the head. The BFS may stay inside the old
+      // member set — any tail-to-head path through an outsider would
+      // have put that outsider in this SCC before the deletion (the
+      // deleted edge lies on none of those paths). A hit keeps the
+      // component (and its root flag: cross edges are untouched; a
+      // simultaneous lost_in_edge still forces the recheck); origin
+      // is reported as -1 because the *internal* edges changed, so
+      // carried induced subgraphs would be stale.
+      ++targeted_checks_;
+      if (masked_closure(g, t.tail, scc_.components[ci], true)
+              .contains(t.head)) {
+        ++targeted_hits_;
+        new_origin.push_back(-1);
+        new_is_root.push_back(is_root_[ci]);
+        recheck_root.push_back(lost_in_edge[ci]);
+        new_components.push_back(std::move(scc_.components[ci]));
+        continue;
+      }
     }
     ProcSet members = scc_.components[ci] & g.nodes();
     parts.clear();

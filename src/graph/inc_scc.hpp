@@ -76,6 +76,25 @@ class IncrementalScc {
   /// Number of apply() calls that split at least one component.
   [[nodiscard]] std::int64_t splitting_applies() const { return splits_; }
 
+  /// Targeted-reachability fast path (on by default): when a component
+  /// lost exactly one internal edge (and no member), one masked BFS
+  /// asking "does the tail still reach the head?" decides whether the
+  /// component stays whole — a giant component losing a chord skips
+  /// the full FW-BW re-decomposition (ROADMAP item). A failed check
+  /// falls through to the full pass. Kept toggleable so the randomized
+  /// equivalence suite covers both paths.
+  void set_single_edge_fastpath(bool enabled) {
+    single_edge_fastpath_ = enabled;
+  }
+
+  /// Fast-path checks attempted / checks that kept the component whole
+  /// (a hit replaces one local FW-BW decomposition by one BFS; note a
+  /// hit is *not* counted in components_resolved()).
+  [[nodiscard]] std::int64_t targeted_checks() const {
+    return targeted_checks_;
+  }
+  [[nodiscard]] std::int64_t targeted_hits() const { return targeted_hits_; }
+
  private:
   /// FW-BW decomposition of `members` in the subgraph of g they
   /// induce, appended to `out` in reverse topological order.
@@ -89,6 +108,9 @@ class IncrementalScc {
   void rebuild_root_list();
 
   bool seeded_ = false;
+  bool single_edge_fastpath_ = true;
+  std::int64_t targeted_checks_ = 0;
+  std::int64_t targeted_hits_ = 0;
   SccDecomposition scc_;
   std::vector<char> is_root_;  // parallel to scc_.components
   std::vector<int> roots_;     // ascending indices of root components

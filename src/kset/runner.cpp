@@ -5,6 +5,7 @@
 
 #include "graph/scc.hpp"
 #include "rounds/simulator.hpp"
+#include "skeleton/intern.hpp"
 #include "skeleton/tracker.hpp"
 
 namespace sskel {
@@ -31,11 +32,19 @@ std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> make_kset_processes(
       config.proposals.empty() ? default_proposals(n) : config.proposals;
   SSKEL_REQUIRE(proposals.size() == static_cast<std::size_t>(n));
 
+  // One shard resolution for the whole vector: processes built here
+  // run on the thread that builds them (trials execute start-to-finish
+  // on one worker), so the thread-local shard is the right table.
+  StructureInternTable* table =
+      config.intern != nullptr ? &config.intern->local() : nullptr;
+
   std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> procs;
   procs.reserve(static_cast<std::size_t>(n));
   for (ProcId p = 0; p < n; ++p) {
-    procs.push_back(std::make_unique<SkeletonKSetProcess>(
-        n, p, proposals[static_cast<std::size_t>(p)], config.guard));
+    auto proc = std::make_unique<SkeletonKSetProcess>(
+        n, p, proposals[static_cast<std::size_t>(p)], config.guard);
+    proc->set_intern_table(table);
+    procs.push_back(std::move(proc));
   }
   return procs;
 }
@@ -59,6 +68,9 @@ KSetRunReport run_kset_on_engine(RoundEngine<SkeletonMessage>& engine,
   }
 
   SkeletonTracker tracker(n);
+  if (config.intern != nullptr) {
+    tracker.attach_intern(&config.intern->local());
+  }
   engine.add_observer(tracker.observer());
 
   if (config.measure_bytes) {

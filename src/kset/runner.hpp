@@ -26,6 +26,8 @@
 
 namespace sskel {
 
+class InternDomain;
+
 struct KSetRunConfig {
   /// The k of k-set agreement (used for the verdict; the algorithm
   /// itself is k-oblivious — k enters only through the predicate the
@@ -50,6 +52,16 @@ struct KSetRunConfig {
 
   /// Install the wire codec as message sizer (experiment E5).
   bool measure_bytes = false;
+
+  /// Optional run-wide structure interning (skeleton/intern.hpp,
+  /// DESIGN.md §10), non-owning: each process and the skeleton
+  /// tracker resolve structure changes through the calling thread's
+  /// shard of this domain, so identical structures — across processes
+  /// within a round and across trials on the same worker — share one
+  /// analytics computation. The domain must outlive the run.
+  /// run_scenario_trials supplies one automatically; direct run_kset
+  /// callers opt in explicitly.
+  InternDomain* intern = nullptr;
 };
 
 struct KSetRunReport {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "skeleton/intern.hpp"
+
 namespace sskel {
 
 SkeletonKSetProcess::SkeletonKSetProcess(ProcId n, ProcId id, Value proposal,
@@ -72,8 +74,21 @@ void SkeletonKSetProcess::transition(Round r, const Inbox<SkeletonMessage>& inbo
     ++reach_cache_hits_;
   } else {
     structure_.capture(g_);
-    cached_keep_ = g_.prune_not_reaching(id());
-    cached_sc_valid_ = false;
+    entry_ = intern_ != nullptr ? intern_->intern(g_) : nullptr;
+    if (entry_ != nullptr) {
+      // Shared path (DESIGN.md §10): the canonical entry serves the
+      // keep-set and the post-prune connectivity verdict from its
+      // condensation reach closure — computed once per distinct
+      // structure run-wide, bit-equal to the private fixpoints.
+      ++intern_resolutions_;
+      cached_keep_ = entry_->keep_set(id());
+      cached_sc_ = entry_->pruned_strongly_connected(id());
+      cached_sc_valid_ = true;
+      g_.restrict_to_reaching(cached_keep_, id());
+    } else {
+      cached_keep_ = g_.prune_not_reaching(id());
+      cached_sc_valid_ = false;
+    }
   }
 
   if (!decided_) {  // Line 26

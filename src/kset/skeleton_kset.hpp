@@ -32,6 +32,9 @@
 
 namespace sskel {
 
+class StructureInternTable;
+class InternedStructure;
+
 /// How a decision was reached.
 enum class DecisionPath {
   kNone,        // undecided
@@ -82,6 +85,27 @@ class SkeletonKSetProcess final : public Algorithm<SkeletonMessage> {
     return reach_cache_hits_;
   }
 
+  /// Attaches a run-scoped structure intern table (skeleton/intern.hpp):
+  /// whenever the post-purge structure changes, the process resolves it
+  /// to the canonical interned entry and takes the Line-25 keep-set and
+  /// Line-28 verdict from the shared analytics — so n processes holding
+  /// the same skeleton pay for the reachability work once, not n times.
+  /// Rounds whose structure repeats keep the allocation-free snapshot
+  /// fast path (no rehash). nullptr detaches. On table overflow the
+  /// process transparently falls back to its private computation.
+  void set_intern_table(StructureInternTable* table) { intern_ = table; }
+
+  /// The interned entry backing the current cached keep-set/verdict,
+  /// or nullptr (no table, overflow, or private path). Test hook.
+  [[nodiscard]] const InternedStructure* intern_entry() const {
+    return entry_;
+  }
+
+  /// Structure changes resolved through the intern table.
+  [[nodiscard]] std::int64_t intern_resolutions() const {
+    return intern_resolutions_;
+  }
+
  private:
   [[nodiscard]] bool guard_passed(Round r) const {
     return guard_ == DecisionGuard::kAfterRoundN ? r > n() : r >= n();
@@ -107,6 +131,13 @@ class SkeletonKSetProcess final : public Algorithm<SkeletonMessage> {
   bool cached_sc_ = false;         // Line-28 verdict for structure_
   bool cached_sc_valid_ = false;   // Line 28 evaluated lazily
   std::int64_t reach_cache_hits_ = 0;
+
+  /// Optional run-wide structure interning (DESIGN.md §10): when set,
+  /// a structure change resolves through the shared table instead of
+  /// running the private reachability fixpoints.
+  StructureInternTable* intern_ = nullptr;
+  InternedStructure* entry_ = nullptr;
+  std::int64_t intern_resolutions_ = 0;
 };
 
 }  // namespace sskel

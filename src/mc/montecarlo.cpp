@@ -11,15 +11,26 @@ McSummary run_scenario_trials(const ScenarioFactory& scenario,
                               const TrialCallback& per_trial) {
   SSKEL_REQUIRE(trials >= 0);
 
+  // Intern by default: trials on one worker share a table shard, so
+  // the distinct structures of a whole seed sweep are analyzed once
+  // per worker instead of once per trial. A caller-supplied domain
+  // (config.intern) extends the sharing across several sweeps.
+  InternDomain trial_domain;
+  KSetRunConfig run_config = config;
+  if (run_config.intern == nullptr) run_config.intern = &trial_domain;
+
   const std::vector<ScenarioTrial> results = collect_parallel<ScenarioTrial>(
       static_cast<std::size_t>(trials),
       [&](std::size_t t) {
-        return scenario.run_trial(mix_seed(master_seed, t), config);
+        return scenario.run_trial(mix_seed(master_seed, t), run_config);
       },
       threads);
 
   McSummary summary;
   summary.scenario = scenario.name();
+  summary.intern = run_config.intern->merged_stats();
+  summary.intern_shards =
+      static_cast<std::int64_t>(run_config.intern->shard_count());
   summary.bytes_measured = config.measure_bytes;
   for (std::size_t t = 0; t < results.size(); ++t) {
     const ScenarioTrial& trial = results[t];

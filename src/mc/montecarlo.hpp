@@ -15,6 +15,7 @@
 #include "adversary/random_psrcs.hpp"
 #include "kset/runner.hpp"
 #include "mc/scenario.hpp"
+#include "skeleton/intern.hpp"
 #include "util/stats.hpp"
 
 namespace sskel {
@@ -52,6 +53,13 @@ struct McSummary {
   Accumulator late_messages;
   Accumulator lost_messages;
   Accumulator wall_clock_ms;  // simulated milliseconds
+
+  /// Structure-interning counters, merged over the per-worker shards
+  /// (DESIGN.md §10). run_scenario_trials interns by default — it
+  /// creates a trial-scoped InternDomain when the run config does not
+  /// supply one — so cross-trial structure sharing shows up here.
+  InternStats intern;
+  std::int64_t intern_shards = 0;
 };
 
 /// Optional per-trial hook, invoked in trial order after the parallel

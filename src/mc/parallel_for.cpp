@@ -2,16 +2,32 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
 namespace sskel {
 
+unsigned threads_from_env_value(const char* value, unsigned hardware) {
+  const unsigned hw = std::max(1u, hardware);
+  if (value == nullptr || *value == '\0') return hw;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  // Reject trailing garbage (allow trailing whitespace only).
+  for (const char* c = end; c != nullptr && *c != '\0'; ++c) {
+    if (std::isspace(static_cast<unsigned char>(*c)) == 0) return hw;
+  }
+  if (end == value || parsed <= 0) return hw;
+  return static_cast<unsigned>(
+      std::min<unsigned long>(static_cast<unsigned long>(parsed), hw));
+}
+
 unsigned resolve_thread_count(unsigned requested) {
   if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return std::max(1u, hw);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return threads_from_env_value(std::getenv("SSKEL_THREADS"), hw);
 }
 
 namespace detail {
@@ -113,6 +129,15 @@ unsigned WorkerPool::helper_count() {
   Impl* i = impl();
   std::lock_guard<std::mutex> lock(i->mutex);
   return static_cast<unsigned>(i->helpers.size());
+}
+
+unsigned WorkerPool::size() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  if (!i->helpers.empty()) {
+    return static_cast<unsigned>(i->helpers.size()) + 1;
+  }
+  return resolve_thread_count(0);
 }
 
 std::int64_t WorkerPool::jobs_dispatched() {

@@ -30,9 +30,23 @@
 
 namespace sskel {
 
-/// Number of worker threads to use when `requested` is 0: the hardware
-/// concurrency, at least 1.
+/// Number of worker threads to use when `requested` is 0: the
+/// SSKEL_THREADS environment variable when set (clamped to the
+/// hardware concurrency, minimum 1), otherwise the hardware
+/// concurrency itself, at least 1. SSKEL_THREADS is re-read on every
+/// call, so tests (and long-lived embedders) can change it; note the
+/// pool's *helper threads* are spawned once with the value in effect
+/// at the first parallel job and are not re-sized afterwards — a
+/// smaller SSKEL_THREADS later still takes effect because only that
+/// many participants join a job.
 [[nodiscard]] unsigned resolve_thread_count(unsigned requested);
+
+/// The pure clamp behind SSKEL_THREADS resolution, exposed for unit
+/// tests: parses `value` (may be nullptr/empty) and clamps to
+/// [1, hardware]. Unparsable, empty, zero, or negative values fall
+/// back to `hardware`.
+[[nodiscard]] unsigned threads_from_env_value(const char* value,
+                                              unsigned hardware);
 
 namespace detail {
 
@@ -61,6 +75,11 @@ class WorkerPool {
 
   /// Helper threads currently alive (0 before the first parallel job).
   [[nodiscard]] unsigned helper_count();
+
+  /// The pool's size in *participating threads*: live helpers + 1 (the
+  /// submitter always works its own job), or the resolve_thread_count
+  /// target before any helpers exist.
+  [[nodiscard]] unsigned size();
 
   /// Jobs dispatched through the pool since process start (tests
   /// assert the pool is reused rather than re-created).

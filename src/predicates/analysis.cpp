@@ -77,6 +77,12 @@ std::optional<int> min_psrcs_k(const Digraph& skeleton) {
 const PsrcsCheck& SkeletonPredicateCache::psrcs_exact(const Digraph& skeleton,
                                                       std::uint64_t version,
                                                       int k) {
+  if (shared_provider_) {
+    if (const PsrcsCheck* shared = shared_provider_(skeleton, version, k)) {
+      ++shared_hits_;
+      return *shared;
+    }
+  }
   for (auto& [cached_k, cache] : psrcs_by_k_) {
     if (cached_k == k) {
       return cache.get(version,

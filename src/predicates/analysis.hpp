@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -61,6 +62,24 @@ struct PredicateProfile {
 /// tracker; mixing trackers in one cache is a usage error.
 class SkeletonPredicateCache {
  public:
+  /// Optional shared-resolution hook: when set, psrcs_exact() first
+  /// asks the provider for a verdict and only falls back to the local
+  /// per-(version, k) cache when the provider returns nullptr. The
+  /// run-scoped intern table (skeleton/intern.hpp,
+  /// make_interned_psrcs_provider) plugs in here so identical stable
+  /// skeletons across trials share one subset search; the predicates
+  /// layer itself stays ignorant of interning.
+  using SharedPsrcsProvider = std::function<const PsrcsCheck*(
+      const Digraph& skeleton, std::uint64_t version, int k)>;
+
+  void set_shared_provider(SharedPsrcsProvider provider) {
+    shared_provider_ = std::move(provider);
+  }
+
+  /// Verdicts served by the shared provider instead of a local search
+  /// or cache hit.
+  [[nodiscard]] std::int64_t shared_hits() const { return shared_hits_; }
+
   /// check_psrcs_exact(skeleton, k), recomputed only on version bumps.
   const PsrcsCheck& psrcs_exact(const Digraph& skeleton,
                                 std::uint64_t version, int k);
@@ -86,6 +105,8 @@ class SkeletonPredicateCache {
   }
 
  private:
+  SharedPsrcsProvider shared_provider_;
+  std::int64_t shared_hits_ = 0;
   std::vector<std::pair<int, VersionedCache<PsrcsCheck>>> psrcs_by_k_;
   VersionedCache<PredicateProfile> profile_;
 };

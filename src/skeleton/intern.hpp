@@ -1,0 +1,259 @@
+// Run-wide structure interning: hash-consed skeleton approximations
+// with shared analytics.
+//
+// After r_ST (and typically long before, under benign adversaries) all
+// n per-process approximations of the stable skeleton converge to the
+// same structure, yet each process recomputes the same keep-set,
+// strong-connectivity verdict, and root decomposition on its private
+// copy. The intern table maps each *distinct* structure — node set
+// plus out-edge rows, labels ignored — to one canonical
+// InternedStructure that owns the expensive analytics, so a round
+// where all n processes hold the same skeleton pays for the analytics
+// once instead of n times (DESIGN.md §10).
+//
+// Lookup is a seeded 128-bit fingerprint (graph/fingerprint.hpp) into
+// a fixed bucket array, with every fingerprint hit confirmed by a full
+// word-level structure compare — a colliding fingerprint costs one
+// extra O(n^2/64) scan, never a wrong answer. Tables are single-
+// threaded by design; the Monte-Carlo path shards one table per worker
+// thread through InternDomain (no locks on the lookup path).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/scc.hpp"
+#include "predicates/analysis.hpp"
+#include "predicates/psrcs.hpp"
+#include "util/types.hpp"
+
+namespace sskel {
+
+class LabeledDigraph;
+
+/// Counters of one intern table (or the merged view of a domain's
+/// shards). Reported through BENCH_*.json so tools/bench_diff.py
+/// tracks them across runs.
+struct InternStats {
+  std::int64_t hits = 0;    // resolved to an existing entry
+  std::int64_t misses = 0;  // created a new entry
+  /// Chain entries whose fingerprint matched but whose structure
+  /// compare failed — the full-equality fallback firing.
+  std::int64_t fingerprint_collisions = 0;
+  /// Lookups rejected because the table was at max_entries; callers
+  /// fall back to their private computation path.
+  std::int64_t overflow_rejects = 0;
+  std::int64_t entries = 0;
+  /// Analytics actually computed across all entries (each at most
+  /// once per entry/owner-component/k): the denominator that makes the
+  /// hit counters meaningful.
+  std::int64_t scc_computes = 0;
+  std::int64_t keep_computes = 0;
+  std::int64_t psrcs_computes = 0;
+
+  InternStats& operator+=(const InternStats& other);
+};
+
+/// One canonical skeleton structure with lazily materialized shared
+/// analytics. Entries are owned by a StructureInternTable, have stable
+/// addresses for the table's lifetime, and are immutable in structure;
+/// all analytics are memoized on first query. Not thread-safe — a
+/// table and its entries belong to one thread (see InternDomain).
+class InternedStructure {
+ public:
+  InternedStructure(ProcId n, Fingerprint128 fp, ProcSet nodes,
+                    std::vector<ProcSet> rows);
+
+  [[nodiscard]] ProcId n() const { return n_; }
+  [[nodiscard]] const Fingerprint128& fingerprint() const { return fp_; }
+  [[nodiscard]] const ProcSet& nodes() const { return nodes_; }
+  [[nodiscard]] const ProcSet& row(ProcId q) const {
+    return rows_[static_cast<std::size_t>(q)];
+  }
+
+  /// The structure as an unlabeled Digraph (materialized on first use;
+  /// one counted Digraph construction per entry, never per round).
+  [[nodiscard]] const Digraph& graph();
+
+  /// Tarjan decomposition / root components of the structure.
+  [[nodiscard]] const SccDecomposition& scc();
+  [[nodiscard]] const std::vector<int>& root_indices();
+  [[nodiscard]] const std::vector<ProcSet>& root_components();
+
+  /// Line 28 on the *unpruned* structure: one SCC covering a nonempty
+  /// node set.
+  [[nodiscard]] bool strongly_connected();
+
+  /// Line 25's keep-set for `owner` (must be a node): the set of nodes
+  /// that reach `owner`. Bit-equal to
+  /// LabeledDigraph::prune_not_reaching(owner) on the same structure.
+  /// Served from the condensation's reach closure, cached per owner
+  /// *component* — processes in one SCC share the answer.
+  [[nodiscard]] const ProcSet& keep_set(ProcId owner);
+
+  /// Line 28 on the graph *after* the Line-25 prune for `owner`,
+  /// without materializing the pruned graph: the pruned graph (induced
+  /// on keep_set) is strongly connected iff keep_set(owner) equals
+  /// owner's SCC — "⊇" holds always (the SCC reaches owner), and any
+  /// node reaching owner outside the SCC is a node the SCC cannot
+  /// reach back. A cardinality compare therefore decides it.
+  [[nodiscard]] bool pruned_strongly_connected(ProcId owner);
+
+  /// check_psrcs_exact(graph(), k), memoized per k. The reference is
+  /// invalidated by a later psrcs_exact call on this entry (vector
+  /// growth) — read it before re-querying.
+  [[nodiscard]] const PsrcsCheck& psrcs_exact(int k);
+
+  [[nodiscard]] std::int64_t scc_computes() const { return scc_computes_; }
+  [[nodiscard]] std::int64_t keep_computes() const { return keep_computes_; }
+  [[nodiscard]] std::int64_t psrcs_computes() const {
+    return psrcs_computes_;
+  }
+
+ private:
+  void ensure_graph();
+  void ensure_scc();
+  /// Builds reachers_[c] = components that reach component c
+  /// (including c), by one pass over the components in decreasing
+  /// index order — reverse-topological order guarantees an edge
+  /// d -> c implies c < d, so reachers_[d] is complete when c needs
+  /// it.
+  void ensure_reach_closure();
+
+  ProcId n_;
+  Fingerprint128 fp_;
+  ProcSet nodes_;
+  std::vector<ProcSet> rows_;
+
+  bool graph_ready_ = false;
+  Digraph graph_;
+  bool scc_ready_ = false;
+  SccDecomposition scc_;
+  std::vector<int> root_indices_;
+  std::vector<ProcSet> root_components_;
+  bool closure_ready_ = false;
+  std::vector<ProcSet> reachers_;  // universe = component count
+  std::vector<ProcSet> keep_by_comp_;
+  std::vector<char> keep_ready_;
+  std::vector<std::pair<int, PsrcsCheck>> psrcs_by_k_;
+
+  std::int64_t scc_computes_ = 0;
+  std::int64_t keep_computes_ = 0;
+  std::int64_t psrcs_computes_ = 0;
+};
+
+struct InternTableOptions {
+  /// log2 of the bucket count. Fixed at construction (no rehash: the
+  /// max_entries cap bounds the load factor, and chains absorb skew).
+  int bucket_bits = 12;
+  /// Entry cap; intern() returns nullptr once reached (callers keep
+  /// their private path). An entry is O(n^2/8) bytes, so the default
+  /// bounds a shard at ~35 MB even at n = 512.
+  std::size_t max_entries = 1024;
+  /// Fingerprint seed; distinct seeds give independent hash functions.
+  std::uint64_t seed = 0x736b656c65746f6eULL;  // "skeleton"
+  /// Test seam: replace every fingerprint with a constant so all
+  /// entries land in one bucket with equal keys, forcing lookups
+  /// through the full-equality fallback.
+  bool degrade_fingerprint_for_tests = false;
+};
+
+/// Hash-consing table from structure to canonical InternedStructure.
+/// Entries have stable addresses (unique_ptr storage) and live as long
+/// as the table. Single-threaded; see InternDomain for the sharded
+/// Monte-Carlo use.
+class StructureInternTable {
+ public:
+  explicit StructureInternTable(InternTableOptions options = {});
+
+  StructureInternTable(const StructureInternTable&) = delete;
+  StructureInternTable& operator=(const StructureInternTable&) = delete;
+
+  /// Resolves the structure of `g` to its canonical entry, creating it
+  /// on first sight. Returns nullptr when the table is full
+  /// (overflow_rejects counts those; callers fall back to private
+  /// computation).
+  InternedStructure* intern(const Digraph& g);
+
+  /// Same, keyed on the *structure* of a labeled graph (labels
+  /// ignored) — a labeled and an unlabeled graph with the same nodes
+  /// and edges resolve to the same entry.
+  InternedStructure* intern(const LabeledDigraph& g);
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  /// Lookup counters plus the entry-level analytics counters summed on
+  /// demand.
+  [[nodiscard]] InternStats stats() const;
+
+  [[nodiscard]] const InternTableOptions& options() const { return options_; }
+
+ private:
+  /// Type-erased view of a candidate structure (no copy until a miss
+  /// decides to create the entry).
+  struct RowSource {
+    ProcId n;
+    const ProcSet* nodes;
+    const ProcSet& (*row)(const void* ctx, ProcId q);
+    const void* ctx;
+  };
+
+  [[nodiscard]] Fingerprint128 fingerprint_of(const RowSource& src) const;
+  [[nodiscard]] static bool same_structure(const InternedStructure& entry,
+                                           const RowSource& src);
+  InternedStructure* resolve(const RowSource& src);
+
+  InternTableOptions options_;
+  std::size_t bucket_mask_;
+  std::vector<int> buckets_;  // head entry index per bucket, -1 empty
+  std::vector<int> next_;     // chain link per entry, parallel to entries_
+  std::vector<std::unique_ptr<InternedStructure>> entries_;
+  InternStats stats_;  // lookup counters only; stats() adds entry counters
+};
+
+/// A run-scoped family of intern tables, one shard per worker thread,
+/// so the WorkerPool Monte-Carlo path shares structures *within* a
+/// worker without any lock on the lookup path. local() hands the
+/// calling thread its shard (created on first use behind a mutex,
+/// then served from a thread-local cache keyed by a globally unique
+/// domain id — never a dangling pointer, even across domain
+/// lifetimes at the same address). merged_stats() sums the shards.
+class InternDomain {
+ public:
+  explicit InternDomain(InternTableOptions options = {});
+
+  InternDomain(const InternDomain&) = delete;
+  InternDomain& operator=(const InternDomain&) = delete;
+
+  /// This thread's shard. The reference stays valid for the domain's
+  /// lifetime; the domain must outlive all users (run_scenario_trials
+  /// keeps it alive across the parallel region).
+  [[nodiscard]] StructureInternTable& local();
+
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] InternStats merged_stats() const;
+
+ private:
+  std::uint64_t id_;
+  InternTableOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::thread::id, std::unique_ptr<StructureInternTable>>>
+      shards_;
+};
+
+/// Adapts a shard into a SkeletonPredicateCache shared-resolution
+/// hook: the provider interns the monitored skeleton (re-fingerprinted
+/// only on version bumps, like the cache itself) and serves Psrcs(k)
+/// verdicts from the entry, so identical stable skeletons across
+/// trials share one subset search. Same single-tracker discipline as
+/// SkeletonPredicateCache; the table must outlive the provider.
+[[nodiscard]] SkeletonPredicateCache::SharedPsrcsProvider
+make_interned_psrcs_provider(StructureInternTable& table);
+
+}  // namespace sskel

@@ -1,5 +1,6 @@
 #include "skeleton/tracker.hpp"
 
+#include "skeleton/intern.hpp"
 #include "util/assert.hpp"
 
 namespace sskel {
@@ -35,8 +36,37 @@ const Digraph& SkeletonTracker::skeleton_at(Round r) const {
   return past_[static_cast<std::size_t>(r - 1)];
 }
 
+void SkeletonTracker::attach_intern(StructureInternTable* table) {
+  SSKEL_REQUIRE(table != nullptr);
+  SSKEL_REQUIRE(!analytics_valid_ && !inc_scc_.seeded());
+  intern_ = table;
+}
+
+const InternedStructure* SkeletonTracker::interned_current() const {
+  refresh_analytics();
+  return entry_;
+}
+
 void SkeletonTracker::refresh_analytics() const {
   if (analytics_valid_ && analytics_version_ == version_) return;
+  if (intern_ != nullptr && !inc_scc_.seeded()) {
+    // One fingerprint per version bump; the entry's analytics are
+    // shared with every other resolver of the same structure. On
+    // overflow (nullptr) fall through to the private incremental
+    // path and stay there: once inc_scc_ is seeded, observe() starts
+    // collecting deltas and the two paths must not alternate (the
+    // interned branch clears pending_, which would starve a later
+    // apply()).
+    entry_ = intern_->intern(skeleton_);
+    if (entry_ != nullptr) {
+      roots_ = entry_->root_components();
+      pending_.clear();
+      analytics_version_ = version_;
+      analytics_valid_ = true;
+      ++analytics_recomputes_;
+      return;
+    }
+  }
   if (!inc_scc_.seeded()) {
     inc_scc_.seed(skeleton_);
   } else {
@@ -55,7 +85,7 @@ void SkeletonTracker::refresh_analytics() const {
 
 const SccDecomposition& SkeletonTracker::current_scc() const {
   refresh_analytics();
-  return inc_scc_.decomposition();
+  return entry_ != nullptr ? entry_->scc() : inc_scc_.decomposition();
 }
 
 const std::vector<ProcSet>& SkeletonTracker::current_root_components() const {
@@ -65,7 +95,7 @@ const std::vector<ProcSet>& SkeletonTracker::current_root_components() const {
 
 const std::vector<int>& SkeletonTracker::current_root_indices() const {
   refresh_analytics();
-  return inc_scc_.root_indices();
+  return entry_ != nullptr ? entry_->root_indices() : inc_scc_.root_indices();
 }
 
 const std::vector<int>& SkeletonTracker::component_origin() const {

@@ -32,6 +32,9 @@
 
 namespace sskel {
 
+class StructureInternTable;
+class InternedStructure;
+
 class SkeletonTracker {
  public:
   enum class History { kNone, kKeepAll };
@@ -76,6 +79,22 @@ class SkeletonTracker {
   /// the source has stabilized this grows without bound; equals
   /// rounds_observed() - last_change_round().
   [[nodiscard]] Round stabilized_for() const { return round_ - last_change_; }
+
+  /// Attaches a run-scoped structure intern table: analytics queries
+  /// resolve the current skeleton to its canonical interned entry
+  /// (one fingerprint per version bump, served across trials that
+  /// reach the same structure) instead of seeding a private
+  /// IncrementalScc. When the table overflows, the tracker falls back
+  /// to the incremental path transparently. Must be called before the
+  /// first analytics query; component_origin() is not maintained on
+  /// the interned path (it stays empty). Pass nullptr to detach is
+  /// not supported — attach once, up front.
+  void attach_intern(StructureInternTable* table);
+
+  /// The interned entry serving the current analytics, or nullptr
+  /// when no table is attached / the table overflowed. Refreshes the
+  /// analytics first.
+  [[nodiscard]] const InternedStructure* interned_current() const;
 
   /// SCC decomposition of the current skeleton. The first query seeds
   /// an IncrementalScc maintainer with one Tarjan pass; after that the
@@ -133,7 +152,11 @@ class SkeletonTracker {
   std::uint64_t version_ = 0;
   // Analytics state: lazily seeded, then delta-driven. pending_ only
   // accumulates once the maintainer is seeded, so runs that never ask
-  // for analytics keep the plain (delta-free) intersection path.
+  // for analytics keep the plain (delta-free) intersection path. With
+  // an intern table attached, entry_ serves the analytics instead and
+  // inc_scc_ stays unseeded (unless the table overflows).
+  StructureInternTable* intern_ = nullptr;
+  mutable InternedStructure* entry_ = nullptr;
   mutable IncrementalScc inc_scc_;
   mutable GraphDelta pending_;
   mutable std::vector<ProcSet> roots_;

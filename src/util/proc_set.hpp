@@ -119,6 +119,14 @@ class ProcSet {
   /// Stable 64-bit hash of the member words (FNV-1a over words).
   [[nodiscard]] std::uint64_t hash() const;
 
+  /// Read-only view of the packed member words (little-endian bit
+  /// order: bit b of word w is process w*64+b). Exposed so callers
+  /// that fingerprint whole structures (graph interning) can mix the
+  /// words directly instead of iterating members.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
   /// Iteration support: `for (ProcId p : set) ...`.
   class const_iterator {
    public:

@@ -191,6 +191,96 @@ TEST(IncSccTest, NodeRemovalSplitsItsComponent) {
   EXPECT_EQ(inc.decomposition().count(), 4);
 }
 
+TEST(IncSccTest, SingleEdgeFastPathKeepsChordedCycle) {
+  // 6-cycle plus chord 0 -> 3. Removing the chord loses one internal
+  // edge but the cycle keeps the component strongly connected: the
+  // targeted BFS must keep it whole without a full re-decomposition.
+  Digraph g(6);
+  for (ProcId p = 0; p < 6; ++p) g.add_edge(p, (p + 1) % 6);
+  g.add_edge(0, 3);
+  IncrementalScc inc;
+  inc.seed(g);
+  ASSERT_EQ(inc.decomposition().count(), 1);
+
+  GraphDelta delta;
+  delta.removed_edges.push_back({0, 3});
+  g.remove_edge(0, 3);
+  inc.apply(g, delta);
+  expect_equivalent(g, inc, "after chord cut");
+  EXPECT_EQ(inc.decomposition().count(), 1);
+  EXPECT_EQ(inc.targeted_checks(), 1);
+  EXPECT_EQ(inc.targeted_hits(), 1);
+  // The hit replaced the local FW-BW pass entirely.
+  EXPECT_EQ(inc.components_resolved(), 0);
+  // Internal edges changed, so the carried component must not claim an
+  // origin (consumers would reuse a stale induced subgraph).
+  ASSERT_EQ(inc.origin_of().size(), 1u);
+  EXPECT_EQ(inc.origin_of()[0], -1);
+}
+
+TEST(IncSccTest, SingleEdgeFastPathMissFallsThrough) {
+  // Plain 4-cycle: removing one edge disconnects it, so the targeted
+  // check misses and the full local decomposition still runs.
+  Digraph g(4);
+  for (ProcId p = 0; p < 4; ++p) g.add_edge(p, (p + 1) % 4);
+  IncrementalScc inc;
+  inc.seed(g);
+
+  GraphDelta delta;
+  delta.removed_edges.push_back({3, 0});
+  g.remove_edge(3, 0);
+  inc.apply(g, delta);
+  expect_equivalent(g, inc, "after cycle cut");
+  EXPECT_EQ(inc.decomposition().count(), 4);
+  EXPECT_EQ(inc.targeted_checks(), 1);
+  EXPECT_EQ(inc.targeted_hits(), 0);
+  EXPECT_EQ(inc.components_resolved(), 1);
+}
+
+TEST(IncSccTest, SingleEdgeFastPathHandlesSelfLoop) {
+  // Deleting a self-loop inside a larger SCC is a single internal edge
+  // whose tail trivially "reaches" its head (closure contains the
+  // start); the component must survive intact.
+  Digraph g(3);
+  g.add_self_loops();
+  for (ProcId p = 0; p < 3; ++p) g.add_edge(p, (p + 1) % 3);
+  IncrementalScc inc;
+  inc.seed(g);
+  ASSERT_EQ(inc.decomposition().count(), 1);
+
+  GraphDelta delta;
+  delta.removed_edges.push_back({1, 1});
+  g.remove_edge(1, 1);
+  inc.apply(g, delta);
+  expect_equivalent(g, inc, "after self-loop cut");
+  EXPECT_EQ(inc.decomposition().count(), 1);
+  EXPECT_EQ(inc.targeted_hits(), 1);
+}
+
+TEST(IncSccTest, FastPathDisabledMatchesEnabled) {
+  // The toggle changes work counters only, never the decomposition.
+  Digraph g(6);
+  for (ProcId p = 0; p < 6; ++p) g.add_edge(p, (p + 1) % 6);
+  g.add_edge(0, 3);
+  Digraph g2 = g;
+  IncrementalScc fast;
+  IncrementalScc slow;
+  slow.set_single_edge_fastpath(false);
+  fast.seed(g);
+  slow.seed(g2);
+
+  GraphDelta delta;
+  delta.removed_edges.push_back({0, 3});
+  g.remove_edge(0, 3);
+  g2.remove_edge(0, 3);
+  fast.apply(g, delta);
+  slow.apply(g2, delta);
+  expect_equivalent(g, fast, "fastpath on");
+  expect_equivalent(g2, slow, "fastpath off");
+  EXPECT_EQ(slow.targeted_checks(), 0);
+  EXPECT_EQ(slow.components_resolved(), 1);
+}
+
 TEST(IncSccTest, BatchedDeltaComposes) {
   // Several rounds of shrinkage folded into one apply() must land on
   // the same decomposition as applying them one by one.
@@ -242,11 +332,13 @@ TEST(IncSccTest, EmptyDeltaIsNoOp) {
 /// random edge batches (occasionally a whole node) down to the empty
 /// graph, checking equivalence against a fresh Tarjan run — and the
 /// subdivide-only property — at every step.
-void run_random_sequence(std::uint64_t seed, ProcId n) {
+void run_random_sequence(std::uint64_t seed, ProcId n,
+                         bool single_edge_fastpath = true) {
   Rng rng(seed);
   Digraph g = random_graph(
       n, rng, 10 + static_cast<int>(rng.next_below(40)));
   IncrementalScc inc;
+  inc.set_single_edge_fastpath(single_edge_fastpath);
   inc.seed(g);
   expect_equivalent(g, inc, "seed (seed=" + std::to_string(seed) + ")");
 
@@ -305,6 +397,20 @@ TEST(IncSccRandomizedTest, EquivalentToTarjanOnRandomDeletionSequences) {
     for (std::uint64_t seed = 0; seed < 250; ++seed) {
       run_random_sequence(mix_seed(seed, static_cast<std::uint64_t>(n)), n);
       if (::testing::Test::HasFailure()) return;  // first failure is enough
+    }
+  }
+}
+
+TEST(IncSccRandomizedTest, EquivalentWithFastPathDisabled) {
+  // Same oracle check with the single-edge fast path off, so the
+  // full-decomposition branch keeps its own randomized coverage.
+  const ProcId sizes[] = {5, 9, 16, 24};
+  for (ProcId n : sizes) {
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+      run_random_sequence(
+          mix_seed(seed ^ 0xfa57ULL, static_cast<std::uint64_t>(n)), n,
+          /*single_edge_fastpath=*/false);
+      if (::testing::Test::HasFailure()) return;
     }
   }
 }

@@ -4,12 +4,39 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace sskel {
 namespace {
+
+/// Sets SSKEL_THREADS for the test's lifetime and restores the prior
+/// value (or unsets) on destruction.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* prev = std::getenv("SSKEL_THREADS");
+    if (prev != nullptr) saved_ = prev;
+    had_prev_ = prev != nullptr;
+    ::setenv("SSKEL_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_prev_) {
+      ::setenv("SSKEL_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("SSKEL_THREADS");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string saved_;
+};
 
 TEST(ParallelForTest, VisitsEveryIndexOnce) {
   std::vector<std::atomic<int>> hits(100);
@@ -31,6 +58,63 @@ TEST(ParallelForTest, SingleThreadFallback) {
 TEST(ParallelForTest, ResolveThreadCount) {
   EXPECT_EQ(resolve_thread_count(3), 3u);
   EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ParallelForTest, ThreadsFromEnvValueParsesAndClamps) {
+  // In range: taken as-is.
+  EXPECT_EQ(threads_from_env_value("4", 16), 4u);
+  EXPECT_EQ(threads_from_env_value("1", 16), 1u);
+  EXPECT_EQ(threads_from_env_value("16", 16), 16u);
+  // Above hardware: clamped down.
+  EXPECT_EQ(threads_from_env_value("64", 8), 8u);
+  // Trailing whitespace is fine; trailing garbage is not.
+  EXPECT_EQ(threads_from_env_value("4 ", 16), 4u);
+  EXPECT_EQ(threads_from_env_value("4x", 16), 16u);
+  // Unset, empty, zero, negative, junk: fall back to hardware.
+  EXPECT_EQ(threads_from_env_value(nullptr, 12), 12u);
+  EXPECT_EQ(threads_from_env_value("", 12), 12u);
+  EXPECT_EQ(threads_from_env_value("0", 12), 12u);
+  EXPECT_EQ(threads_from_env_value("-3", 12), 12u);
+  EXPECT_EQ(threads_from_env_value("lots", 12), 12u);
+  // A zero hardware report (the standard allows it) still yields >= 1.
+  EXPECT_EQ(threads_from_env_value("4", 0), 1u);
+}
+
+TEST(ParallelForTest, EnvVariableCapsResolvedThreads) {
+  ScopedThreadsEnv env("1");
+  EXPECT_EQ(resolve_thread_count(0), 1u);
+  // Explicit requests bypass the environment entirely.
+  EXPECT_EQ(resolve_thread_count(5), 5u);
+}
+
+TEST(ParallelForTest, EnvSingleThreadRunsInlineIncludingNested) {
+  // SSKEL_THREADS=1 must force the inline path: indices execute in
+  // order on the calling thread, nested calls included, with no pool
+  // job dispatched.
+  ScopedThreadsEnv env("1");
+  const std::int64_t jobs_before =
+      detail::WorkerPool::instance().jobs_dispatched();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> order;
+  parallel_for(3, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    parallel_for(2, [&](std::size_t j) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      order.push_back(static_cast<int>(i * 2 + j));
+    });
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(detail::WorkerPool::instance().jobs_dispatched(), jobs_before);
+}
+
+TEST(ParallelForTest, PoolSizeCountsParticipants) {
+  using detail::WorkerPool;
+  // Before any helpers exist size() reports the resolve target; after
+  // a pool job it is exactly helpers + the submitting thread.
+  EXPECT_GE(WorkerPool::instance().size(), 1u);
+  parallel_for(64, [](std::size_t) {}, 4);  // ensure helpers spawned
+  EXPECT_EQ(WorkerPool::instance().size(),
+            WorkerPool::instance().helper_count() + 1);
 }
 
 TEST(ParallelForTest, MoveOnlyCallableUsesTemplatedOverload) {

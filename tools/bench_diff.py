@@ -3,15 +3,24 @@
 
 Usage:
     bench_diff.py BASELINE CURRENT [--threshold 2.0]
+    bench_diff.py select-baseline RUNS_JSON --current-run ID \
+        --branch BRANCH [--default-branch main]
 
 Records are matched on their identity fields (op plus n/k/adversary
 when present). For every matched pair the timing fields (*_ns,
-ns_per_op) and work counters (subsets_visited*) are compared; a value
-that grew by more than `threshold` x its baseline counts as a
-regression and flips the exit code to 1. Records present on only one
-side are reported but never fail the diff (benches come and go), and
-timing fields below a noise floor are skipped — sub-microsecond rows
-regress by scheduling jitter alone.
+ns_per_op) and work counters (subsets_visited*, intern_*) are
+compared; a value that grew by more than `threshold` x its baseline
+counts as a regression and flips the exit code to 1. Records present
+on only one side are reported but never fail the diff (benches come
+and go), and timing fields below a noise floor are skipped —
+sub-microsecond rows regress by scheduling jitter alone.
+
+The `select-baseline` subcommand picks which earlier CI run to diff
+against from a `gh run list --json databaseId,headBranch` dump
+(newest first): the latest successful run on the same branch, or —
+when the branch has none (first push of a PR branch) — the latest
+successful run on the default branch. Prints the chosen run id, or
+nothing when no candidate exists.
 """
 
 import argparse
@@ -22,7 +31,7 @@ import sys
 IDENTITY_FIELDS = ("op", "adversary", "n", "k", "j", "rounds")
 # Measured fields compared against the threshold: (suffix, noise floor).
 TIMING_SUFFIXES = ("_ns", "ns_per_op")
-COUNTER_PREFIXES = ("subsets_visited",)
+COUNTER_PREFIXES = ("subsets_visited", "intern_")
 TIMING_NOISE_FLOOR_NS = 1000.0  # ignore sub-microsecond timings
 COUNTER_NOISE_FLOOR = 64.0
 
@@ -52,13 +61,61 @@ def load_records(path):
     return doc.get("bench", "?"), records
 
 
-def main():
+def select_baseline(runs, current_run_id, branch, default_branch="main"):
+    """Picks the CI run whose artifact should be the diff baseline.
+
+    `runs` is a newest-first list of {"databaseId": ..., "headBranch":
+    ...} dicts (successful runs only — the caller filters by status).
+    Returns the databaseId of the newest run on `branch` that is not
+    the current run; when the branch has no prior run (first push of a
+    PR branch), falls back to the newest run on `default_branch`;
+    returns None when neither exists.
+    """
+    current = str(current_run_id)
+    candidates = [r for r in runs
+                  if str(r.get("databaseId", "")) != current
+                  and r.get("databaseId") is not None]
+    for run in candidates:
+        if run.get("headBranch") == branch:
+            return run["databaseId"]
+    if branch != default_branch:
+        for run in candidates:
+            if run.get("headBranch") == default_branch:
+                return run["databaseId"]
+    return None
+
+
+def main_select_baseline(argv):
+    parser = argparse.ArgumentParser(
+        prog="bench_diff.py select-baseline",
+        description="Pick the baseline CI run id from a gh run list dump.")
+    parser.add_argument("runs_json",
+                        help="file with `gh run list --json "
+                             "databaseId,headBranch` output")
+    parser.add_argument("--current-run", required=True,
+                        help="run id to exclude (the run doing the diff)")
+    parser.add_argument("--branch", required=True,
+                        help="branch whose history is preferred")
+    parser.add_argument("--default-branch", default="main",
+                        help="fallback branch (default: main)")
+    args = parser.parse_args(argv)
+
+    with open(args.runs_json, encoding="utf-8") as f:
+        runs = json.load(f)
+    chosen = select_baseline(runs, args.current_run, args.branch,
+                             args.default_branch)
+    if chosen is not None:
+        print(chosen)
+    return 0
+
+
+def main_diff(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="fail when current > threshold * baseline")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     base_name, base = load_records(args.baseline)
     cur_name, cur = load_records(args.current)
@@ -99,6 +156,13 @@ def main():
         return 1
     print("no regressions above threshold")
     return 0
+
+
+def main():
+    argv = sys.argv[1:]
+    if argv and argv[0] == "select-baseline":
+        return main_select_baseline(argv[1:])
+    return main_diff(argv)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py — baseline selection and field picking."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff  # noqa: E402
+
+
+def run(database_id, branch):
+    return {"databaseId": database_id, "headBranch": branch}
+
+
+class SelectBaselineTest(unittest.TestCase):
+    def test_prefers_newest_run_on_same_branch(self):
+        runs = [run(30, "feature"), run(20, "feature"), run(10, "main")]
+        self.assertEqual(
+            bench_diff.select_baseline(runs, 99, "feature", "main"), 30)
+
+    def test_excludes_the_current_run(self):
+        runs = [run(30, "feature"), run(20, "feature")]
+        self.assertEqual(
+            bench_diff.select_baseline(runs, 30, "feature", "main"), 20)
+
+    def test_current_run_id_compares_as_string(self):
+        # gh emits numeric ids; GITHUB_RUN_ID arrives as a string.
+        runs = [run(30, "feature"), run(20, "feature")]
+        self.assertEqual(
+            bench_diff.select_baseline(runs, "30", "feature", "main"), 20)
+
+    def test_falls_back_to_default_branch_on_first_push(self):
+        runs = [run(30, "other"), run(20, "main"), run(10, "main")]
+        self.assertEqual(
+            bench_diff.select_baseline(runs, 99, "feature", "main"), 20)
+
+    def test_no_candidate_returns_none(self):
+        self.assertIsNone(
+            bench_diff.select_baseline([], 99, "feature", "main"))
+        runs = [run(30, "other")]
+        self.assertIsNone(
+            bench_diff.select_baseline(runs, 99, "feature", "main"))
+
+    def test_default_branch_run_is_not_picked_over_branch_run(self):
+        # A newer default-branch run must not shadow the branch's own
+        # history.
+        runs = [run(40, "main"), run(30, "feature")]
+        self.assertEqual(
+            bench_diff.select_baseline(runs, 99, "feature", "main"), 30)
+
+    def test_on_default_branch_current_run_is_still_excluded(self):
+        # branch == default_branch: only one scan, current excluded.
+        runs = [run(30, "main"), run(20, "main")]
+        self.assertEqual(
+            bench_diff.select_baseline(runs, 30, "main", "main"), 20)
+
+    def test_only_current_run_on_default_branch_returns_none(self):
+        runs = [run(30, "main")]
+        self.assertIsNone(
+            bench_diff.select_baseline(runs, 30, "main", "main"))
+
+    def test_malformed_run_entries_are_skipped(self):
+        runs = [{"headBranch": "feature"}, run(20, "feature")]
+        self.assertEqual(
+            bench_diff.select_baseline(runs, 99, "feature", "main"), 20)
+
+
+class MeasuredFieldsTest(unittest.TestCase):
+    def test_intern_counters_are_compared(self):
+        record = {"op": "trial", "n": 64,
+                  "intern_misses": 12, "intern_hits": 900,
+                  "subsets_visited": 5, "total_ns": 1e6,
+                  "note": "not-a-number"}
+        fields = {name for name, _, _ in bench_diff.measured_fields(record)}
+        self.assertEqual(
+            fields,
+            {"intern_misses", "intern_hits", "subsets_visited", "total_ns"})
+
+    def test_identity_fields_are_never_measured(self):
+        record = {"op": "trial", "n": 64, "k": 2, "rounds": 10}
+        self.assertEqual(list(bench_diff.measured_fields(record)), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
