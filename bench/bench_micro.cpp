@@ -210,7 +210,11 @@ void BM_SccShrinkTarjanRerun(benchmark::State& state) {
   PartitionSource source(23, params);
   std::vector<Digraph> sequence;
   for (Round r = 1; r <= rounds; ++r) {
-    Digraph g = source.graph(r);
+    // graph_into reuses one graph's rows and never assumes a payload
+    // layout, so the materialized sequence is representation-agnostic
+    // (dense or tiered ProcSet rows alike).
+    Digraph g(n);
+    source.graph_into(r, g);
     g.add_self_loops();
     sequence.push_back(std::move(g));
   }
@@ -242,7 +246,11 @@ void BM_SccShrinkIncremental(benchmark::State& state) {
   PartitionSource source(23, params);
   std::vector<Digraph> sequence;
   for (Round r = 1; r <= rounds; ++r) {
-    Digraph g = source.graph(r);
+    // graph_into reuses one graph's rows and never assumes a payload
+    // layout, so the materialized sequence is representation-agnostic
+    // (dense or tiered ProcSet rows alike).
+    Digraph g(n);
+    source.graph_into(r, g);
     g.add_self_loops();
     sequence.push_back(std::move(g));
   }

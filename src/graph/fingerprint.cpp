@@ -38,9 +38,20 @@ void FingerprintBuilder::mix_word(std::uint64_t w) {
 }
 
 void FingerprintBuilder::mix_set(const ProcSet& s) {
-  for (const std::uint64_t w : s.words()) {
-    mix_word(w);
-  }
+  // Mix only the active (index, word) pairs: density-proportional on
+  // decayed skeletons and identical across the dense/tiered/sparse
+  // representations. Fingerprints are cache keys, never correctness
+  // (the intern table confirms every hit by full equality), so this
+  // redefinition is safe across builds.
+  std::uint64_t active = 0;
+  s.for_each_word([this, &active](std::uint32_t w, std::uint64_t v) {
+    mix_word((static_cast<std::uint64_t>(w) << 32) ^ v);
+    ++active;
+  });
+  // Variable-length streams need explicit set boundaries: without the
+  // terminator a pair could migrate between consecutive rows of a
+  // structure without changing the digest.
+  mix_word(kPrime5 ^ active);
 }
 
 Fingerprint128 FingerprintBuilder::finish() const {

@@ -19,9 +19,11 @@ ProcSet masked_closure(const Digraph& g, ProcId start, const ProcSet& members,
   while (!frontier.empty()) {
     next.clear();
     for (ProcId v : frontier) {
-      next |= forward ? g.out_neighbors(v) : g.in_neighbors(v);
+      // Fused fold: row & members accumulated in one pass over the
+      // blocks active on both sides (ProcSet::or_and), so a decayed
+      // component costs O(active blocks) per row, not O(n/64).
+      next.or_and(forward ? g.out_neighbors(v) : g.in_neighbors(v), members);
     }
-    next &= members;
     next -= visited;
     visited |= next;
     std::swap(frontier, next);
@@ -115,12 +117,12 @@ void IncrementalScc::apply(const Digraph& g, const GraphDelta& delta) {
   // Per-component damage record. A component with internal losses or
   // lost members must be revisited; lost_in_edge (head of a removed
   // inter-component edge) only forces a root-status recheck. The first
-  // internal edge is remembered (and the count capped at 2) for the
-  // single-edge targeted fast path below.
+  // kTargetedBatchMax internal edges are remembered (and the count
+  // capped one past that) for the targeted fast path below.
   struct Touch {
-    int internal_losses = 0;  // capped at 2
-    ProcId tail = -1;
-    ProcId head = -1;
+    int internal_losses = 0;  // capped at kTargetedBatchMax + 1
+    ProcId tail[kTargetedBatchMax] = {-1, -1, -1};
+    ProcId head[kTargetedBatchMax] = {-1, -1, -1};
     bool lost_member = false;
   };
   std::vector<Touch> touch(static_cast<std::size_t>(old_count));
@@ -131,10 +133,12 @@ void IncrementalScc::apply(const Digraph& g, const GraphDelta& delta) {
     if (cf < 0 || ct < 0) continue;  // endpoint gone in an earlier apply
     if (cf == ct) {
       Touch& t = touch[static_cast<std::size_t>(cf)];
-      if (t.internal_losses < 2) ++t.internal_losses;
-      if (t.internal_losses == 1) {
-        t.tail = from;
-        t.head = to;
+      if (t.internal_losses <= kTargetedBatchMax) {
+        if (t.internal_losses < kTargetedBatchMax) {
+          t.tail[t.internal_losses] = from;
+          t.head[t.internal_losses] = to;
+        }
+        ++t.internal_losses;
       }
     } else {
       lost_in_edge[static_cast<std::size_t>(ct)] = 1;
@@ -171,20 +175,31 @@ void IncrementalScc::apply(const Digraph& g, const GraphDelta& delta) {
       new_components.push_back(std::move(scc_.components[ci]));
       continue;
     }
-    if (single_edge_fastpath_ && t.internal_losses == 1 && !t.lost_member) {
-      // Exactly one internal edge (tail -> head) vanished and every
-      // member survived: the component stays one SCC iff the tail
-      // still reaches the head. The BFS may stay inside the old
-      // member set — any tail-to-head path through an outsider would
-      // have put that outsider in this SCC before the deletion (the
-      // deleted edge lies on none of those paths). A hit keeps the
-      // component (and its root flag: cross edges are untouched; a
-      // simultaneous lost_in_edge still forces the recheck); origin
-      // is reported as -1 because the *internal* edges changed, so
-      // carried induced subgraphs would be stale.
+    if (single_edge_fastpath_ && t.internal_losses >= 1 &&
+        t.internal_losses <= kTargetedBatchMax && !t.lost_member) {
+      // A small batch of internal edges (tail_i -> head_i) vanished
+      // and every member survived: the component stays one SCC iff
+      // every tail still reaches its head in the shrunk graph. Any
+      // old internal path is then repaired by splicing in those
+      // replacement paths, which exist in the shrunk graph directly —
+      // no circularity. Each BFS may stay inside the old member set:
+      // an outsider on a tail-to-head path would have been reachable
+      // from and reaching this SCC before the deletion, hence a
+      // member. A hit keeps the component (and its root flag: cross
+      // edges are untouched; a simultaneous lost_in_edge still forces
+      // the recheck); origin is reported as -1 because the *internal*
+      // edges changed, so carried induced subgraphs would be stale.
+      // One check per component, however many probes the batch needs.
       ++targeted_checks_;
-      if (masked_closure(g, t.tail, scc_.components[ci], true)
-              .contains(t.head)) {
+      bool all_reach = true;
+      for (int e = 0; e < t.internal_losses; ++e) {
+        if (!masked_closure(g, t.tail[e], scc_.components[ci], true)
+                 .contains(t.head[e])) {
+          all_reach = false;
+          break;
+        }
+      }
+      if (all_reach) {
         ++targeted_hits_;
         new_origin.push_back(-1);
         new_is_root.push_back(is_root_[ci]);

@@ -77,19 +77,32 @@ class IncrementalScc {
   [[nodiscard]] std::int64_t splitting_applies() const { return splits_; }
 
   /// Targeted-reachability fast path (on by default): when a component
-  /// lost exactly one internal edge (and no member), one masked BFS
-  /// asking "does the tail still reach the head?" decides whether the
-  /// component stays whole — a giant component losing a chord skips
-  /// the full FW-BW re-decomposition (ROADMAP item). A failed check
+  /// lost at most kTargetedBatchMax internal edges (and no member), one
+  /// masked BFS per lost edge asking "does the tail still reach the
+  /// head?" decides whether the component stays whole — a giant
+  /// component losing a few chords skips the full FW-BW
+  /// re-decomposition. Sound for batches: if every tail still reaches
+  /// its head in the shrunk graph, any old internal path is repaired by
+  /// splicing in those replacement paths (which themselves exist in the
+  /// shrunk graph, so there is no circularity); and the BFS may stay
+  /// inside the old member set because an outsider on a replacement
+  /// path would have belonged to the pre-deletion SCC. Any failed probe
   /// falls through to the full pass. Kept toggleable so the randomized
   /// equivalence suite covers both paths.
   void set_single_edge_fastpath(bool enabled) {
     single_edge_fastpath_ = enabled;
   }
 
-  /// Fast-path checks attempted / checks that kept the component whole
-  /// (a hit replaces one local FW-BW decomposition by one BFS; note a
-  /// hit is *not* counted in components_resolved()).
+  /// Largest internal-deletion batch the targeted fast path attempts
+  /// before going straight to FW-BW. Beyond a few probes the BFSes cost
+  /// as much as one local decomposition.
+  static constexpr int kTargetedBatchMax = 3;
+
+  /// Fast-path checks attempted / checks that kept the component whole,
+  /// counted per component (a multi-edge batch is one check however
+  /// many probes it runs; a hit replaces one local FW-BW decomposition
+  /// by <= kTargetedBatchMax BFSes and is *not* counted in
+  /// components_resolved()).
   [[nodiscard]] std::int64_t targeted_checks() const {
     return targeted_checks_;
   }

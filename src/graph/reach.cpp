@@ -7,7 +7,11 @@ namespace sskel {
 namespace {
 
 /// Generic BFS closure: repeatedly folds the neighbor rows of the
-/// frontier into the visited set until a fixpoint.
+/// frontier into the visited set until a fixpoint. The inner fold is
+/// the fused `next |= row(v) & nodes` (ProcSet::or_and) so each row is
+/// masked and accumulated in one pass over its active blocks — no
+/// intermediate set, and rows of a decayed skeleton cost O(active
+/// blocks), not O(n/64).
 template <typename NeighborRow>
 ProcSet closure(const Digraph& g, ProcId start, NeighborRow row) {
   ProcSet visited(g.n());
@@ -16,9 +20,8 @@ ProcSet closure(const Digraph& g, ProcId start, NeighborRow row) {
   ProcSet frontier = visited;
   while (!frontier.empty()) {
     ProcSet next(g.n());
-    for (ProcId v : frontier) next |= row(v);
+    for (ProcId v : frontier) next.or_and(row(v), g.nodes());
     next -= visited;
-    next &= g.nodes();
     visited |= next;
     frontier = std::move(next);
   }
@@ -47,9 +50,8 @@ std::optional<int> shortest_path_length(const Digraph& g, ProcId from,
   while (!frontier.empty()) {
     ++dist;
     ProcSet next(g.n());
-    for (ProcId v : frontier) next |= g.out_neighbors(v);
+    for (ProcId v : frontier) next.or_and(g.out_neighbors(v), g.nodes());
     next -= visited;
-    next &= g.nodes();
     if (next.contains(to)) return dist;
     visited |= next;
     frontier = std::move(next);
@@ -90,9 +92,8 @@ int max_distance_to(const Digraph& g, ProcId target) {
   int levels = 0;
   while (true) {
     ProcSet next(g.n());
-    for (ProcId v : frontier) next |= g.in_neighbors(v);
+    for (ProcId v : frontier) next.or_and(g.in_neighbors(v), g.nodes());
     next -= visited;
-    next &= g.nodes();
     if (next.empty()) return levels;
     ++levels;
     visited |= next;

@@ -81,6 +81,11 @@ KSetRunReport run_kset_on_engine(RoundEngine<SkeletonMessage>& engine,
   std::unique_ptr<LemmaMonitor> monitor;
   if (config.attach_lemma_monitor) {
     monitor = std::make_unique<LemmaMonitor>(n, config.checks);
+    if (config.intern != nullptr) {
+      // The monitor's per-round SCC checks (Lemma 7 bases, tracker
+      // analytics) then share the run-wide canonical entries.
+      monitor->attach_intern(&config.intern->local());
+    }
   }
 
   const Round max_rounds =

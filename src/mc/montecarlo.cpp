@@ -19,6 +19,10 @@ McSummary run_scenario_trials(const ScenarioFactory& scenario,
   KSetRunConfig run_config = config;
   if (run_config.intern == nullptr) run_config.intern = &trial_domain;
 
+  // High-water mark for this batch only (sets live before the batch
+  // still count toward the level the mark is measured from).
+  ProcSet::reset_peak_bytes();
+
   const std::vector<ScenarioTrial> results = collect_parallel<ScenarioTrial>(
       static_cast<std::size_t>(trials),
       [&](std::size_t t) {
@@ -31,6 +35,8 @@ McSummary run_scenario_trials(const ScenarioFactory& scenario,
   summary.intern = run_config.intern->merged_stats();
   summary.intern_shards =
       static_cast<std::int64_t>(run_config.intern->shard_count());
+  summary.peak_proc_set_bytes = ProcSet::peak_bytes();
+  summary.live_proc_set_bytes = ProcSet::live_bytes();
   summary.bytes_measured = config.measure_bytes;
   for (std::size_t t = 0; t < results.size(); ++t) {
     const ScenarioTrial& trial = results[t];

@@ -60,6 +60,14 @@ struct McSummary {
   /// supply one — so cross-trial structure sharing shows up here.
   InternStats intern;
   std::int64_t intern_shards = 0;
+
+  /// ProcSet heap accounting over the whole batch: the live-bytes
+  /// high-water mark reached while the trials ran (peak reset at batch
+  /// start) and the bytes still live when they finished (structures
+  /// retained by the intern domain and any caller-held state). The
+  /// n = 65,536 scale runs are sized by these.
+  std::int64_t peak_proc_set_bytes = 0;
+  std::int64_t live_proc_set_bytes = 0;
 };
 
 /// Optional per-trial hook, invoked in trial order after the parallel

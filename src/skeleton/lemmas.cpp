@@ -5,6 +5,7 @@
 
 #include "graph/reach.hpp"
 #include "graph/scc.hpp"
+#include "skeleton/intern.hpp"
 #include "util/assert.hpp"
 
 namespace sskel {
@@ -16,6 +17,11 @@ LemmaMonitor::LemmaMonitor(ProcId n, LemmaChecks checks)
       prev_estimates_(static_cast<std::size_t>(n), kNoValue),
       first_sc_(static_cast<std::size_t>(n), {0, LabeledDigraph()}) {
   SSKEL_REQUIRE(n > 0);
+}
+
+void LemmaMonitor::attach_intern(StructureInternTable* table) {
+  intern_ = table;
+  tracker_.attach_intern(table);
 }
 
 void LemmaMonitor::report(Round r, ProcId p, const std::string& what) {
@@ -70,9 +76,13 @@ void LemmaMonitor::observe_round(Round r, const Digraph& comm_graph,
   SSKEL_REQUIRE(snaps.size() == static_cast<std::size_t>(n_));
   tracker_.observe(r, comm_graph);
   const Digraph& skel = tracker_.skeleton();
-  // Lemma 7's historical base decomposition, computed lazily once per
-  // round (it is the same graph for every process).
-  std::optional<SccDecomposition> scc_base;
+  // Lemma 7's historical base decomposition, resolved lazily once per
+  // round (it is the same graph for every process). With an intern
+  // table attached the decomposition is served from the canonical
+  // entry's memoized Tarjan — one pass per *distinct* base skeleton
+  // for the whole run, instead of one per round.
+  const SccDecomposition* base_scc = nullptr;
+  std::optional<SccDecomposition> scc_base;  // private-path storage
 
   for (ProcId p = 0; p < n_; ++p) {
     const auto pi = static_cast<std::size_t>(p);
@@ -146,13 +156,23 @@ void LemmaMonitor::observe_round(Round r, const Digraph& comm_graph,
       // decomposition is computed at most once per observe_round.
       const Round base = r - n_ + 1;
       const Digraph& skel_base = tracker_.skeleton_at(base);
-      if (!scc_base.has_value()) {
-        scc_base = strongly_connected_components(skel_base);
+      if (base_scc == nullptr) {
+        if (intern_ != nullptr) {
+          if (InternedStructure* entry = intern_->intern(skel_base)) {
+            base_scc = &entry->scc();
+            ++lemma7_interned_bases_;
+          }
+        }
+        if (base_scc == nullptr) {  // detached, or the table is full
+          scc_base = strongly_connected_components(skel_base);
+          base_scc = &*scc_base;
+          ++lemma7_private_bases_;
+        }
       }
-      const int idx = scc_base->component_of[static_cast<std::size_t>(p)];
+      const int idx = base_scc->component_of[static_cast<std::size_t>(p)];
       const ProcSet cp = idx < 0
                              ? ProcSet(n_)
-                             : scc_base->components[static_cast<std::size_t>(idx)];
+                             : base_scc->components[static_cast<std::size_t>(idx)];
       const Digraph comp_graph = skel_base.induced(cp);
       if (!gp.unlabeled().is_subgraph_of(comp_graph)) {
         report(r, p, "Lemma 7: strongly connected G_p^r exceeds C_p^{r-n+1}");

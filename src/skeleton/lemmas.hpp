@@ -29,6 +29,8 @@
 
 namespace sskel {
 
+class StructureInternTable;
+
 /// What a lemma monitor needs to see of one process at the end of a
 /// round. The k-set runner fills these from the algorithm state.
 struct ProcessSnapshot {
@@ -72,6 +74,25 @@ class LemmaMonitor {
 
   [[nodiscard]] const SkeletonTracker& tracker() const { return tracker_; }
 
+  /// Attaches a run-scoped intern table (nullptr detaches). The
+  /// monitor's tracker resolves its analytics through the table, and
+  /// Lemma 7's per-round base-skeleton decomposition is served from
+  /// the interned entry's memoized Tarjan instead of recomputed — one
+  /// decomposition per *distinct* historical skeleton for the whole
+  /// run (and across trials sharing the table) rather than one per
+  /// round. Same single-thread discipline as the tracker: the table
+  /// must outlive the monitor.
+  void attach_intern(StructureInternTable* table);
+
+  /// Lemma 7 base decompositions served from an interned entry vs
+  /// computed privately (table detached, full, or n mismatch).
+  [[nodiscard]] std::int64_t lemma7_interned_bases() const {
+    return lemma7_interned_bases_;
+  }
+  [[nodiscard]] std::int64_t lemma7_private_bases() const {
+    return lemma7_private_bases_;
+  }
+
   /// Recomputation count of the cached induced-component-subgraph
   /// analytics (for the cache-invalidation property tests; equals
   /// skeleton version bumps + 1 when queried every round).
@@ -93,6 +114,9 @@ class LemmaMonitor {
   ProcId n_;
   LemmaChecks checks_;
   SkeletonTracker tracker_;
+  StructureInternTable* intern_ = nullptr;
+  std::int64_t lemma7_interned_bases_ = 0;
+  std::int64_t lemma7_private_bases_ = 0;
   /// induced[c] = skeleton restricted to component c of current_scc(),
   /// plus a trailing empty graph serving nodes absent from the
   /// skeleton.

@@ -1,15 +1,47 @@
-// ProcSet: a dense, fixed-universe set of process ids.
+// ProcSet: a tiered, fixed-universe set of process ids.
 //
 // The whole library is built on per-round set algebra over Pi (the
 // process universe): timely neighborhoods PT(p, r) shrink by
 // intersection (Eq. (3)), skeletons are intersections of edge sets, and
 // predicates quantify over (k+1)-subsets. A word-packed bitset makes
-// every one of those operations O(n/64) and keeps the simulator's
-// per-round cost at O(n^2/64).
+// every one of those operations O(n/64) — fine up to a few hundred
+// processes, but at n = 65,536 a single row is 1024 words and a round
+// of row intersections touches O(n^2/64) words even when the skeleton
+// has long decayed to near-diagonal. ProcSet therefore tiers its
+// representation by universe size and density:
+//
+//   * small universes (below the tier threshold, default 32 words /
+//     n < 2048): the original flat dense bitset, bit for bit;
+//   * large universes, dense form: the flat payload plus a *summary
+//     tier* — one bit per payload word (so one summary word covers
+//     64 * 64 = 4096 processes) kept exactly in sync; iteration and
+//     shrink operations walk only summary-active blocks, and bulk
+//     dense sweeps dispatch to the SIMD word kernels
+//     (util/word_kernels.hpp);
+//   * large universes, sparse form: once a shrink leaves at most
+//     1/8 of the payload words nonzero, the payload is dropped for a
+//     sorted (word-index, word) block list — CSR-style — so storage
+//     and every subsequent operation cost O(active blocks). Sets
+//     convert back to dense automatically when they grow past 1/4 of
+//     the payload words (hysteresis avoids flapping).
+//
+// The representation is invisible through the public API: all
+// operations, iteration order, equality, and hash() are
+// representation-independent, and the randomized tier-equivalence
+// suite (tests/util/proc_set_tier_test.cpp) pins dense and tiered
+// builds bit-for-bit against each other. Benchmarks pin a mode via
+// ScopedTierPolicy to measure tiered-vs-dense honestly.
+//
+// Memory accounting: every ProcSet maintains its heap footprint in
+// process-wide live/peak counters (ProcSet::live_bytes() /
+// peak_bytes()), the backbone of the per-run memory story at
+// n = 65,536 surfaced through McSummary and the scale bench JSON.
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
@@ -27,14 +59,43 @@ namespace sskel {
 /// universe size; this is a precondition, not a silent resize.
 class ProcSet {
  public:
+  /// Representation policy, process-wide. kAuto is the production
+  /// mode; kDenseOnly forces the flat dense payload everywhere (no
+  /// sparse adoption, no summary-guided skipping) and exists so the
+  /// scale benchmarks can measure tiered-vs-dense on identical
+  /// workloads and the equivalence tests can pin bit-equality.
+  enum class TierPolicy { kAuto, kDenseOnly };
+
+  static void set_tier_policy(TierPolicy policy);
+  [[nodiscard]] static TierPolicy tier_policy();
+
+  /// Tier threshold in payload words: universes of at least this many
+  /// words maintain the summary tier and may adopt the sparse form.
+  /// Default 32 (n >= 2048). Tests lower it to exercise the tiered
+  /// paths at small n; set it before creating the sets involved.
+  static void set_tier_threshold_words(std::size_t words);
+  [[nodiscard]] static std::size_t tier_threshold_words();
+
+  /// Process-wide heap bytes currently owned by ProcSet storage, and
+  /// the high-water mark since the last reset_peak_bytes(). The scale
+  /// bench and the Monte-Carlo runner surface these per run.
+  [[nodiscard]] static std::int64_t live_bytes();
+  [[nodiscard]] static std::int64_t peak_bytes();
+  static void reset_peak_bytes();
+
   /// Empty set over an empty universe. Mostly useful as a placeholder
   /// before assignment.
   ProcSet() = default;
 
-  /// Empty set over a universe of `n` processes.
-  explicit ProcSet(ProcId n) : n_(n), words_(word_count(n), 0) {
-    SSKEL_REQUIRE(n >= 0);
-  }
+  /// Empty set over a universe of `n` processes. Tiered universes
+  /// start in the sparse form (no payload allocation) under kAuto.
+  explicit ProcSet(ProcId n);
+
+  ProcSet(const ProcSet& other);
+  ProcSet(ProcSet&& other) noexcept;
+  ProcSet& operator=(const ProcSet& other);
+  ProcSet& operator=(ProcSet&& other) noexcept;
+  ~ProcSet();
 
   /// The full set {0, .., n-1}.
   static ProcSet full(ProcId n);
@@ -50,20 +111,17 @@ class ProcSet {
 
   [[nodiscard]] bool contains(ProcId p) const {
     SSKEL_REQUIRE(in_range(p));
-    return (words_[word(p)] >> bit(p)) & 1u;
+    return (word_at(word(p)) >> bit(p)) & 1u;
   }
 
-  void insert(ProcId p) {
-    SSKEL_REQUIRE(in_range(p));
-    words_[word(p)] |= mask(p);
-  }
+  void insert(ProcId p);
+  void erase(ProcId p);
 
-  void erase(ProcId p) {
-    SSKEL_REQUIRE(in_range(p));
-    words_[word(p)] &= ~mask(p);
-  }
-
-  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+  /// Empties the set. Tiered sets drop their dense payload (the
+  /// 65,536-process skeleton's dead rows cost nothing afterwards);
+  /// small and policy-pinned dense sets zero in place, keeping their
+  /// storage for reuse.
+  void clear();
 
   /// Number of members.
   [[nodiscard]] int count() const;
@@ -96,11 +154,20 @@ class ProcSet {
   ProcSet& operator|=(const ProcSet& other);
   ProcSet& operator-=(const ProcSet& other);
 
+  /// Fused masked fold: *this |= (src & mask), in one pass over the
+  /// blocks active in both src and mask. This is the inner step of
+  /// every masked BFS (reach.cpp, inc_scc.cpp): frontier row ANDed
+  /// with the member mask, ORed into the accumulator, without
+  /// materializing the intermediate set.
+  void or_and(const ProcSet& src, const ProcSet& mask);
+
   friend ProcSet operator&(ProcSet a, const ProcSet& b) { return a &= b; }
   friend ProcSet operator|(ProcSet a, const ProcSet& b) { return a |= b; }
   friend ProcSet operator-(ProcSet a, const ProcSet& b) { return a -= b; }
 
-  bool operator==(const ProcSet& other) const = default;
+  /// Logical equality (representation-independent: a sparse and a
+  /// dense set with the same members compare equal).
+  bool operator==(const ProcSet& other) const;
 
   /// Smallest member, or -1 when empty.
   [[nodiscard]] ProcId first() const;
@@ -116,16 +183,64 @@ class ProcSet {
   /// Renders as "{p0, p3, p7}" (ids, 0-based) for logs and tests.
   [[nodiscard]] std::string to_string() const;
 
-  /// Stable 64-bit hash of the member words (FNV-1a over words).
+  /// Stable 64-bit hash (FNV-1a over the nonzero (index, word) pairs,
+  /// so dense and sparse forms of the same set hash equal).
   [[nodiscard]] std::uint64_t hash() const;
 
-  /// Read-only view of the packed member words (little-endian bit
-  /// order: bit b of word w is process w*64+b). Exposed so callers
-  /// that fingerprint whole structures (graph interning) can mix the
-  /// words directly instead of iterating members.
-  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
-    return words_;
+  // --- representation-agnostic word access -------------------------------
+  //
+  // Callers that fingerprint or serialize whole structures read the
+  // packed words through these instead of assuming a flat dense
+  // layout (little-endian bit order: bit b of word w is process
+  // w*64+b).
+
+  /// Number of payload words the universe spans (present or not).
+  [[nodiscard]] std::size_t word_span() const { return word_count(n_); }
+
+  /// Word w of the packed representation; 0 for inactive blocks.
+  [[nodiscard]] std::uint64_t word_at(std::size_t w) const {
+    SSKEL_REQUIRE(w < word_count(n_));
+    if (!sparse_) return words_[w];
+    const auto it = std::lower_bound(sidx_.begin(), sidx_.end(),
+                                     static_cast<std::uint32_t>(w));
+    if (it == sidx_.end() || *it != w) return 0;
+    return sval_[static_cast<std::size_t>(it - sidx_.begin())];
   }
+
+  /// Invokes fn(word_index, word) for every *nonzero* payload word in
+  /// ascending index order — O(active blocks) on tiered sets.
+  template <typename Fn>
+  void for_each_word(Fn&& fn) const {
+    if (sparse_) {
+      for (std::size_t i = 0; i < sidx_.size(); ++i) fn(sidx_[i], sval_[i]);
+      return;
+    }
+    if (!summary_.empty()) {
+      for (std::size_t s = 0; s < summary_.size(); ++s) {
+        std::uint64_t bits = summary_[s];
+        while (bits != 0) {
+          const auto j = static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const std::size_t w = s * kBits + j;
+          fn(static_cast<std::uint32_t>(w), words_[w]);
+        }
+      }
+      return;
+    }
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) fn(static_cast<std::uint32_t>(w), words_[w]);
+    }
+  }
+
+  /// Number of nonzero payload words (the sparse form's storage cost).
+  [[nodiscard]] std::size_t active_words() const;
+
+  /// Whether this set currently holds the sparse (block-list) form.
+  [[nodiscard]] bool is_sparse() const { return sparse_; }
+
+  /// Re-evaluates the density transition immediately (normally done
+  /// automatically after shrink operations).
+  void compact();
 
   /// Iteration support: `for (ProcId p : set) ...`.
   class const_iterator {
@@ -161,12 +276,68 @@ class ProcSet {
   static unsigned bit(ProcId p) { return static_cast<unsigned>(p) % kBits; }
   static std::uint64_t mask(ProcId p) { return std::uint64_t{1} << bit(p); }
   [[nodiscard]] bool in_range(ProcId p) const { return p >= 0 && p < n_; }
-  /// Zeroes bits beyond n_ in the last word (after whole-word ops that
-  /// could set them).
+
+  /// Whether this universe maintains the summary tier (and may adopt
+  /// the sparse form under kAuto).
+  [[nodiscard]] bool tiered() const;
+
+  /// Dense-form summary maintenance.
+  void summary_set(std::size_t w) {
+    summary_[w / kBits] |= std::uint64_t{1} << (w % kBits);
+  }
+  void summary_clear(std::size_t w) {
+    summary_[w / kBits] &= ~(std::uint64_t{1} << (w % kBits));
+  }
+  void rebuild_summary();
+
+  /// Unconditional representation conversions.
+  void densify();
+  void sparsify();
+  /// Density-transition checks (no-ops under kDenseOnly).
+  void maybe_sparsify();
+  void maybe_densify_for_growth(std::size_t projected_blocks);
+
+  /// Zeroes bits beyond n_ in the last word (dense form, after
+  /// whole-word ops that could set them).
   void trim();
 
+  /// Shared core of &= / intersect_changed / intersect_diff: ANDs
+  /// `other` into *this, optionally materializing removed bits into
+  /// `diff` (cleared first). Returns the OR of all removed bits.
+  std::uint64_t intersect_core(const ProcSet& other, ProcSet* diff);
+
+  /// ORs a nonzero payload word into the set, whatever the current
+  /// representation (sparse inserts keep the block list sorted).
+  void or_word(std::size_t w, std::uint64_t v);
+
+  /// Recomputes the heap footprint and settles the delta into the
+  /// process-wide counters.
+  void account();
+  [[nodiscard]] std::int64_t storage_bytes() const;
+
   ProcId n_ = 0;
-  std::vector<std::uint64_t> words_;
+  bool sparse_ = false;
+  std::vector<std::uint64_t> words_;    // dense payload (empty when sparse)
+  std::vector<std::uint64_t> summary_;  // tiered: bit per payload word
+  std::vector<std::uint32_t> sidx_;     // sparse: sorted active word indices
+  std::vector<std::uint64_t> sval_;     // sparse: matching payload words
+  std::int64_t footprint_ = 0;          // bytes settled into the counters
+};
+
+/// Pins the ProcSet tier policy for a scope (benchmarks measuring
+/// tiered-vs-dense, tests pinning bit-equality across modes).
+class ScopedTierPolicy {
+ public:
+  explicit ScopedTierPolicy(ProcSet::TierPolicy policy)
+      : previous_(ProcSet::tier_policy()) {
+    ProcSet::set_tier_policy(policy);
+  }
+  ScopedTierPolicy(const ScopedTierPolicy&) = delete;
+  ScopedTierPolicy& operator=(const ScopedTierPolicy&) = delete;
+  ~ScopedTierPolicy() { ProcSet::set_tier_policy(previous_); }
+
+ private:
+  ProcSet::TierPolicy previous_;
 };
 
 /// Enumerates all subsets of `universe_members` with exactly `k`

@@ -1,0 +1,149 @@
+// End-to-end tier-equivalence tripwires: a full Algorithm 1 run must
+// be bit-identical whether ProcSet uses the seed's flat dense
+// representation or the tiered auto policy (summary words + sparse
+// adoption, forced on via a 1-word tier threshold). The representation
+// is a performance layer; any divergence in decisions, rounds,
+// skeletons, or lemma verdicts is a correctness bug, not noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adversary/partition.hpp"
+#include "adversary/random_psrcs.hpp"
+#include "kset/runner.hpp"
+#include "util/proc_set.hpp"
+
+namespace sskel {
+namespace {
+
+class ScopedTierThreshold {
+ public:
+  explicit ScopedTierThreshold(std::size_t words)
+      : previous_(ProcSet::tier_threshold_words()) {
+    ProcSet::set_tier_threshold_words(words);
+  }
+  ScopedTierThreshold(const ScopedTierThreshold&) = delete;
+  ScopedTierThreshold& operator=(const ScopedTierThreshold&) = delete;
+  ~ScopedTierThreshold() { ProcSet::set_tier_threshold_words(previous_); }
+
+ private:
+  std::size_t previous_;
+};
+
+std::vector<ProcSet> sorted_sets(std::vector<ProcSet> sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const ProcSet& a, const ProcSet& b) {
+              return a.first() < b.first();
+            });
+  return sets;
+}
+
+void expect_reports_equal(const KSetRunReport& dense,
+                          const KSetRunReport& tiered) {
+  EXPECT_EQ(dense.all_decided, tiered.all_decided);
+  EXPECT_EQ(dense.rounds_executed, tiered.rounds_executed);
+  EXPECT_EQ(dense.last_decision_round, tiered.last_decision_round);
+  EXPECT_EQ(dense.distinct_values, tiered.distinct_values);
+  EXPECT_EQ(dense.verdict.k_agreement, tiered.verdict.k_agreement);
+  EXPECT_EQ(dense.verdict.validity, tiered.verdict.validity);
+  EXPECT_EQ(dense.skeleton_last_change, tiered.skeleton_last_change);
+  EXPECT_TRUE(dense.final_skeleton == tiered.final_skeleton);
+  EXPECT_EQ(dense.total_messages, tiered.total_messages);
+  EXPECT_EQ(dense.paths, tiered.paths);
+  EXPECT_EQ(dense.lemma_violations, tiered.lemma_violations);
+  ASSERT_EQ(dense.outcomes.size(), tiered.outcomes.size());
+  for (std::size_t p = 0; p < dense.outcomes.size(); ++p) {
+    EXPECT_EQ(dense.outcomes[p].proposal, tiered.outcomes[p].proposal);
+    EXPECT_EQ(dense.outcomes[p].decided, tiered.outcomes[p].decided);
+    EXPECT_EQ(dense.outcomes[p].decision, tiered.outcomes[p].decision);
+    EXPECT_EQ(dense.outcomes[p].decision_round,
+              tiered.outcomes[p].decision_round) << "p" << p;
+  }
+  const std::vector<ProcSet> droots = sorted_sets(dense.root_components_final);
+  const std::vector<ProcSet> troots =
+      sorted_sets(tiered.root_components_final);
+  ASSERT_EQ(droots.size(), troots.size());
+  for (std::size_t i = 0; i < droots.size(); ++i) {
+    EXPECT_TRUE(droots[i] == troots[i]) << "root " << i;
+  }
+}
+
+/// Runs the same (seeded) scenario twice — once pinned dense, once
+/// under the tiered auto policy — and demands equal reports. The
+/// source is rebuilt per arm so both runs see identical graphs.
+template <typename MakeSource>
+void run_both_policies(const MakeSource& make_source,
+                       const KSetRunConfig& config) {
+  ScopedTierThreshold threshold(1);  // every universe >= 64 is tiered
+  KSetRunReport dense;
+  {
+    ScopedTierPolicy scope(ProcSet::TierPolicy::kDenseOnly);
+    auto source = make_source();
+    dense = run_kset(*source, config);
+  }
+  auto source = make_source();
+  const KSetRunReport tiered = run_kset(*source, config);
+  expect_reports_equal(dense, tiered);
+}
+
+TEST(TierEquivalenceTest, RandomPsrcsRunsBitEqual) {
+  for (const std::uint64_t seed : {0x7E51ull, 0x7E52ull, 0x7E53ull}) {
+    RandomPsrcsParams params;
+    params.n = 64;
+    params.k = 3;
+    params.root_components = 3;
+    params.stabilization_round = 4;
+    params.noise_probability = 0.35;
+    KSetRunConfig config;
+    config.k = 3;
+    config.tail_rounds = 3;
+    run_both_policies(
+        [&] { return std::make_unique<RandomPsrcsSource>(seed, params); },
+        config);
+  }
+}
+
+TEST(TierEquivalenceTest, LemmaMonitoredRunBitEqual) {
+  // The monitor exercises the whole analytics stack (tracker, history,
+  // induced components, Lemma 7 bases) on top of the algorithm; its
+  // verdict list must be identical too. Small n keeps the O(n^3)
+  // monitor affordable.
+  RandomPsrcsParams params;
+  params.n = 48;
+  params.k = 2;
+  params.root_components = 2;
+  params.stabilization_round = 3;
+  params.noise_probability = 0.3;
+  KSetRunConfig config;
+  config.k = 2;
+  config.attach_lemma_monitor = true;
+  config.tail_rounds = 4;
+  run_both_policies(
+      [&] { return std::make_unique<RandomPsrcsSource>(0x7E60, params); },
+      config);
+}
+
+TEST(TierEquivalenceTest, PartitionDecayRunBitEqual) {
+  // Partitioned system with heavy transient cross-noise: the skeleton
+  // decays over many rounds, crossing the tiered sets' density
+  // transition mid-run — the exact path the sparse adoption must not
+  // perturb.
+  for (const std::uint64_t seed : {0xDECA1ull, 0xDECA2ull}) {
+    PartitionParams params;
+    params.blocks = even_blocks(96, 3);
+    params.cross_noise_probability = 0.6;
+    params.stabilization_round = 12;
+    KSetRunConfig config;
+    config.k = 3;
+    config.tail_rounds = 3;
+    run_both_policies(
+        [&] { return std::make_unique<PartitionSource>(seed, params); },
+        config);
+  }
+}
+
+}  // namespace
+}  // namespace sskel

@@ -31,7 +31,7 @@ import sys
 IDENTITY_FIELDS = ("op", "adversary", "n", "k", "j", "rounds")
 # Measured fields compared against the threshold: (suffix, noise floor).
 TIMING_SUFFIXES = ("_ns", "ns_per_op")
-COUNTER_PREFIXES = ("subsets_visited", "intern_")
+COUNTER_PREFIXES = ("subsets_visited", "intern_", "peak_")
 TIMING_NOISE_FLOOR_NS = 1000.0  # ignore sub-microsecond timings
 COUNTER_NOISE_FLOOR = 64.0
 

@@ -78,6 +78,17 @@ class MeasuredFieldsTest(unittest.TestCase):
             fields,
             {"intern_misses", "intern_hits", "subsets_visited", "total_ns"})
 
+    def test_peak_memory_counters_are_compared(self):
+        record = {"op": "micro_intersect", "n": 65536,
+                  "peak_bytes_dense": 2_147_483_648,
+                  "peak_bytes_tiered": 16_777_216,
+                  "speedup": 125.0, "tiered_ns": 1e7}
+        fields = {name for name, _, _ in bench_diff.measured_fields(record)}
+        self.assertIn("peak_bytes_dense", fields)
+        self.assertIn("peak_bytes_tiered", fields)
+        self.assertIn("tiered_ns", fields)
+        self.assertNotIn("speedup", fields)  # ratio, not timing/counter
+
     def test_identity_fields_are_never_measured(self):
         record = {"op": "trial", "n": 64, "k": 2, "rounds": 10}
         self.assertEqual(list(bench_diff.measured_fields(record)), [])
