@@ -68,13 +68,39 @@ void Digraph::remove_node(ProcId p) {
   in_[static_cast<std::size_t>(p)].clear();
 }
 
-void Digraph::add_edge(ProcId q, ProcId p) {
-  check_node(q);
-  check_node(p);
-  nodes_.insert(q);
-  nodes_.insert(p);
-  out_[static_cast<std::size_t>(q)].insert(p);
-  in_[static_cast<std::size_t>(p)].insert(q);
+void Digraph::reset() {
+  nodes_ = ProcSet::full(n_);
+  for (ProcSet& row : out_) row.clear();
+  for (ProcSet& row : in_) row.clear();
+}
+
+namespace {
+/// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3, with
+/// the shifts mirrored for the LSB-is-column-0 convention ProcSet
+/// uses): six levels of masked block swaps, all in registers. Bit c
+/// of a[r] becomes bit r of a[c].
+void transpose64(std::uint64_t a[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+}  // namespace
+
+void Digraph::or_in_rows64(const std::uint64_t* rows) {
+  SSKEL_REQUIRE(n_ >= 1 && n_ <= 64);
+  const auto n = static_cast<std::size_t>(n_);
+  std::uint64_t cols[64];
+  for (std::size_t p = 0; p < 64; ++p) cols[p] = p < n ? rows[p] : 0;
+  transpose64(cols);  // cols[q] is now the out-row of q
+  for (std::size_t p = 0; p < n; ++p) {
+    in_[p].or_word_at(0, rows[p]);
+    out_[p].or_word_at(0, cols[p]);
+  }
 }
 
 void Digraph::remove_edge(ProcId q, ProcId p) {

@@ -83,10 +83,47 @@ class Digraph {
   void remove_node(ProcId p);
 
   /// Adds edge (q -> p): "p hears from q". Both endpoints are added if
-  /// absent.
-  void add_edge(ProcId q, ProcId p);
+  /// absent. Inline: derived-graph rows insert one edge per delivered
+  /// message, making this the message plane's per-round inner loop.
+  void add_edge(ProcId q, ProcId p) {
+    check_node(q);
+    check_node(p);
+    nodes_.insert(q);
+    nodes_.insert(p);
+    out_[static_cast<std::size_t>(q)].insert(p);
+    in_[static_cast<std::size_t>(p)].insert(q);
+  }
+
+  /// Adds edge (q -> p) for every q in `senders` — the bulk form the
+  /// round drivers use to land a whole derived-graph row. The in-row
+  /// and node updates are word-parallel set unions; only the out-row
+  /// scatter walks the members.
+  void add_in_edges(ProcId p, const ProcSet& senders) {
+    check_node(p);
+    SSKEL_REQUIRE(senders.universe() == n_);
+    nodes_.insert(p);
+    nodes_ |= senders;
+    in_[static_cast<std::size_t>(p)] |= senders;
+    for (ProcId q : senders) out_[static_cast<std::size_t>(q)].insert(p);
+  }
+
+  /// Bulk edge load for universes of at most 64 processes: ORs in the
+  /// edge set given as packed in-rows (`rows[p]` bit q set means edge
+  /// q -> p). Out-rows are materialized with one in-register 64x64 bit
+  /// transpose instead of per-edge scatters, so a round driver can
+  /// stage a whole derived graph in flat words and land it in O(n)
+  /// word stores. Nodes are not modified: callers must ensure every
+  /// edge endpoint is already present (the drivers' graphs keep all n
+  /// nodes present).
+  void or_in_rows64(const std::uint64_t* rows);
 
   void remove_edge(ProcId q, ProcId p);
+
+  /// Restores the freshly-constructed state — all n nodes present, no
+  /// edges — without releasing row storage. Round drivers recycle
+  /// graphs through this instead of constructing (and heap-allocating
+  /// 2n rows for) a new Digraph every round.
+  void reset();
 
   [[nodiscard]] bool has_edge(ProcId q, ProcId p) const {
     return out_[static_cast<std::size_t>(q)].contains(p);

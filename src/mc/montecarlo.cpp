@@ -37,6 +37,8 @@ McSummary run_scenario_trials(const ScenarioFactory& scenario,
       static_cast<std::int64_t>(run_config.intern->shard_count());
   summary.peak_proc_set_bytes = ProcSet::peak_bytes();
   summary.live_proc_set_bytes = ProcSet::live_bytes();
+  summary.arena_proc_set_bytes = ProcSet::arena_bytes();
+  summary.arena_reuses = ProcSet::arena_reuses();
   summary.bytes_measured = config.measure_bytes;
   for (std::size_t t = 0; t < results.size(); ++t) {
     const ScenarioTrial& trial = results[t];
@@ -72,6 +74,7 @@ McSummary run_scenario_trials(const ScenarioFactory& scenario,
       summary.lost_messages.add(static_cast<double>(trial.lost_messages));
       summary.wall_clock_ms.add(static_cast<double>(trial.wall_clock) /
                                 1000.0);
+      summary.credit_stalls += trial.credit_stalls;
     }
     if (per_trial) per_trial(t, trial);
   }

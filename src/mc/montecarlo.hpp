@@ -53,6 +53,9 @@ struct McSummary {
   Accumulator late_messages;
   Accumulator lost_messages;
   Accumulator wall_clock_ms;  // simulated milliseconds
+  /// Total ring-plane flow-control stalls across the batch (0 when the
+  /// drivers ran the event-queue plane or rings never ran dry).
+  std::int64_t credit_stalls = 0;
 
   /// Structure-interning counters, merged over the per-worker shards
   /// (DESIGN.md §10). run_scenario_trials interns by default — it
@@ -68,6 +71,11 @@ struct McSummary {
   /// n = 65,536 scale runs are sized by these.
   std::int64_t peak_proc_set_bytes = 0;
   std::int64_t live_proc_set_bytes = 0;
+  /// Word-arena state after the batch: bytes parked for reuse in the
+  /// per-thread arenas (outside live_proc_set_bytes) and the running
+  /// count of dense materializations served from a recycled buffer.
+  std::int64_t arena_proc_set_bytes = 0;
+  std::int64_t arena_reuses = 0;
 };
 
 /// Optional per-trial hook, invoked in trial order after the parallel

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "mc/steal_deque.hpp"
+
 namespace sskel {
 
 unsigned threads_from_env_value(const char* value, unsigned hardware) {
@@ -42,12 +44,18 @@ thread_local bool t_on_worker = false;
 struct WorkerPool::Impl {
   /// One in-flight job. Lives on the submitting thread's stack; the
   /// pool guarantees no helper touches it after run() returns.
+  /// Chunks are dealt round-robin into one deque per participant
+  /// before the job is published (the pool mutex orders the fills
+  /// before any helper's first pop/steal).
   struct Job {
     void (*invoke)(void*, std::size_t) = nullptr;
     void* ctx = nullptr;
     std::size_t count = 0;
     std::size_t chunk = 1;
-    std::atomic<std::size_t> next{0};
+    unsigned participants = 1;
+    std::vector<std::unique_ptr<StealDeque>> deques;
+    std::atomic<unsigned> next_slot{1};  // slot 0 is the submitter
+    std::atomic<std::int64_t> steals{0};
   };
 
   /// Serializes submitters: the pool runs one job at a time.
@@ -62,16 +70,45 @@ struct WorkerPool::Impl {
   unsigned tickets = 0;          // helpers still allowed to join the job
   int in_flight = 0;             // helpers currently inside the job
   std::int64_t jobs = 0;
+  std::int64_t steals_total = 0;
 
   std::vector<std::jthread> helpers;  // last member: joins before the rest dies
 
-  static void work(Job& job) {
+  static void run_chunk(Job& job, std::size_t chunk_idx) {
+    const std::size_t begin = chunk_idx * job.chunk;
+    const std::size_t end = std::min(job.count, begin + job.chunk);
+    for (std::size_t i = begin; i < end; ++i) job.invoke(job.ctx, i);
+  }
+
+  /// Work loop for participant `slot`: drain the own deque, then
+  /// steal. Exits only after one full sweep in which every deque
+  /// reported *empty* — a lost steal CAS (kContended) means items may
+  /// remain somewhere, so the sweep restarts. Items never reappear
+  /// (all pushes precede the job's publication), so the sweep
+  /// terminates.
+  static void work(Job& job, unsigned slot) {
+    StealDeque& own = *job.deques[slot];
+    std::size_t chunk_idx = 0;
     while (true) {
-      const std::size_t begin =
-          job.next.fetch_add(job.chunk, std::memory_order_relaxed);
-      if (begin >= job.count) return;
-      const std::size_t end = std::min(job.count, begin + job.chunk);
-      for (std::size_t i = begin; i < end; ++i) job.invoke(job.ctx, i);
+      if (own.pop(chunk_idx)) {
+        run_chunk(job, chunk_idx);
+        continue;
+      }
+      bool contended = false;
+      bool stole = false;
+      for (unsigned step = 1; step < job.participants; ++step) {
+        StealDeque& victim =
+            *job.deques[(slot + step) % job.participants];
+        const StealResult result = victim.steal(chunk_idx);
+        if (result == StealResult::kStole) {
+          job.steals.fetch_add(1, std::memory_order_relaxed);
+          run_chunk(job, chunk_idx);
+          stole = true;
+          break;
+        }
+        if (result == StealResult::kContended) contended = true;
+      }
+      if (!stole && !contended) return;
     }
   }
 
@@ -88,7 +125,11 @@ struct WorkerPool::Impl {
       ++in_flight;
       Job* current = job;
       lock.unlock();
-      work(*current);
+      const unsigned slot =
+          current->next_slot.fetch_add(1, std::memory_order_relaxed);
+      // More tickets than deques can exist when the pool has more
+      // helpers than the job has participants; surplus joiners leave.
+      if (slot < current->participants) work(*current, slot);
       lock.lock();
       if (--in_flight == 0) done_cv.notify_one();
     }
@@ -146,6 +187,12 @@ std::int64_t WorkerPool::jobs_dispatched() {
   return i->jobs;
 }
 
+std::int64_t WorkerPool::chunks_stolen() {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  return i->steals_total;
+}
+
 void WorkerPool::run(std::size_t count, unsigned participants,
                      void (*invoke)(void*, std::size_t), void* ctx) {
   Impl& pool = *impl();
@@ -156,10 +203,27 @@ void WorkerPool::run(std::size_t count, unsigned participants,
   job.invoke = invoke;
   job.ctx = ctx;
   job.count = count;
-  // Chunked claiming: big enough to keep the cursor cold, small
-  // enough that uneven trial costs still balance (~8 chunks/worker).
+  job.participants = participants;
+  // Chunk granularity: small enough that uneven trial costs still
+  // balance through stealing (~8 chunks/worker), big enough that a
+  // steal is rare relative to local pops.
   job.chunk = std::max<std::size_t>(
       1, count / (static_cast<std::size_t>(participants) * 8));
+  const std::size_t chunks = (count + job.chunk - 1) / job.chunk;
+  const std::size_t per_deque =
+      (chunks + participants - 1) / static_cast<std::size_t>(participants);
+  job.deques.reserve(participants);
+  for (unsigned w = 0; w < participants; ++w) {
+    job.deques.push_back(std::make_unique<StealDeque>(per_deque));
+  }
+  // Deal chunks round-robin so every participant starts with a spread
+  // of the index space (costs often correlate with index locality).
+  // Fills happen before publication: the pool mutex below orders them
+  // before any helper's first pop or steal.
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const bool pushed = job.deques[c % participants]->push(c);
+    SSKEL_ASSERT(pushed);
+  }
 
   {
     std::lock_guard<std::mutex> lock(pool.mutex);
@@ -171,18 +235,20 @@ void WorkerPool::run(std::size_t count, unsigned participants,
   }
   pool.wake_cv.notify_all();
 
-  // The submitting thread works the same cursor; mark it as "inside
-  // the pool" so the job's own nested parallel calls run inline.
+  // The submitting thread works its own deque (slot 0); mark it as
+  // "inside the pool" so the job's own nested parallel calls run
+  // inline.
   t_on_worker = true;
-  Impl::work(job);
+  Impl::work(job, /*slot=*/0);
   t_on_worker = false;
 
-  // The cursor is exhausted; wait until every helper that joined has
+  // Every chunk is claimed; wait until every helper that joined has
   // left the job before the stack frame holding it unwinds.
   std::unique_lock<std::mutex> lock(pool.mutex);
   pool.done_cv.wait(lock, [&] { return pool.in_flight == 0; });
   pool.job = nullptr;
   pool.tickets = 0;
+  pool.steals_total += job.steals.load(std::memory_order_relaxed);
 }
 
 }  // namespace detail

@@ -12,6 +12,12 @@
 // seed-per-trial discipline (mix_seed(master, index)) any thread
 // count produces bit-identical aggregates.
 //
+// Scheduling is per-participant work-stealing (mc/steal_deque.hpp):
+// the submitter prepopulates one Chase-Lev deque per participant with
+// round-robin chunk blocks, each worker pops its own deque locally and
+// steals from the others only when dry — replacing the old single
+// shared chunk cursor, whose cache line every claim contended.
+//
 // The templated overloads are the hot path: the callable is passed by
 // reference through a type-erased (function-pointer, context) pair,
 // so no std::function is constructed and nothing allocates per call.
@@ -84,6 +90,11 @@ class WorkerPool {
   /// Jobs dispatched through the pool since process start (tests
   /// assert the pool is reused rather than re-created).
   [[nodiscard]] std::int64_t jobs_dispatched();
+
+  /// Chunks obtained by stealing from another participant's deque
+  /// since process start (diagnostics; the work-stealing scheduler's
+  /// load-balancing activity).
+  [[nodiscard]] std::int64_t chunks_stolen();
 
  private:
   WorkerPool();

@@ -85,6 +85,7 @@ ScenarioTrial NetScenario::run_trial(std::uint64_t seed,
   trial.delivered_messages = report.delivered_messages;
   trial.late_messages = report.late_messages;
   trial.lost_messages = report.lost_messages;
+  trial.credit_stalls = report.credit_stalls;
   trial.wall_clock = report.wall_clock;
   return trial;
 }

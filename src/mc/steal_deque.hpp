@@ -1,0 +1,153 @@
+// Chase-Lev work-stealing deque (DESIGN.md §12).
+//
+// The Monte-Carlo worker pool used to hand out chunks from one shared
+// atomic cursor: every claim by every worker contended the same cache
+// line. The deque flips the ownership: each participant owns a deque
+// of chunk ids, pops locally from the bottom (no contention at all
+// while its own work lasts), and only when it runs dry does it touch
+// another participant's line — stealing one chunk from the *top*, the
+// cold end. This is the classic Chase-Lev layout (SPAA'05) with the
+// C11-memory-model orderings of Lê et al. (PPoPP'13).
+//
+// Scope deliberately narrower than a general deque, matching how the
+// pool uses it: the job's chunks are pushed before any worker starts
+// (publication happens-before via the pool's job mutex), after which
+// only pop/steal run — so the buffer never grows and capacity is
+// fixed at construction. push() still implements the full owner-side
+// protocol (and the tests exercise concurrent push/steal), it just
+// refuses to grow past capacity.
+//
+// Determinism note: which worker executes which chunk varies run to
+// run; results must be keyed by item index (the Monte-Carlo
+// discipline), never by completion order. With seed-per-trial mixing,
+// any thread count then produces bit-identical aggregates — pinned by
+// tests/mc/steal_determinism_test.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+// ThreadSanitizer does not model std::atomic_thread_fence (GCC's
+// -Wtsan promotes the call to an error), so under TSan the two
+// fence-dependent StoreLoad/LoadLoad edges below are expressed as
+// seq_cst operations on the atomics themselves — same ordering
+// guarantees, visible to the race detector.
+#if defined(__SANITIZE_THREAD__)
+#define SSKEL_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SSKEL_TSAN 1
+#endif
+#endif
+#ifndef SSKEL_TSAN
+#define SSKEL_TSAN 0
+#endif
+
+namespace sskel {
+
+enum class StealResult : std::uint8_t {
+  kStole,      // one item copied out of the top
+  kEmpty,      // the deque was (momentarily) empty
+  kContended,  // lost the top CAS to another thief; items may remain
+};
+
+/// Single-owner deque of std::size_t items (chunk ids). The owner
+/// pushes and pops at the bottom; any thread steals from the top.
+class StealDeque {
+ public:
+  /// Fixed capacity, rounded up to a power of two (min 1).
+  explicit StealDeque(std::size_t capacity)
+      : buffer_(ceil_pow2(capacity == 0 ? 1 : capacity)),
+        mask_(buffer_.size() - 1) {}
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return buffer_.size(); }
+
+  /// Momentary item count (monitoring/tests; racy by nature).
+  [[nodiscard]] std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  /// Owner only. False when the deque is full (fixed capacity — the
+  /// pool sizes each deque for its whole prepopulated share).
+  bool push(std::size_t item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(buffer_.size())) return false;
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only: LIFO pop from the bottom. False when empty.
+  bool pop(std::size_t& item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+#if SSKEL_TSAN
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+#else
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+#endif
+    if (t < b) {
+      // More than one item: safe to take the bottom uncontended.
+      item = buffer_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_relaxed);
+      return true;
+    }
+    bool got = false;
+    if (t == b) {
+      // Last item: race the thieves for it via the top CAS.
+      item = buffer_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_relaxed);
+      got = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed);
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return got;
+  }
+
+  /// Any thread: FIFO steal from the top.
+  StealResult steal(std::size_t& item) {
+#if SSKEL_TSAN
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+#else
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+#endif
+    if (t >= b) return StealResult::kEmpty;
+    item = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return StealResult::kContended;
+    }
+    return StealResult::kStole;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t ceil_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1U;
+    return p;
+  }
+
+  std::vector<std::atomic<std::size_t>> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace sskel

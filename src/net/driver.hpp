@@ -18,6 +18,34 @@
 // else, which is precisely the paper's unified model. Late messages
 // are discarded (communication closure) and counted.
 //
+// Message plane (DESIGN.md §12). Two implementations of the delivery
+// hot path share this synchronizer:
+//
+//   * NetPlane::kRing (default) — on-time broadcasts go through
+//     lock-free frag rings: the payload is written once into a shared
+//     dcache slot keyed by (sender, round parity), and one descriptor
+//     per recipient is published into that recipient's credit-gated
+//     FragRing (net/ring.hpp, net/fctl.hpp). Rings drain in batch when
+//     the recipient closes a round — timeliness is *analytic* (the
+//     descriptor carries the arrival time; (*) is evaluated against
+//     the receiver's deadline), so no per-message event, closure, or
+//     allocation exists on the path. Only round closes and the rare
+//     late arrivals remain on the event queue, which is retained
+//     purely for timer semantics. If a recipient's ring runs out of
+//     credits (tiny test depths), the driver performs an early
+//     opportunistic drain — semantics-preserving, since deposits are
+//     keyed by sender and timeliness is analytic — and counts a
+//     credit stall.
+//   * NetPlane::kEventQueue — the legacy path: one scheduled event per
+//     delivery. Kept as the baseline for the throughput bench and the
+//     bit-equality tripwire (tests/net/plane_equivalence_test.cpp).
+//
+// Both planes consume the RNG identically and produce bit-identical
+// reports: inbox deposits commute (keyed by sender), byte accounting
+// is a sum/max, and the one observable tie — arrival exactly at the
+// deadline while the receiver's close event ordered first — is
+// reproduced analytically (close_precedes_delivery_at_tie).
+//
 // As a RoundEngine, the driver surfaces each derived graph through
 // step() and the shared observer bus, and feeds the shared RunTrace
 // (message counts, plus encoded bytes when a sizer is installed) — so
@@ -34,12 +62,20 @@
 
 #include "graph/digraph.hpp"
 #include "net/event_queue.hpp"
+#include "net/fctl.hpp"
 #include "net/link.hpp"
+#include "net/ring.hpp"
 #include "rounds/algorithm.hpp"
 #include "rounds/engine.hpp"
+#include "rounds/inbox.hpp"
 #include "util/rng.hpp"
 
 namespace sskel {
+
+/// Which delivery hot path the driver runs on (see the header
+/// comment). Both planes are observationally identical; kEventQueue
+/// exists as the measured baseline and equivalence oracle.
+enum class NetPlane : std::uint8_t { kRing, kEventQueue };
 
 struct NetConfig {
   /// Round duration D in microseconds (the synchronizer's timeout).
@@ -49,6 +85,13 @@ struct NetConfig {
   std::vector<SimTime> skews;
   /// Seed for all delay sampling.
   std::uint64_t seed = 1;
+  /// Delivery hot path.
+  NetPlane plane = NetPlane::kRing;
+  /// Descriptor depth of each per-recipient frag ring; 0 = automatic
+  /// (2n, enough for the two live rounds a recipient can have in
+  /// flight, so credit stalls never occur). Tests set tiny depths to
+  /// exercise backpressure.
+  std::size_t ring_depth = 0;
 };
 
 template <typename Msg>
@@ -61,7 +104,9 @@ class NetRoundDriver final : public RoundEngine<Msg> {
       : config_(std::move(config)),
         links_(std::move(links)),
         processes_(std::move(processes)),
-        rng_(config_.seed) {
+        rng_(config_.seed),
+        inboxes_(static_cast<ProcId>(processes_.size())),
+        dcache_(2 * processes_.size()) {
     const std::size_t n = processes_.size();
     SSKEL_REQUIRE(n > 0);
     SSKEL_REQUIRE(links_.n() == static_cast<ProcId>(n));
@@ -77,8 +122,37 @@ class NetRoundDriver final : public RoundEngine<Msg> {
       SSKEL_REQUIRE(processes_[i] != nullptr);
       SSKEL_REQUIRE(processes_[i]->id() == static_cast<ProcId>(i));
     }
-    inboxes_.resize(n);
     finalized_round_.assign(n, 0);
+    use_rows64_ = n <= 64;
+
+    if (config_.plane == NetPlane::kRing) {
+      const std::size_t depth =
+          config_.ring_depth != 0 ? config_.ring_depth : 2 * n;
+      rings_.reserve(n);
+      fctl_.reserve(n);
+      cursors_.resize(n);
+      drain_fseq_ = std::vector<FlowSeq>(n);
+      for (std::size_t q = 0; q < n; ++q) {
+        // Payload slots live in the shared dcache_, not the ring;
+        // descriptors carry dcache indices.
+        rings_.emplace_back(depth, 1);
+        fctl_.emplace_back(rings_.back().depth());
+        fctl_.back().add_consumer(&drain_fseq_[q]);
+      }
+      // Close calendar: rounds close in one fixed per-round order —
+      // by deadline, i.e. by skew, FIFO (= bootstrap = id) on ties —
+      // so the ring plane ticks closes off this precomputed cycle
+      // instead of paying the event heap for its only periodic timer.
+      close_order_.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        close_order_[i] = static_cast<ProcId>(i);
+      }
+      std::stable_sort(close_order_.begin(), close_order_.end(),
+                       [this](ProcId a, ProcId b) { return skew(a) < skew(b); });
+      close_time_.assign(n, 0);
+      close_seq_.assign(n, 0);
+      close_round_.assign(n, 0);
+    }
 
     // Bootstrap: every process starts round 1 at skew_p.
     for (ProcId p = 0; p < this->n(); ++p) {
@@ -103,7 +177,56 @@ class NetRoundDriver final : public RoundEngine<Msg> {
   /// and were discarded (the communication-closure drop path).
   [[nodiscard]] std::int64_t late_messages() const { return late_; }
   [[nodiscard]] std::int64_t lost_messages() const { return lost_; }
-  [[nodiscard]] std::int64_t delivered_messages() const { return delivered_; }
+
+  /// Messages that arrived on time, *as of the current cut*. The ring
+  /// plane moves deposits off the arrival instant (drains run at round
+  /// closes; zombies count at publish), so the raw tally would run
+  /// ahead of the event-queue plane's whenever the cut leaves
+  /// deliveries in flight. The accessor restores arrival-time
+  /// semantics analytically: an on-time message counts iff its arrival
+  /// precedes now(), or lands exactly on it while belonging to the
+  /// just-completed round (the event-queue seq-order analysis of the
+  /// deadline tie — same-time next-round deliveries are scheduled
+  /// after the cut's close event and have not executed there).
+  [[nodiscard]] std::int64_t delivered_messages() const {
+    std::int64_t total = delivered_;
+    const SimTime cut = queue_.now();
+    const auto arrived = [&](SimTime arrival, Round r) {
+      return arrival < cut || (arrival == cut && r == derived_rounds_);
+    };
+    for (const FutureCount& fc : future_counts_) {
+      if (arrived(fc.arrival, fc.round)) ++total;
+    }
+    Frag frag;
+    for (std::size_t q = 0; q < rings_.size(); ++q) {
+      auto cursor = cursors_[q];  // copy: peek without consuming
+      while (rings_[q].poll(cursor, frag) == PollStatus::kFrag) {
+        if (arrived(frag.tsorig, static_cast<Round>(frag.round))) ++total;
+      }
+    }
+    return total;
+  }
+
+  /// Ring-plane backpressure events: publishes that found a recipient
+  /// ring out of credits and forced an early drain. Always 0 on the
+  /// event-queue plane and with automatic ring depth.
+  [[nodiscard]] std::int64_t credit_stalls() const {
+    std::int64_t total = 0;
+    for (const FlowControl& fctl : fctl_) total += fctl.stalls();
+    return total;
+  }
+
+  /// Frags published across all recipient rings (0 on the event-queue
+  /// plane).
+  [[nodiscard]] std::int64_t ring_frags() const {
+    std::int64_t total = 0;
+    for (const auto& ring : rings_) {
+      total += static_cast<std::int64_t>(ring.seq_produced());
+    }
+    return total;
+  }
+
+  [[nodiscard]] NetPlane plane() const { return config_.plane; }
 
   /// Rounds whose derived graph is complete (every process closed the
   /// round). Rounds complete in order because skews stay below D.
@@ -116,7 +239,7 @@ class NetRoundDriver final : public RoundEngine<Msg> {
   const Digraph& step() override {
     const Round target = derived_rounds_ + 1;
     while (derived_rounds_ < target) {
-      const bool progressed = queue_.step();
+      const bool progressed = pump();
       SSKEL_ASSERT(progressed);
     }
     return last_graph_;
@@ -130,11 +253,32 @@ class NetRoundDriver final : public RoundEngine<Msg> {
   }
 
  private:
-  struct RoundInbox {
-    Round round = 0;
-    ProcSet senders;
-    std::vector<Msg> messages;
-  };
+  /// Runs the earliest pending timer: the event-queue head or, on the
+  /// ring plane, the next calendar close — whichever's (time, seq)
+  /// key is smaller. Calendar closes carry seqs drawn from the queue
+  /// at registration, so the FIFO tie-break is exactly the one the
+  /// heap would have applied had the close been scheduled.
+  bool pump() {
+    if (config_.plane == NetPlane::kRing) {
+      const ProcId p = close_order_[next_close_];
+      const std::size_t pi = static_cast<std::size_t>(p);
+      if (close_round_[pi] != 0) {  // calendar armed (bootstrap done)
+        SimTime head_time = 0;
+        std::uint64_t head_seq = 0;
+        const bool queued = queue_.peek_key(head_time, head_seq);
+        const SimTime due = close_time_[pi];
+        if (!queued || due < head_time ||
+            (due == head_time && close_seq_[pi] < head_seq)) {
+          queue_.advance_now(due);
+          const Round r = close_round_[pi];
+          next_close_ = (next_close_ + 1) % close_order_.size();
+          close_round(p, r);
+          return true;
+        }
+      }
+    }
+    return queue_.step();
+  }
 
   [[nodiscard]] SimTime skew(ProcId p) const {
     return config_.skews[static_cast<std::size_t>(p)];
@@ -146,42 +290,134 @@ class NetRoundDriver final : public RoundEngine<Msg> {
     return start_time(p, r) + config_.round_duration;
   }
 
-  RoundInbox& inbox_for(ProcId p, Round r) {
-    // A process buffers at most two live rounds (its current one and
-    // the next, which early-clock peers may already be sending).
-    auto& slots = inboxes_[static_cast<std::size_t>(p)];
-    for (auto& slot : slots) {
-      if (slot.round == r) return slot;
-    }
-    RoundInbox fresh;
-    fresh.round = r;
-    fresh.senders = ProcSet(n());
-    fresh.messages.assign(static_cast<std::size_t>(n()), Msg{});
-    slots.push_back(std::move(fresh));
-    return slots.back();
+  /// Shared dcache slot for sender p's round-r broadcast. Two slots
+  /// per sender (round parity) suffice: the slot for round r is
+  /// overwritten at start(p, r+2), which strictly follows every
+  /// consumption of round r (deadline(q, r) < start(p, r+2) because
+  /// skews stay below D).
+  [[nodiscard]] std::uint32_t dcache_slot(ProcId p, Round r) const {
+    return static_cast<std::uint32_t>(
+        2 * static_cast<std::size_t>(p) +
+        (static_cast<std::size_t>(r) & 1U));
   }
 
-  void drop_inbox(ProcId p, Round r) {
-    auto& slots = inboxes_[static_cast<std::size_t>(p)];
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      if (slots[i].round == r) {
-        slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(i));
-        return;
+  /// Event-queue seq order for the one observable tie: a message
+  /// arriving exactly at the receiver's deadline races the receiver's
+  /// close event. On the event-queue plane both land at the same
+  /// timestamp and FIFO seq decides; seqs follow scheduling order,
+  /// which follows the start-event order of the two processes —
+  /// (skew, id) lexicographic. The ring plane reproduces the verdict
+  /// analytically.
+  [[nodiscard]] bool close_precedes_delivery_at_tie(ProcId from,
+                                                    ProcId to) const {
+    if (skew(from) != skew(to)) return skew(from) > skew(to);
+    return from > to;
+  }
+
+  /// On-time deposit into (to, r)'s inbox. Deposits commute: they are
+  /// keyed by sender, so drain order never affects the round's
+  /// outcome. Counting is the caller's job (the planes count at
+  /// different instants; see delivered_messages()).
+  void deposit(ProcId from, ProcId to, Round r, const Msg& msg) {
+    RoundInboxSlot<Msg>& slot = inboxes_.acquire(to, r);
+    slot.senders.insert(from);
+    slot.messages[static_cast<std::size_t>(from)] = msg;
+    account_delivery(r, msg);
+  }
+
+  /// Ring-plane count of one on-time message: eager when its arrival
+  /// is already in the past (any future cut includes it), deferred to
+  /// the analytic accessor otherwise.
+  void count_delivery(SimTime arrival, Round r) {
+    if (arrival <= queue_.now()) {
+      ++delivered_;
+    } else {
+      future_counts_.push_back(FutureCount{arrival, r});
+    }
+  }
+
+  /// Ring plane: publishes one delivery descriptor into the
+  /// recipient's ring, early-draining on credit exhaustion.
+  void publish_frag(ProcId from, ProcId to, Round r, SimTime arrival,
+                    std::uint32_t slot) {
+    FragRing<Msg>& ring = rings_[static_cast<std::size_t>(to)];
+    FlowControl& fctl = fctl_[static_cast<std::size_t>(to)];
+    if (!fctl.acquire(ring.seq_produced())) {
+      drain_ring(to);
+      const bool ok = fctl.acquire(ring.seq_produced());
+      SSKEL_ASSERT(ok);
+    }
+    ring.publish(frag_sig(from, to), slot, r, arrival);
+  }
+
+  /// Drains every published frag of `q`'s ring into its inboxes and
+  /// republishes the consumption watermark. Runs at q's round closes
+  /// and under producer backpressure; both are safe at any time
+  /// because deposits commute and timeliness is analytic (late frags
+  /// never enter the ring — see start_round).
+  void drain_ring(ProcId q) {
+    FragRing<Msg>& ring = rings_[static_cast<std::size_t>(q)];
+    auto& cursor = cursors_[static_cast<std::size_t>(q)];
+    // now() is loop-invariant across the whole drain (no events
+    // execute mid-drain), so hoist it past the deposit stores the
+    // compiler must otherwise assume could alias the clock.
+    const SimTime now = queue_.now();
+    // Frags of one drain span at most two rounds (r, then early r+1
+    // publishes), and producers publish in event order — so the inbox
+    // slot switches at most once per drain and is worth caching
+    // instead of re-resolving per frag.
+    RoundInboxSlot<Msg>* slot = nullptr;
+    Round slot_round = 0;
+    SimTime slot_deadline = 0;
+    Frag frag;
+    while (ring.poll(cursor, frag) == PollStatus::kFrag) {
+      const auto r = static_cast<Round>(frag.round);
+      if (r != slot_round) {
+        slot = &inboxes_.acquire(q, r);
+        slot_round = r;
+        slot_deadline = deadline(q, r);
       }
+      SSKEL_ASSERT(frag.tsorig <= slot_deadline);
+      if (frag.tsorig <= now) {  // count_delivery, against the hoisted clock
+        ++delivered_;
+      } else {
+        future_counts_.push_back(FutureCount{frag.tsorig, r});
+      }
+      const ProcId from = sig_from(frag.sig);
+      const Msg& msg = dcache_[frag.slot];
+      slot->senders.insert(from);
+      slot->messages[static_cast<std::size_t>(from)] = msg;
+      if (this->sizer_) account_delivery(r, msg);
+    }
+    drain_fseq_[static_cast<std::size_t>(q)].publish(cursor.seq);
+    // Housekeeping: settle deferred counts whose arrival has passed.
+    if (!future_counts_.empty()) {
+      std::erase_if(future_counts_, [&](const FutureCount& fc) {
+        if (fc.arrival >= now) return false;
+        ++delivered_;
+        return true;
+      });
     }
   }
 
   /// Round boundary for p: broadcast round r (state is already the
   /// beginning-of-round-r state) and schedule the round's close.
   void start_round(ProcId p, Round r) {
-    const Msg msg = processes_[static_cast<std::size_t>(p)]->send(r);
+    const std::uint32_t slot = dcache_slot(p, r);
+    dcache_[slot] = processes_[static_cast<std::size_t>(p)]->send(r);
+    const Msg& msg = dcache_[slot];
 
-    // Self-delivery is immediate and always on time.
-    RoundInbox& own = inbox_for(p, r);
+    // Self-delivery is immediate and always on time (not counted in
+    // delivered_, matching the network-accounting convention).
+    RoundInboxSlot<Msg>& own = inboxes_.acquire(p, r);
     own.senders.insert(p);
     own.messages[static_cast<std::size_t>(p)] = msg;
     account_delivery(r, msg);
 
+    const bool ring_plane = config_.plane == NetPlane::kRing;
+    // now() is loop-invariant (schedule/take_seq never move the
+    // clock); hoist it past the publish stores.
+    const SimTime send_time = queue_.now();
     for (ProcId q = 0; q < n(); ++q) {
       if (q == p) continue;
       // Slack for on-time delivery on this pair, from (*).
@@ -192,32 +428,61 @@ class NetRoundDriver final : public RoundEngine<Msg> {
         ++lost_;
         continue;
       }
-      const SimTime arrival = queue_.now() + delay;
-      queue_.schedule(arrival, [this, p, q, r, msg] {
-        deliver(/*from=*/p, /*to=*/q, r, msg);
-      });
+      const SimTime arrival = send_time + delay;
+      if (!ring_plane) {
+        queue_.schedule(arrival, [this, p, q, r] {
+          deliver(/*from=*/p, /*to=*/q, r);
+        });
+        continue;
+      }
+      const SimTime due = deadline(q, r);
+      if (arrival > due) {
+        // Late: never enters the ring. The timer event reproduces the
+        // event-queue plane's counting cutoff exactly — a late
+        // arrival past the run's final event stays uncounted there
+        // too.
+        queue_.schedule(arrival, [this] { ++late_; });
+      } else if (arrival == due && close_precedes_delivery_at_tie(p, q)) {
+        // The event-queue plane would run the close first and the
+        // delivery into a dead inbox right after: counted and
+        // byte-accounted, never consumed.
+        count_delivery(arrival, r);
+        account_delivery(r, msg);
+      } else {
+        publish_frag(p, q, r, arrival, slot);
+      }
     }
 
-    queue_.schedule(deadline(p, r), [this, p, r] { close_round(p, r); });
+    if (ring_plane) {
+      // Register the close on the calendar (seq keeps the FIFO
+      // interleave with any late timers queued above).
+      const std::size_t pi = static_cast<std::size_t>(p);
+      close_time_[pi] = deadline(p, r);
+      close_seq_[pi] = queue_.take_seq();
+      close_round_[pi] = r;
+    } else {
+      queue_.schedule(deadline(p, r), [this, p, r] { close_round(p, r); });
+    }
   }
 
-  void deliver(ProcId from, ProcId to, Round r, const Msg& msg) {
+  /// Event-queue plane only: one scheduled event per delivery.
+  void deliver(ProcId from, ProcId to, Round r) {
     if (queue_.now() > deadline(to, r)) {
       ++late_;  // communication closure: the round already ended
       return;
     }
     ++delivered_;
-    RoundInbox& inbox = inbox_for(to, r);
-    inbox.senders.insert(from);
-    inbox.messages[static_cast<std::size_t>(from)] = msg;
-    account_delivery(r, msg);
+    deposit(from, to, r, dcache_[dcache_slot(from, r)]);
   }
 
   void close_round(ProcId p, Round r) {
-    RoundInbox& inbox = inbox_for(p, r);
-    const ProcSet senders = inbox.senders;
+    // Ring plane: batch-consume everything published since the last
+    // close (round-r frags, plus early round-(r+1) frags that simply
+    // land in the other parity slot).
+    if (config_.plane == NetPlane::kRing) drain_ring(p);
 
-    const Inbox<Msg> view(inbox.senders, inbox.messages);
+    RoundInboxSlot<Msg>& slot = inboxes_.acquire(p, r);
+    const Inbox<Msg> view(slot.senders, slot.messages);
     processes_[static_cast<std::size_t>(p)]->transition(r, view);
     finalized_round_[static_cast<std::size_t>(p)] = r;
 
@@ -225,8 +490,7 @@ class NetRoundDriver final : public RoundEngine<Msg> {
     // transition: when the last row of round r lands, every process is
     // in its end-of-round-r state, so observers (skeleton trackers,
     // lemma monitors) see a consistent cut.
-    derived_row(p, r, senders);
-    drop_inbox(p, r);
+    derived_row(p, r, slot.senders);
 
     // The close of round r is the start of round r + 1.
     start_round(p, r + 1);
@@ -235,6 +499,9 @@ class NetRoundDriver final : public RoundEngine<Msg> {
   struct PendingRound {
     Round round = 0;
     Digraph graph;
+    /// n <= 64 only: staged in-rows (bit q of word p = edge q -> p),
+    /// landed into `graph` in one transpose when the round completes.
+    std::vector<std::uint64_t> in_words;
     ProcId rows = 0;
     std::int64_t bytes = 0;
     std::int64_t max_message_bytes = 0;
@@ -244,7 +511,19 @@ class NetRoundDriver final : public RoundEngine<Msg> {
     for (PendingRound& pg : pending_rounds_) {
       if (pg.round == r) return pg;
     }
-    pending_rounds_.push_back(PendingRound{r, Digraph(n()), 0, 0, 0});
+    // Recycle a retired record when one is parked (derived_row returns
+    // them reset): a fresh Digraph(n) heap-allocates 2n rows, which
+    // would be the only per-round allocation left on the hot path.
+    PendingRound rec;
+    if (!pending_pool_.empty()) {
+      rec = std::move(pending_pool_.back());
+      pending_pool_.pop_back();
+    } else {
+      rec.graph = Digraph(n());
+      if (use_rows64_) rec.in_words.assign(static_cast<std::size_t>(n()), 0);
+    }
+    rec.round = r;
+    pending_rounds_.push_back(std::move(rec));
     return pending_rounds_.back();
   }
 
@@ -265,8 +544,16 @@ class NetRoundDriver final : public RoundEngine<Msg> {
   /// D.
   void derived_row(ProcId p, Round r, const ProcSet& senders) {
     PendingRound& rec = pending_for(r);
-    for (ProcId q : senders) rec.graph.add_edge(q, p);
+    if (use_rows64_) {
+      // Stage the row as one packed word; the whole round's edge set
+      // lands below via a single 64x64 transpose instead of n
+      // scattered out-row inserts per close.
+      rec.in_words[static_cast<std::size_t>(p)] = senders.word_at(0);
+    } else {
+      rec.graph.add_in_edges(p, senders);
+    }
     if (++rec.rows == n()) {
+      if (use_rows64_) rec.graph.or_in_rows64(rec.in_words.data());
       RoundStats stats;
       stats.round = r;
       stats.messages_delivered = rec.graph.edge_count();
@@ -274,21 +561,59 @@ class NetRoundDriver final : public RoundEngine<Msg> {
       stats.max_message_bytes = rec.max_message_bytes;
       this->trace_.record(stats);
       this->bus_.notify(r, rec.graph);
-      last_graph_ = std::move(rec.graph);
+      Digraph retired = std::exchange(last_graph_, std::move(rec.graph));
+      if (retired.n() == n()) {
+        retired.reset();
+        PendingRound recycled;
+        recycled.graph = std::move(retired);
+        recycled.in_words = std::move(rec.in_words);
+        std::fill(recycled.in_words.begin(), recycled.in_words.end(), 0);
+        pending_pool_.push_back(std::move(recycled));
+      }
       ++derived_rounds_;
       std::erase_if(pending_rounds_,
                     [r](const PendingRound& pg) { return pg.round == r; });
     }
   }
 
+  /// A ring-plane on-time message counted before its arrival instant
+  /// (early drain or publish-time zombie); settled into delivered_
+  /// once its arrival passes, evaluated analytically at a cut before.
+  struct FutureCount {
+    SimTime arrival = 0;
+    Round round = 0;
+  };
+
   NetConfig config_;
   LinkMatrix links_;
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
   EventQueue queue_;
-  std::vector<std::vector<RoundInbox>> inboxes_;
+  InboxBuffer<Msg> inboxes_;
+  /// Shared payload dcache: 2 slots per sender (round parity).
+  std::vector<Msg> dcache_;
+  /// Ring plane state (empty on the event-queue plane).
+  std::vector<FragRing<Msg>> rings_;
+  std::vector<FlowControl> fctl_;
+  std::vector<FlowSeq> drain_fseq_;
+  std::vector<typename FragRing<Msg>::Cursor> cursors_;
+  /// Close calendar (ring plane): the fixed per-round close order and
+  /// each process's pending close (absolute time, tie-break seq,
+  /// round; round 0 = not yet armed).
+  std::vector<ProcId> close_order_;
+  std::vector<SimTime> close_time_;
+  std::vector<std::uint64_t> close_seq_;
+  std::vector<Round> close_round_;
+  std::size_t next_close_ = 0;
   std::vector<Round> finalized_round_;
+  std::vector<FutureCount> future_counts_;
   std::vector<PendingRound> pending_rounds_;
+  /// Retired round records (graph reset, rows re-zeroed), ready for
+  /// the next round.
+  std::vector<PendingRound> pending_pool_;
+  /// n <= 64: derived rows staged as packed words, landed per round
+  /// with one transpose (Digraph::or_in_rows64).
+  bool use_rows64_ = false;
   Digraph last_graph_;
   Round derived_rounds_ = 0;
   std::int64_t late_ = 0;

@@ -1,21 +1,24 @@
 #include "net/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace sskel {
 
 void EventQueue::schedule(SimTime t, Handler fn) {
   SSKEL_REQUIRE(t >= now_);
-  SSKEL_REQUIRE(fn != nullptr);
-  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+  SSKEL_REQUIRE(static_cast<bool>(fn));
+  heap_.push_back(Entry{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // Move the handler out before popping so the handler may schedule
-  // further events (priority_queue::top is const; copy the entry).
-  Entry entry = heap_.top();
-  heap_.pop();
+  // Move the earliest entry to the back and out of the heap before
+  // running it, so the handler may schedule further events.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   SSKEL_ASSERT(entry.time >= now_);
   now_ = entry.time;
   entry.fn();

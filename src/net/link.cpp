@@ -7,17 +7,14 @@
 
 namespace sskel {
 
-SimTime sample_delay(const LinkSpec& spec, SimTime deadline_slack, Rng& rng) {
+SimTime sample_delay_slow(const LinkSpec& spec, SimTime deadline_slack,
+                          Rng& rng) {
   switch (spec.kind) {
     case LinkKind::kDown:
       return kLost;
-    case LinkKind::kTimely: {
-      SSKEL_REQUIRE(spec.min_delay >= 0);
-      SSKEL_REQUIRE(spec.max_delay >= spec.min_delay);
-      const std::uint64_t span =
-          static_cast<std::uint64_t>(spec.max_delay - spec.min_delay) + 1;
-      return spec.min_delay + static_cast<SimTime>(rng.next_below(span));
-    }
+    case LinkKind::kTimely:
+      SSKEL_ASSERT(false);  // resolved by the inline fast path
+      return kLost;
     case LinkKind::kFlaky: {
       if (rng.next_bool(spec.on_time_probability)) {
         // On-time attempt: sample within the budget (or the nominal
@@ -43,12 +40,6 @@ LinkMatrix::LinkMatrix(ProcId n)
     : n_(n),
       specs_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)) {
   SSKEL_REQUIRE(n > 0);
-}
-
-const LinkSpec& LinkMatrix::at(ProcId q, ProcId p) const {
-  SSKEL_REQUIRE(q >= 0 && q < n_ && p >= 0 && p < n_);
-  return specs_[static_cast<std::size_t>(q) * static_cast<std::size_t>(n_) +
-                static_cast<std::size_t>(p)];
 }
 
 void LinkMatrix::set(ProcId q, ProcId p, const LinkSpec& spec) {

@@ -44,9 +44,22 @@ inline constexpr SimTime kLost = -1;
 /// Samples the delivery delay for one message on a link.
 /// `deadline_slack` is the delay budget that still counts as on time
 /// for this (sender, receiver) pair; flaky links use it to materialize
-/// "late" as a concrete arrival past the deadline.
-[[nodiscard]] SimTime sample_delay(const LinkSpec& spec,
-                                   SimTime deadline_slack, Rng& rng);
+/// "late" as a concrete arrival past the deadline. Inline: the round
+/// drivers draw one sample per link per round, making this (with the
+/// Rng step it wraps) the broadcast loop's per-link cost.
+[[nodiscard]] SimTime sample_delay_slow(const LinkSpec& spec,
+                                        SimTime deadline_slack, Rng& rng);
+[[nodiscard]] inline SimTime sample_delay(const LinkSpec& spec,
+                                          SimTime deadline_slack, Rng& rng) {
+  if (spec.kind == LinkKind::kTimely) {
+    SSKEL_REQUIRE(spec.min_delay >= 0);
+    SSKEL_REQUIRE(spec.max_delay >= spec.min_delay);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(spec.max_delay - spec.min_delay) + 1;
+    return spec.min_delay + static_cast<SimTime>(rng.next_below(span));
+  }
+  return sample_delay_slow(spec, deadline_slack, rng);
+}
 
 /// Dense n x n link configuration (diagonal ignored).
 class LinkMatrix {
@@ -54,7 +67,11 @@ class LinkMatrix {
   explicit LinkMatrix(ProcId n);
 
   [[nodiscard]] ProcId n() const { return n_; }
-  [[nodiscard]] const LinkSpec& at(ProcId q, ProcId p) const;
+  [[nodiscard]] const LinkSpec& at(ProcId q, ProcId p) const {
+    SSKEL_REQUIRE(q >= 0 && q < n_ && p >= 0 && p < n_);
+    return specs_[static_cast<std::size_t>(q) * static_cast<std::size_t>(n_) +
+                  static_cast<std::size_t>(p)];
+  }
   void set(ProcId q, ProcId p, const LinkSpec& spec);
 
   /// All links timely with the given delay range.

@@ -13,6 +13,8 @@
 // optional per-message sizer in the simulator.
 #pragma once
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "util/proc_set.hpp"
@@ -34,6 +36,26 @@ class Inbox {
   [[nodiscard]] const Msg& from(ProcId q) const {
     SSKEL_REQUIRE(senders_.contains(q));
     return all_[static_cast<std::size_t>(q)];
+  }
+
+  /// Batch consumption: fn(q, msg) for every sender in ascending id
+  /// order. Equivalent to iterating senders() and calling from(q),
+  /// minus the per-call membership check — the form transition
+  /// functions on the message-plane hot path should prefer. Walks the
+  /// sender set word-by-word, so the per-message cost is one
+  /// count-trailing-zeros plus the callback.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const auto n = static_cast<std::size_t>(senders_.universe());
+    for (std::size_t w = 0; w * 64 < n; ++w) {
+      std::uint64_t bits = senders_.word_at(w);
+      while (bits != 0) {
+        const std::size_t i =
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        fn(static_cast<ProcId>(i), all_[i]);
+      }
+    }
   }
 
  private:

@@ -16,7 +16,34 @@ InternStats& InternStats::operator+=(const InternStats& other) {
   scc_computes += other.scc_computes;
   keep_computes += other.keep_computes;
   psrcs_computes += other.psrcs_computes;
+  promotions += other.promotions;
+  promotion_hits += other.promotion_hits;
   return *this;
+}
+
+std::shared_ptr<const InternedStructure> InternGlobalTier::lookup(
+    const Fingerprint128& fp) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->fingerprint() == fp) return entry;
+  }
+  return nullptr;
+}
+
+bool InternGlobalTier::offer(
+    std::shared_ptr<const InternedStructure> snapshot) {
+  SSKEL_REQUIRE(snapshot != nullptr);
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    if (entry->fingerprint() == snapshot->fingerprint()) return false;
+  }
+  entries_.push_back(std::move(snapshot));
+  return true;
+}
+
+std::size_t InternGlobalTier::entry_count() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
 }
 
 InternedStructure::InternedStructure(ProcId n, Fingerprint128 fp,
@@ -178,6 +205,21 @@ bool StructureInternTable::same_structure(const InternedStructure& entry,
   return true;
 }
 
+void StructureInternTable::maybe_promote(std::size_t idx) {
+  if (tier_ == nullptr || offered_[idx] != 0) return;
+  InternedStructure& entry = *entries_[idx];
+  // Nothing shareable yet (the caller may compute analytics after this
+  // lookup returns) — leave the flag clear so a later hit re-checks.
+  if (!entry.has_shared_analytics()) return;
+  auto snapshot = std::make_shared<InternedStructure>(entry);
+  // The originating shard already reported this work; the snapshot
+  // must not report it again through an adopting shard's stats().
+  snapshot->reset_compute_counters();
+  tier_->offer(std::move(snapshot));
+  offered_[idx] = 1;
+  ++stats_.promotions;
+}
+
 InternedStructure* StructureInternTable::resolve(const RowSource& src) {
   const Fingerprint128 fp = fingerprint_of(src);
   const std::size_t bucket = static_cast<std::size_t>(fp.lo) & bucket_mask_;
@@ -187,6 +229,7 @@ InternedStructure* StructureInternTable::resolve(const RowSource& src) {
     if (entry.fingerprint() == fp) {
       if (same_structure(entry, src)) {
         ++stats_.hits;
+        maybe_promote(static_cast<std::size_t>(i));
         return &entry;
       }
       ++stats_.fingerprint_collisions;
@@ -196,16 +239,35 @@ InternedStructure* StructureInternTable::resolve(const RowSource& src) {
     ++stats_.overflow_rejects;
     return nullptr;
   }
-  std::vector<ProcSet> rows;
-  rows.reserve(static_cast<std::size_t>(src.n));
-  for (ProcId q = 0; q < src.n; ++q) {
-    rows.push_back(src.row(src.ctx, q));
+  // Shard miss: adopt a promoted snapshot — analytics included — when
+  // another shard has already interned this structure. The full
+  // structure compare keeps a colliding fingerprint from smuggling in
+  // the wrong graph's analytics.
+  std::unique_ptr<InternedStructure> fresh;
+  bool adopted = false;
+  if (tier_ != nullptr) {
+    if (const auto snapshot = tier_->lookup(fp);
+        snapshot != nullptr && same_structure(*snapshot, src)) {
+      fresh = std::make_unique<InternedStructure>(*snapshot);
+      adopted = true;
+    }
   }
-  entries_.push_back(std::make_unique<InternedStructure>(
-      src.n, fp, *src.nodes, std::move(rows)));
+  if (fresh == nullptr) {
+    std::vector<ProcSet> rows;
+    rows.reserve(static_cast<std::size_t>(src.n));
+    for (ProcId q = 0; q < src.n; ++q) {
+      rows.push_back(src.row(src.ctx, q));
+    }
+    fresh = std::make_unique<InternedStructure>(src.n, fp, *src.nodes,
+                                                std::move(rows));
+  }
+  entries_.push_back(std::move(fresh));
   next_.push_back(buckets_[bucket]);
   buckets_[bucket] = static_cast<int>(entries_.size() - 1);
+  // An adopted entry came *from* the tier; never re-offer it.
+  offered_.push_back(adopted ? 1 : 0);
   ++stats_.misses;
+  if (adopted) ++stats_.promotion_hits;
   return entries_.back().get();
 }
 
@@ -274,6 +336,7 @@ StructureInternTable& InternDomain::local() {
     }
   }
   shards_.emplace_back(me, std::make_unique<StructureInternTable>(options_));
+  shards_.back().second->set_global_tier(&tier_);
   cached = {id_, shards_.back().second.get()};
   return *cached.table;
 }

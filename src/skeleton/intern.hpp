@@ -16,12 +16,17 @@
 // word-level structure compare — a colliding fingerprint costs one
 // extra O(n^2/64) scan, never a wrong answer. Tables are single-
 // threaded by design; the Monte-Carlo path shards one table per worker
-// thread through InternDomain (no locks on the lookup path).
+// thread through InternDomain (no locks on the lookup path). A
+// read-mostly InternGlobalTier on top of the shards shares *analytics*
+// across workers: a shard that already paid for an SCC decomposition
+// or a Psrcs subset search promotes an immutable snapshot, and other
+// shards adopt it on their first miss instead of recomputing.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -56,6 +61,12 @@ struct InternStats {
   std::int64_t scc_computes = 0;
   std::int64_t keep_computes = 0;
   std::int64_t psrcs_computes = 0;
+  /// Cross-shard promotion (DESIGN.md §12): shard entries with
+  /// materialized analytics accepted into the domain's global tier,
+  /// and shard misses served by adopting a global snapshot instead of
+  /// recomputing from scratch.
+  std::int64_t promotions = 0;
+  std::int64_t promotion_hits = 0;
 
   InternStats& operator+=(const InternStats& other);
 };
@@ -116,6 +127,22 @@ class InternedStructure {
     return psrcs_computes_;
   }
 
+  /// Whether this entry carries analytics worth sharing across shards
+  /// (the global-tier promotion policy: structure alone is cheap to
+  /// rebuild; SCC decompositions and Psrcs verdicts are not).
+  [[nodiscard]] bool has_shared_analytics() const {
+    return scc_ready_ || !psrcs_by_k_.empty();
+  }
+
+  /// Zeroes the analytics-compute counters. Used on clones entering
+  /// the global tier so adopted copies never double-count work that
+  /// the originating shard already reported.
+  void reset_compute_counters() {
+    scc_computes_ = 0;
+    keep_computes_ = 0;
+    psrcs_computes_ = 0;
+  }
+
  private:
   void ensure_graph();
   void ensure_scc();
@@ -164,6 +191,35 @@ struct InternTableOptions {
   bool degrade_fingerprint_for_tests = false;
 };
 
+/// Read-mostly global tier over a domain's per-worker shards. A shard
+/// that materializes expensive analytics (SCC decomposition, Psrcs
+/// verdicts) *offers* an immutable snapshot of the entry here; a shard
+/// that misses on a structure first consults the tier and *adopts* the
+/// snapshot — analytics included — instead of recomputing from
+/// scratch. Entries are immutable once offered (shared_ptr<const>),
+/// so readers only pay a shared lock plus a fingerprint scan; the
+/// exclusive lock is taken only on offers, which happen at most once
+/// per (shard, entry). First offer per fingerprint wins.
+class InternGlobalTier {
+ public:
+  /// Immutable snapshot for the fingerprint, or nullptr. The caller
+  /// must still verify same-structure before adopting (a colliding
+  /// fingerprint must not smuggle in a wrong graph's analytics).
+  [[nodiscard]] std::shared_ptr<const InternedStructure> lookup(
+      const Fingerprint128& fp) const;
+
+  /// Publishes a snapshot; a snapshot already present for the same
+  /// fingerprint is kept (first writer wins). Returns whether this
+  /// call inserted.
+  bool offer(std::shared_ptr<const InternedStructure> snapshot);
+
+  [[nodiscard]] std::size_t entry_count() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::vector<std::shared_ptr<const InternedStructure>> entries_;
+};
+
 /// Hash-consing table from structure to canonical InternedStructure.
 /// Entries have stable addresses (unique_ptr storage) and live as long
 /// as the table. Single-threaded; see InternDomain for the sharded
@@ -194,6 +250,11 @@ class StructureInternTable {
 
   [[nodiscard]] const InternTableOptions& options() const { return options_; }
 
+  /// Attaches the table to a cross-shard tier (nullptr detaches). The
+  /// tier must outlive the table; InternDomain wires each shard to the
+  /// domain-owned tier on creation.
+  void set_global_tier(InternGlobalTier* tier) { tier_ = tier; }
+
  private:
   /// Type-erased view of a candidate structure (no copy until a miss
   /// decides to create the entry).
@@ -208,12 +269,17 @@ class StructureInternTable {
   [[nodiscard]] static bool same_structure(const InternedStructure& entry,
                                            const RowSource& src);
   InternedStructure* resolve(const RowSource& src);
+  /// Hit-path hook: offers entry `idx` to the tier once it carries
+  /// analytics worth sharing (at most one offer per entry).
+  void maybe_promote(std::size_t idx);
 
   InternTableOptions options_;
   std::size_t bucket_mask_;
   std::vector<int> buckets_;  // head entry index per bucket, -1 empty
   std::vector<int> next_;     // chain link per entry, parallel to entries_
   std::vector<std::unique_ptr<InternedStructure>> entries_;
+  std::vector<char> offered_;  // entry already offered to the tier
+  InternGlobalTier* tier_ = nullptr;
   InternStats stats_;  // lookup counters only; stats() adds entry counters
 };
 
@@ -239,9 +305,13 @@ class InternDomain {
   [[nodiscard]] std::size_t shard_count() const;
   [[nodiscard]] InternStats merged_stats() const;
 
+  /// The domain-owned cross-shard tier every shard is wired to.
+  [[nodiscard]] const InternGlobalTier& global_tier() const { return tier_; }
+
  private:
   std::uint64_t id_;
   InternTableOptions options_;
+  InternGlobalTier tier_;
   mutable std::mutex mu_;
   std::vector<std::pair<std::thread::id, std::unique_ptr<StructureInternTable>>>
       shards_;

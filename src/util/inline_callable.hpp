@@ -1,0 +1,96 @@
+// InlineCallable: a fixed-capacity, allocation-free std::function.
+//
+// EventQueue used to store each handler in a std::function<void()>,
+// which heap-allocates as soon as the capture exceeds the library's
+// small-buffer budget (two pointers on libstdc++) — one allocation per
+// scheduled event on the network hot path. InlineCallable keeps the
+// capture in an in-object buffer with a hard capacity cap enforced at
+// compile time, so storing, moving, and invoking a handler never
+// touches the allocator. Callables must be nothrow-move-constructible
+// (moves happen inside the event heap's sift operations, which must
+// not throw mid-swap).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sskel {
+
+/// A move-only, nullable callable of signature void() whose target is
+/// stored inline. Oversized or throwing-move captures are rejected at
+/// compile time — there is no heap fallback by design.
+template <std::size_t Capacity>
+class InlineCallable {
+ public:
+  InlineCallable() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineCallable> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  InlineCallable(F&& fn) {  // NOLINT(bugprone-forwarding-reference-overload)
+    using Target = std::decay_t<F>;
+    static_assert(sizeof(Target) <= Capacity,
+                  "capture exceeds InlineCallable capacity");
+    static_assert(alignof(Target) <= alignof(std::max_align_t),
+                  "over-aligned captures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Target>,
+                  "captures must be nothrow movable (handlers move "
+                  "inside the event heap)");
+    ::new (static_cast<void*>(storage_)) Target(std::forward<F>(fn));
+    invoke_ = [](void* storage) { (*static_cast<Target*>(storage))(); };
+    relocate_ = [](void* dst, void* src) {
+      Target* from = static_cast<Target*>(src);
+      ::new (dst) Target(std::move(*from));
+      from->~Target();
+    };
+    destroy_ = [](void* storage) { static_cast<Target*>(storage)->~Target(); };
+  }
+
+  InlineCallable(InlineCallable&& other) noexcept { move_from(other); }
+
+  InlineCallable& operator=(InlineCallable&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    move_from(other);
+    return *this;
+  }
+
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
+
+  ~InlineCallable() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() {
+    SSKEL_REQUIRE(invoke_ != nullptr);
+    invoke_(storage_);
+  }
+
+  void reset() {
+    if (invoke_ == nullptr) return;
+    destroy_(storage_);
+    invoke_ = nullptr;
+  }
+
+ private:
+  void move_from(InlineCallable& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.relocate_(storage_, other.storage_);
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    other.invoke_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace sskel

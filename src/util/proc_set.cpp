@@ -14,6 +14,81 @@ std::atomic<int> g_tier_policy{static_cast<int>(ProcSet::TierPolicy::kAuto)};
 std::atomic<std::size_t> g_tier_words{32};
 std::atomic<std::int64_t> g_live_bytes{0};
 std::atomic<std::int64_t> g_peak_bytes{0};
+std::atomic<std::int64_t> g_arena_bytes{0};
+std::atomic<std::int64_t> g_arena_reuses{0};
+
+/// Per-thread recycling pool for dense payload vectors. Only buffers
+/// at least tier_threshold_words() long are worth parking (the small-
+/// universe dense sets never release their payload anyway), and the
+/// pool is capped so a pathological workload cannot park unbounded
+/// memory. The `t_arena_live` flag has trivial destruction, so the
+/// release hooks can safely detect (and skip) the window after the
+/// arena's own thread-exit destructor has run.
+constexpr std::size_t kArenaMaxBuffers = 64;
+
+std::int64_t buffer_bytes(const std::vector<std::uint64_t>& buf) {
+  return static_cast<std::int64_t>(buf.capacity() * sizeof(std::uint64_t));
+}
+
+thread_local bool t_arena_live = false;
+
+struct WordArena {
+  std::vector<std::vector<std::uint64_t>> buffers;
+
+  WordArena() { t_arena_live = true; }
+  ~WordArena() {
+    t_arena_live = false;
+    drop_all();
+  }
+
+  void drop_all() {
+    for (const auto& buf : buffers) {
+      g_arena_bytes.fetch_add(-buffer_bytes(buf), std::memory_order_relaxed);
+    }
+    buffers.clear();
+  }
+};
+
+WordArena* thread_arena() {
+  thread_local WordArena arena;
+  return t_arena_live ? &arena : nullptr;
+}
+
+/// A zeroed dense payload of `words` words, recycled when a parked
+/// buffer is big enough (best fit; capacity is retained).
+std::vector<std::uint64_t> arena_acquire(std::size_t words) {
+  if (WordArena* arena = thread_arena(); arena != nullptr) {
+    auto& pool = arena->buffers;
+    std::size_t best = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].capacity() < words) continue;
+      if (best == pool.size() ||
+          pool[i].capacity() < pool[best].capacity()) {
+        best = i;
+      }
+    }
+    if (best != pool.size()) {
+      std::vector<std::uint64_t> buf = std::move(pool[best]);
+      pool.erase(pool.begin() +
+                 static_cast<std::ptrdiff_t>(best));
+      g_arena_bytes.fetch_add(-buffer_bytes(buf), std::memory_order_relaxed);
+      g_arena_reuses.fetch_add(1, std::memory_order_relaxed);
+      buf.assign(words, 0);
+      return buf;
+    }
+  }
+  return std::vector<std::uint64_t>(words, 0);
+}
+
+/// Parks a released dense payload when it is worth recycling;
+/// otherwise lets it free normally.
+void arena_release(std::vector<std::uint64_t>&& buf) {
+  if (buf.capacity() < ProcSet::tier_threshold_words()) return;
+  WordArena* arena = thread_arena();
+  if (arena == nullptr || arena->buffers.size() >= kArenaMaxBuffers) return;
+  g_arena_bytes.fetch_add(buffer_bytes(buf), std::memory_order_relaxed);
+  arena->buffers.push_back(std::move(buf));
+}
 
 void bump_peak(std::int64_t live) {
   std::int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
@@ -71,6 +146,20 @@ std::int64_t ProcSet::peak_bytes() {
 void ProcSet::reset_peak_bytes() {
   g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+}
+
+std::int64_t ProcSet::arena_bytes() {
+  return g_arena_bytes.load(std::memory_order_relaxed);
+}
+
+std::int64_t ProcSet::arena_reuses() {
+  return g_arena_reuses.load(std::memory_order_relaxed);
+}
+
+void ProcSet::release_thread_arena() {
+  if (WordArena* arena = thread_arena(); arena != nullptr) {
+    arena->drop_all();
+  }
 }
 
 bool ProcSet::tiered() const {
@@ -159,6 +248,9 @@ ProcSet& ProcSet::operator=(ProcSet&& other) noexcept {
 
 ProcSet::~ProcSet() {
   g_live_bytes.fetch_add(-footprint_, std::memory_order_relaxed);
+  // Dense payloads of dying tiered sets (ProcSet::full temporaries,
+  // scratch rows that never sparsified) are worth parking too.
+  if (!sparse_ && !words_.empty()) arena_release(std::move(words_));
 }
 
 ProcSet ProcSet::full(ProcId n) {
@@ -185,14 +277,8 @@ ProcSet ProcSet::of(ProcId n, std::initializer_list<ProcId> members) {
   return s;
 }
 
-void ProcSet::insert(ProcId p) {
-  SSKEL_REQUIRE(in_range(p));
+void ProcSet::insert_sparse(ProcId p) {
   const std::size_t w = word(p);
-  if (!sparse_) {
-    words_[w] |= mask(p);
-    if (!summary_.empty()) summary_set(w);
-    return;
-  }
   const auto wi = static_cast<std::uint32_t>(w);
   const auto it = std::lower_bound(sidx_.begin(), sidx_.end(), wi);
   const auto pos = static_cast<std::size_t>(it - sidx_.begin());
@@ -206,14 +292,8 @@ void ProcSet::insert(ProcId p) {
   account();
 }
 
-void ProcSet::erase(ProcId p) {
-  SSKEL_REQUIRE(in_range(p));
+void ProcSet::erase_sparse(ProcId p) {
   const std::size_t w = word(p);
-  if (!sparse_) {
-    words_[w] &= ~mask(p);
-    if (!summary_.empty() && words_[w] == 0) summary_clear(w);
-    return;
-  }
   const auto wi = static_cast<std::uint32_t>(w);
   const auto it = std::lower_bound(sidx_.begin(), sidx_.end(), wi);
   if (it == sidx_.end() || *it != wi) return;
@@ -232,7 +312,8 @@ void ProcSet::clear() {
     return;
   }
   if (tiered()) {
-    words_ = std::vector<std::uint64_t>{};  // release the payload
+    arena_release(std::move(words_));  // park the payload for reuse
+    words_ = std::vector<std::uint64_t>{};
     summary_ = std::vector<std::uint64_t>{};
     sparse_ = true;
     account();
@@ -453,8 +534,15 @@ void ProcSet::or_word(std::size_t w, std::uint64_t v) {
   sval_.insert(sval_.begin() + static_cast<std::ptrdiff_t>(pos), v);
 }
 
-ProcSet& ProcSet::operator|=(const ProcSet& other) {
-  SSKEL_REQUIRE(n_ == other.n_);
+void ProcSet::or_word_at_sparse(std::size_t w, std::uint64_t v) {
+  or_word(w, v);
+  if (sparse_) {
+    maybe_densify_for_growth(sidx_.size());
+    account();
+  }
+}
+
+ProcSet& ProcSet::or_assign_slow(const ProcSet& other) {
   if (other.sparse_) {
     for (std::size_t i = 0; i < other.sidx_.size(); ++i) {
       or_word(other.sidx_[i], other.sval_[i]);
@@ -584,28 +672,22 @@ bool ProcSet::operator==(const ProcSet& other) const {
   return i == s.sidx_.size();
 }
 
-ProcId ProcSet::first() const {
+ProcId ProcSet::first_slow() const {
   if (sparse_) {
     if (sidx_.empty()) return -1;
     return word_bit_to_proc(sidx_[0], sval_[0]);
   }
-  if (!summary_.empty()) {
-    ProcId found = -1;
-    walk_blocks(summary_, [&](std::size_t w) {
-      found = word_bit_to_proc(w, words_[w]);
-      return false;  // first active block wins
-    });
-    return found;
-  }
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] != 0) return word_bit_to_proc(i, words_[i]);
-  }
-  return -1;
+  // Dense with a summary tier (the summary-free dense case resolved
+  // inline).
+  ProcId found = -1;
+  walk_blocks(summary_, [&](std::size_t w) {
+    found = word_bit_to_proc(w, words_[w]);
+    return false;  // first active block wins
+  });
+  return found;
 }
 
-ProcId ProcSet::next_after(ProcId p) const {
-  const ProcId q = p < 0 ? 0 : p + 1;
-  if (q >= n_) return -1;
+ProcId ProcSet::next_after_slow(ProcId q) const {
   const std::size_t wq = word(q);
   const std::uint64_t low_mask = ~std::uint64_t{0} << bit(q);
   if (sparse_) {
@@ -701,7 +783,7 @@ void ProcSet::rebuild_summary() {
 
 void ProcSet::densify() {
   SSKEL_REQUIRE(sparse_);
-  words_.assign(word_count(n_), 0);
+  words_ = arena_acquire(word_count(n_));
   const bool summarize = word_count(n_) >= tier_threshold_words();
   if (summarize) summary_.assign((words_.size() + 63) / 64, 0);
   for (std::size_t i = 0; i < sidx_.size(); ++i) {
@@ -725,6 +807,7 @@ void ProcSet::sparsify() {
     sidx_.push_back(w);
     sval_.push_back(v);
   });
+  arena_release(std::move(words_));
   words_ = std::vector<std::uint64_t>{};
   summary_ = std::vector<std::uint64_t>{};
   sparse_ = true;

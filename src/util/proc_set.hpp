@@ -83,6 +83,21 @@ class ProcSet {
   [[nodiscard]] static std::int64_t peak_bytes();
   static void reset_peak_bytes();
 
+  /// Word-arena counters. Tiered sets recycle their dense payload
+  /// vectors through a per-thread arena instead of returning them to
+  /// the allocator on every sparsify/clear/destroy: the transient
+  /// complete-graph phase at n = 65,536 repeatedly cycles ~8 KB row
+  /// payloads through the dense form, and reuse turns that churn into
+  /// pointer swaps. arena_bytes() is the capacity currently parked in
+  /// arenas across all threads (these bytes are *not* in live_bytes(),
+  /// which counts only set-owned storage); arena_reuses() counts
+  /// dense materializations served from a recycled buffer.
+  [[nodiscard]] static std::int64_t arena_bytes();
+  [[nodiscard]] static std::int64_t arena_reuses();
+  /// Frees the calling thread's parked buffers (tests and long-lived
+  /// embedders that want the high-water memory back).
+  static void release_thread_arena();
+
   /// Empty set over an empty universe. Mostly useful as a placeholder
   /// before assignment.
   ProcSet() = default;
@@ -114,8 +129,28 @@ class ProcSet {
     return (word_at(word(p)) >> bit(p)) & 1u;
   }
 
-  void insert(ProcId p);
-  void erase(ProcId p);
+  void insert(ProcId p) {
+    SSKEL_REQUIRE(in_range(p));
+    if (!sparse_) {
+      // Dense fast path: this is the hottest call in the message plane
+      // (every deposit and derived-graph edge lands here), so it must
+      // inline to a load/or/store.
+      words_[word(p)] |= mask(p);
+      if (!summary_.empty()) summary_set(word(p));
+      return;
+    }
+    insert_sparse(p);
+  }
+  void erase(ProcId p) {
+    SSKEL_REQUIRE(in_range(p));
+    if (!sparse_) {
+      const std::size_t w = word(p);
+      words_[w] &= ~mask(p);
+      if (!summary_.empty() && words_[w] == 0) summary_clear(w);
+      return;
+    }
+    erase_sparse(p);
+  }
 
   /// Empties the set. Tiered sets drop their dense payload (the
   /// 65,536-process skeleton's dead rows cost nothing afterwards);
@@ -151,7 +186,19 @@ class ProcSet {
   /// maintenance hand the per-round deletion set to the decremental
   /// SCC maintainer for free.
   bool intersect_diff(const ProcSet& other, ProcSet& removed);
-  ProcSet& operator|=(const ProcSet& other);
+  ProcSet& operator|=(const ProcSet& other) {
+    SSKEL_REQUIRE(n_ == other.n_);
+    if (!sparse_ && !other.sparse_ && summary_.empty() &&
+        other.summary_.empty()) {
+      // Small-universe dense union: a plain word loop beats the
+      // kernel dispatch for the handful of words involved.
+      for (std::size_t w = 0; w < words_.size(); ++w) {
+        words_[w] |= other.words_[w];
+      }
+      return *this;
+    }
+    return or_assign_slow(other);
+  }
   ProcSet& operator-=(const ProcSet& other);
 
   /// Fused masked fold: *this |= (src & mask), in one pass over the
@@ -170,12 +217,40 @@ class ProcSet {
   bool operator==(const ProcSet& other) const;
 
   /// Smallest member, or -1 when empty.
-  [[nodiscard]] ProcId first() const;
+  [[nodiscard]] ProcId first() const {
+    if (!sparse_ && summary_.empty()) {
+      for (std::size_t w = 0; w < words_.size(); ++w) {
+        if (words_[w] != 0) {
+          return static_cast<ProcId>(w * kBits) +
+                 static_cast<ProcId>(std::countr_zero(words_[w]));
+        }
+      }
+      return -1;
+    }
+    return first_slow();
+  }
 
   /// Smallest member strictly greater than `p`, or -1 when none.
   /// Passing -1 yields the first member, so `next_after` supports
   /// resumable scans from a "before the beginning" cursor.
-  [[nodiscard]] ProcId next_after(ProcId p) const;
+  /// Small-universe dense sets resolve inline (iteration is the inner
+  /// loop of inbox consumption and derived-row construction); tiered
+  /// and sparse forms take the out-of-line block walk.
+  [[nodiscard]] ProcId next_after(ProcId p) const {
+    const ProcId q = p < 0 ? 0 : p + 1;
+    if (q >= n_) return -1;
+    if (!sparse_ && summary_.empty()) {
+      std::size_t w = word(q);
+      std::uint64_t v = words_[w] & (~std::uint64_t{0} << bit(q));
+      while (v == 0) {
+        if (++w >= words_.size()) return -1;
+        v = words_[w];
+      }
+      return static_cast<ProcId>(w * kBits) +
+             static_cast<ProcId>(std::countr_zero(v));
+    }
+    return next_after_slow(q);
+  }
 
   /// Members in ascending order.
   [[nodiscard]] std::vector<ProcId> to_vector() const;
@@ -196,6 +271,20 @@ class ProcSet {
 
   /// Number of payload words the universe spans (present or not).
   [[nodiscard]] std::size_t word_span() const { return word_count(n_); }
+
+  /// Write counterpart of word_at: ORs `v` into payload word w. Bulk
+  /// graph loaders (Digraph's transpose-based row assignment) land
+  /// whole rows through this instead of per-bit inserts.
+  void or_word_at(std::size_t w, std::uint64_t v) {
+    SSKEL_REQUIRE(w < word_count(n_));
+    if (v == 0) return;
+    if (!sparse_) {
+      words_[w] |= v;
+      if (!summary_.empty()) summary_set(w);
+      return;
+    }
+    or_word_at_sparse(w, v);
+  }
 
   /// Word w of the packed representation; 0 for inactive blocks.
   [[nodiscard]] std::uint64_t word_at(std::size_t w) const {
@@ -290,6 +379,14 @@ class ProcSet {
   }
   void rebuild_summary();
 
+  /// Sparse-form halves of the inline mutators, plus the tiered /
+  /// sparse remainder of the inline scans.
+  void insert_sparse(ProcId p);
+  void erase_sparse(ProcId p);
+  ProcSet& or_assign_slow(const ProcSet& other);
+  [[nodiscard]] ProcId first_slow() const;
+  [[nodiscard]] ProcId next_after_slow(ProcId q) const;
+
   /// Unconditional representation conversions.
   void densify();
   void sparsify();
@@ -309,6 +406,9 @@ class ProcSet {
   /// ORs a nonzero payload word into the set, whatever the current
   /// representation (sparse inserts keep the block list sorted).
   void or_word(std::size_t w, std::uint64_t v);
+
+  /// Sparse tail of or_word_at: block insert plus densify/accounting.
+  void or_word_at_sparse(std::size_t w, std::uint64_t v);
 
   /// Recomputes the heap footprint and settles the delta into the
   /// process-wide counters.

@@ -27,27 +27,12 @@ void Rng::reseed(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = std::rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::next_below(std::uint64_t bound) {
-  SSKEL_REQUIRE(bound > 0);
-  if ((bound & (bound - 1)) == 0) return next_u64() & (bound - 1);
+std::uint64_t Rng::next_below_edge(std::uint64_t x, std::uint64_t bound) {
   // Unbiased rejection sampling: draw from the largest prefix of the
   // 64-bit range that is a whole multiple of bound. The expected
   // number of draws is < 2 for every bound.
   const std::uint64_t limit =
       UINT64_MAX - (UINT64_MAX % bound + 1) % bound;
-  std::uint64_t x = next_u64();
   while (x > limit) x = next_u64();
   return x % bound;
 }
@@ -59,17 +44,6 @@ std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
   if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
   return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
                                    next_below(span));
-}
-
-double Rng::next_double() {
-  // 53 high bits -> [0, 1) with full double precision.
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::next_bool(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
 }
 
 }  // namespace sskel

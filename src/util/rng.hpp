@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "util/assert.hpp"
@@ -33,21 +34,49 @@ class Rng {
 
   void reseed(std::uint64_t seed);
 
-  /// Uniform 64-bit word.
-  std::uint64_t next_u64();
+  /// Uniform 64-bit word. Inline: the network simulator draws one per
+  /// link per round, so the generator step must not cost a call.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+  }
 
-  /// Uniform integer in [0, bound) via Lemire's multiply-shift
-  /// rejection method (unbiased). Requires bound > 0.
-  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform integer in [0, bound) via unbiased rejection sampling.
+  /// Requires bound > 0. Draws whose value sits more than `bound`
+  /// below the top of the 64-bit range are provably under the
+  /// rejection limit, so the common case pays a single modulo and
+  /// never computes the limit; the produced stream is identical
+  /// either way.
+  std::uint64_t next_below(std::uint64_t bound) {
+    SSKEL_REQUIRE(bound > 0);
+    if ((bound & (bound - 1)) == 0) return next_u64() & (bound - 1);
+    const std::uint64_t x = next_u64();
+    if (x <= UINT64_MAX - bound) return x % bound;
+    return next_below_edge(x, bound);
+  }
 
   /// Uniform integer in the closed interval [lo, hi].
   std::int64_t next_in(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).
-  double next_double();
+  double next_double() {
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  bool next_bool(double p);
+  bool next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
 
   /// Fisher-Yates shuffle of a random-access container.
   template <typename Container>
@@ -67,6 +96,10 @@ class Rng {
   }
 
  private:
+  /// Rejection-region tail of next_below: `x` landed within `bound`
+  /// of UINT64_MAX, so the exact limit decides acceptance.
+  std::uint64_t next_below_edge(std::uint64_t x, std::uint64_t bound);
+
   std::array<std::uint64_t, 4> s_{};
 };
 

@@ -3,6 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace sskel {
 namespace {
 
@@ -178,6 +184,91 @@ TEST(DigraphTest, IntersectWithReportsNodeRemoval) {
   EXPECT_TRUE(a.intersect_with(b));
   EXPECT_FALSE(a.nodes().contains(2));
   EXPECT_FALSE(a.intersect_with(b));
+}
+
+TEST(DigraphTest, OrInRows64MatchesPerEdgeInsertion) {
+  // The transpose-based bulk landing must agree with add_edge in BOTH
+  // directions (in_ and out_ rows) on random asymmetric matrices.
+  // Symmetric graphs cannot catch an orientation bug: a transposed
+  // edge set looks identical there.
+  Rng rng(0x64646464);
+  for (const ProcId n : {1, 3, 31, 64}) {
+    std::vector<std::uint64_t> rows(static_cast<std::size_t>(n), 0);
+    const std::uint64_t row_mask =
+        n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+    Digraph expected(n);
+    for (ProcId p = 0; p < n; ++p) {
+      std::uint64_t bits = rng.next_u64() & row_mask;
+      rows[static_cast<std::size_t>(p)] = bits;
+      while (bits != 0) {
+        const auto q = static_cast<ProcId>(std::countr_zero(bits));
+        bits &= bits - 1;
+        expected.add_edge(q, p);  // bit q of rows[p] = edge q -> p
+      }
+    }
+    Digraph actual(n);
+    actual.or_in_rows64(rows.data());
+    EXPECT_EQ(actual.edge_count(), expected.edge_count()) << "n=" << n;
+    for (ProcId q = 0; q < n; ++q) {
+      for (ProcId p = 0; p < n; ++p) {
+        EXPECT_EQ(actual.has_edge(q, p), expected.has_edge(q, p))
+            << "n=" << n << " edge " << q << "->" << p;
+      }
+      EXPECT_EQ(actual.in_neighbors(q), expected.in_neighbors(q));
+      EXPECT_EQ(actual.out_neighbors(q), expected.out_neighbors(q));
+    }
+  }
+}
+
+TEST(DigraphTest, OrInRows64SkewRow) {
+  // A down-link-style asymmetric shape: only p=2 hears anyone. The
+  // anti-diagonal mirror of this graph is different, so this pins the
+  // transpose orientation directly.
+  Digraph g(5);
+  std::vector<std::uint64_t> rows(5, 0);
+  rows[2] = 0b11011;  // everyone but q=2 reaches p=2
+  g.or_in_rows64(rows.data());
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(4, 2));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_FALSE(g.has_edge(2, 0));  // the mirrored edge must NOT exist
+  EXPECT_FALSE(g.has_edge(2, 4));
+}
+
+TEST(DigraphTest, OrInRows64AccumulatesLikeOr) {
+  // Repeated landings OR into the existing edge set.
+  Digraph g(3);
+  std::vector<std::uint64_t> rows(3, 0);
+  rows[0] = 0b001;  // 0 -> 0
+  g.or_in_rows64(rows.data());
+  rows[0] = 0b100;  // 2 -> 0
+  rows[1] = 0b010;  // 1 -> 1
+  g.or_in_rows64(rows.data());
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_TRUE(g.has_edge(1, 1));
+}
+
+TEST(DigraphTest, ResetRestoresEmptyEdgesFullNodes) {
+  Digraph g = Digraph::complete(4);
+  g.remove_node(1);
+  g.reset();
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g, Digraph(4));
+}
+
+TEST(DigraphTest, AddInEdgesBulkMatchesPerEdge) {
+  const ProcId n = 70;  // crosses a word boundary
+  ProcSet senders(n);
+  for (ProcId q = 0; q < n; q += 3) senders.insert(q);
+  Digraph bulk(n);
+  bulk.add_in_edges(/*p=*/65, senders);
+  Digraph scalar(n);
+  for (ProcId q : senders) scalar.add_edge(q, 65);
+  EXPECT_EQ(bulk, scalar);
 }
 
 }  // namespace

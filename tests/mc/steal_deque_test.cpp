@@ -1,0 +1,112 @@
+// Tests for the Chase-Lev work-stealing deque: owner LIFO / thief
+// FIFO order, the fixed-capacity push bound, and a multithreaded
+// owner-vs-thieves run asserting every item is claimed exactly once.
+#include "mc/steal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace sskel {
+namespace {
+
+TEST(StealDequeTest, CapacityRoundsUpToPowerOfTwoMinOne) {
+  EXPECT_EQ(StealDeque(0).capacity(), 1u);
+  EXPECT_EQ(StealDeque(1).capacity(), 1u);
+  EXPECT_EQ(StealDeque(5).capacity(), 8u);
+  EXPECT_EQ(StealDeque(8).capacity(), 8u);
+}
+
+TEST(StealDequeTest, OwnerPopsLifoThiefStealsFifo) {
+  StealDeque deque(8);
+  for (std::size_t i = 0; i < 4; ++i) ASSERT_TRUE(deque.push(10 + i));
+  EXPECT_EQ(deque.size(), 4u);
+
+  std::size_t item = 0;
+  // Owner pops the bottom: most recent first.
+  ASSERT_TRUE(deque.pop(item));
+  EXPECT_EQ(item, 13u);
+  // Thief steals the top: oldest first.
+  ASSERT_EQ(deque.steal(item), StealResult::kStole);
+  EXPECT_EQ(item, 10u);
+  ASSERT_EQ(deque.steal(item), StealResult::kStole);
+  EXPECT_EQ(item, 11u);
+  ASSERT_TRUE(deque.pop(item));
+  EXPECT_EQ(item, 12u);
+
+  EXPECT_FALSE(deque.pop(item));
+  EXPECT_EQ(deque.steal(item), StealResult::kEmpty);
+}
+
+TEST(StealDequeTest, PushRefusesToGrowPastCapacity) {
+  StealDeque deque(4);
+  for (std::size_t i = 0; i < 4; ++i) ASSERT_TRUE(deque.push(i));
+  EXPECT_FALSE(deque.push(99));
+  // Freeing one slot re-enables exactly one push.
+  std::size_t item = 0;
+  ASSERT_EQ(deque.steal(item), StealResult::kStole);
+  EXPECT_TRUE(deque.push(99));
+  EXPECT_FALSE(deque.push(100));
+}
+
+TEST(StealDequeTest, StealFromEmptyAndPopFromEmpty) {
+  StealDeque deque(4);
+  std::size_t item = 0;
+  EXPECT_EQ(deque.steal(item), StealResult::kEmpty);
+  EXPECT_FALSE(deque.pop(item));
+  // The empty-pop protocol must leave the deque usable.
+  ASSERT_TRUE(deque.push(7));
+  ASSERT_TRUE(deque.pop(item));
+  EXPECT_EQ(item, 7u);
+}
+
+TEST(StealDequeTest, OwnerAndThievesClaimEachItemExactlyOnce) {
+  // The pool's actual shape: items prepopulated, then the owner pops
+  // while thieves steal. Every item must be claimed exactly once
+  // across all participants.
+  const std::size_t items = 4096;
+  const int thieves = 3;
+  StealDeque deque(items);
+  for (std::size_t i = 0; i < items; ++i) ASSERT_TRUE(deque.push(i));
+
+  std::vector<std::atomic<int>> claims(items);
+  for (auto& c : claims) c.store(0, std::memory_order_relaxed);
+  std::atomic<std::size_t> claimed{0};
+
+  auto thief = [&] {
+    std::size_t item = 0;
+    while (claimed.load(std::memory_order_relaxed) < items) {
+      switch (deque.steal(item)) {
+        case StealResult::kStole:
+          claims[item].fetch_add(1, std::memory_order_relaxed);
+          claimed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case StealResult::kEmpty:
+        case StealResult::kContended:
+          break;  // retry until the global count says we're done
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(thieves));
+  for (int t = 0; t < thieves; ++t) pool.emplace_back(thief);
+
+  std::size_t item = 0;
+  while (deque.pop(item)) {
+    claims[item].fetch_add(1, std::memory_order_relaxed);
+    claimed.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (std::thread& t : pool) t.join();
+
+  EXPECT_EQ(claimed.load(), items);
+  for (std::size_t i = 0; i < items; ++i) {
+    EXPECT_EQ(claims[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sskel

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace sskel {
@@ -62,6 +63,86 @@ TEST(EventQueueTest, StepOnEmptyReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.step());
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PeekKeyExposesEarliestTimeAndSeq) {
+  EventQueue q;
+  SimTime t = -1;
+  std::uint64_t seq = 99;
+  EXPECT_FALSE(q.peek_key(t, seq));
+
+  q.schedule(20, [] {});  // seq 0
+  q.schedule(10, [] {});  // seq 1
+  ASSERT_TRUE(q.peek_key(t, seq));
+  EXPECT_EQ(t, 10);
+  EXPECT_EQ(seq, 1u);
+
+  q.step();
+  ASSERT_TRUE(q.peek_key(t, seq));
+  EXPECT_EQ(t, 20);
+  EXPECT_EQ(seq, 0u);
+}
+
+TEST(EventQueueTest, ExternalTimerInterleavesByTimeSeqKey) {
+  // The ring driver's calendar discipline, in miniature: an external
+  // timer draws its seq at registration time, compares against
+  // peek_key to decide who fires next, and reports through
+  // advance_now — reproducing exactly the order one heap would give.
+  EventQueue q;
+  std::vector<int> order;
+
+  q.schedule(10, [&] { order.push_back(1) /* heap @10, seq 0 */; });
+  const std::uint64_t timer_a_seq = q.take_seq();  // external @15, seq 1
+  q.schedule(15, [&] { order.push_back(3) /* heap @15, seq 2 */; });
+  const std::uint64_t timer_b_seq = q.take_seq();  // external @15, seq 3
+
+  struct ExternalTimer {
+    SimTime time;
+    std::uint64_t seq;
+    int tag;
+  };
+  std::vector<ExternalTimer> timers{{15, timer_a_seq, 2},
+                                    {15, timer_b_seq, 4}};
+  std::size_t next = 0;
+
+  for (;;) {
+    SimTime head_time = 0;
+    std::uint64_t head_seq = 0;
+    const bool queued = q.peek_key(head_time, head_seq);
+    const bool timed = next < timers.size();
+    if (!queued && !timed) break;
+    if (timed &&
+        (!queued || timers[next].time < head_time ||
+         (timers[next].time == head_time && timers[next].seq < head_seq))) {
+      q.advance_now(timers[next].time);
+      order.push_back(timers[next].tag);
+      ++next;
+    } else {
+      ASSERT_TRUE(q.step());
+    }
+  }
+  // All three seq-1..3 entries share t=15; seq decides: 2, 3, 4.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.now(), 15);
+}
+
+TEST(EventQueueTest, AdvanceNowMovesTheClockWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0);
+  q.advance_now(42);
+  EXPECT_EQ(q.now(), 42);
+  q.advance_now(42);  // idempotent at the same instant
+  EXPECT_EQ(q.now(), 42);
+  // Scheduling respects the externally-advanced clock.
+  q.schedule(50, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueueDeathTest, AdvanceNowBackwardsRejected) {
+  EventQueue q;
+  q.advance_now(10);
+  EXPECT_DEATH(q.advance_now(5), "precondition");
 }
 
 TEST(EventQueueDeathTest, SchedulingInThePastRejected) {

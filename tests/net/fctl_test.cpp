@@ -1,0 +1,107 @@
+// Tests for credit-based flow control: exhaustion and backpressure,
+// watermark-driven refills, and gating on the slowest of several
+// consumers.
+#include "net/fctl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sskel {
+namespace {
+
+TEST(FlowControlTest, ExhaustsCreditsThenBackpressures) {
+  FlowSeq consumer;  // watermark stays at 0: consumer never reads
+  FlowControl fctl(4);
+  fctl.add_consumer(&consumer);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(fctl.acquire(seq)) << "publish " << i;
+    ++seq;
+  }
+  // Ring full from the consumer's point of view: backpressure.
+  EXPECT_FALSE(fctl.acquire(seq));
+  EXPECT_EQ(fctl.stalls(), 1);
+  EXPECT_FALSE(fctl.acquire(seq));
+  EXPECT_EQ(fctl.stalls(), 2);
+}
+
+TEST(FlowControlTest, WatermarkAdvanceRestoresCredits) {
+  FlowSeq consumer;
+  FlowControl fctl(4);
+  fctl.add_consumer(&consumer);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fctl.acquire(seq));
+    ++seq;
+  }
+  ASSERT_FALSE(fctl.acquire(seq));
+
+  consumer.publish(2);  // consumer drained seqs 0 and 1
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(fctl.acquire(seq)) << "post-drain publish " << i;
+    ++seq;
+  }
+  EXPECT_FALSE(fctl.acquire(seq));
+}
+
+TEST(FlowControlTest, SlowestConsumerGates) {
+  FlowSeq fast;
+  FlowSeq slow;
+  FlowControl fctl(8);
+  fctl.add_consumer(&fast);
+  fctl.add_consumer(&slow);
+  EXPECT_EQ(fctl.consumer_count(), 2u);
+
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fctl.acquire(seq));
+    ++seq;
+  }
+  ASSERT_FALSE(fctl.acquire(seq));
+  // Only the fast consumer catches up: still gated by the slow one.
+  fast.publish(8);
+  EXPECT_FALSE(fctl.acquire(seq));
+  // The slow consumer frees exactly three seqs.
+  slow.publish(3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(fctl.acquire(seq));
+    ++seq;
+  }
+  EXPECT_FALSE(fctl.acquire(seq));
+}
+
+TEST(FlowControlTest, NoConsumersMeansFullDepthForever) {
+  // An unreliable-consumers-only ring: nothing gates the producer.
+  FlowControl fctl(2);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fctl.acquire(seq));
+    ++seq;
+  }
+  EXPECT_EQ(fctl.stalls(), 0);
+}
+
+TEST(FlowControlTest, RefillsAreBatchedOffTheHotPath) {
+  FlowSeq consumer;
+  FlowControl fctl(8);
+  fctl.add_consumer(&consumer);
+  consumer.publish(0);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fctl.acquire(seq));
+    ++seq;
+  }
+  // Eight acquires from one cached budget: a single refill.
+  EXPECT_EQ(fctl.refills(), 1);
+  EXPECT_EQ(fctl.credits_cached(), 0u);
+}
+
+TEST(FlowSeqTest, IsOneCacheLine) {
+  static_assert(sizeof(FlowSeq) == kCacheLineBytes);
+  FlowSeq fseq;
+  EXPECT_EQ(fseq.read(), 0u);
+  fseq.publish(42);
+  EXPECT_EQ(fseq.read(), 42u);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -431,5 +431,86 @@ TEST(InternDomainTest, ShardsArePerThreadAndStatsMerge) {
   EXPECT_EQ(merged.entries, 2);
 }
 
+TEST(InternTierTest, PromotionSharesAnalyticsAcrossShards) {
+  // Cross-shard promotion (DESIGN.md §12): a shard that materialized
+  // expensive analytics offers a snapshot on its next hit; another
+  // shard's first miss adopts the snapshot instead of recomputing.
+  InternGlobalTier tier;
+  StructureInternTable a;
+  StructureInternTable b;
+  a.set_global_tier(&tier);
+  b.set_global_tier(&tier);
+
+  Rng rng(0x9201107);
+  const Digraph g = random_graph(8, rng, 35);
+
+  InternedStructure* ea = a.intern(g);
+  ASSERT_NE(ea, nullptr);
+  // No analytics yet: the hit path must not promote a bare structure.
+  ASSERT_EQ(a.intern(g), ea);
+  EXPECT_EQ(tier.entry_count(), 0u);
+  EXPECT_EQ(a.stats().promotions, 0);
+
+  (void)ea->scc();  // materialize the shareable analytics
+  EXPECT_EQ(ea->scc_computes(), 1);
+  ASSERT_EQ(a.intern(g), ea);  // hit-path offer fires now
+  EXPECT_EQ(tier.entry_count(), 1u);
+  EXPECT_EQ(a.stats().promotions, 1);
+  // At most one offer per entry.
+  ASSERT_EQ(a.intern(g), ea);
+  EXPECT_EQ(a.stats().promotions, 1);
+
+  // Shard b misses, adopts the snapshot, and keeps its own entry.
+  InternedStructure* eb = b.intern(g);
+  ASSERT_NE(eb, nullptr);
+  EXPECT_NE(eb, ea);
+  const InternStats bs = b.stats();
+  EXPECT_EQ(bs.misses, 1);
+  EXPECT_EQ(bs.promotion_hits, 1);
+  // The adopted analytics arrive precomputed and uncounted: querying
+  // them must not re-run Tarjan (and must not double-report the
+  // originating shard's work).
+  EXPECT_EQ(eb->root_components(), ea->root_components());
+  EXPECT_EQ(eb->scc_computes(), 0);
+
+  // An adopted entry is never re-offered (first writer wins).
+  ASSERT_EQ(b.intern(g), eb);
+  EXPECT_EQ(b.stats().promotions, 0);
+  EXPECT_EQ(tier.entry_count(), 1u);
+}
+
+TEST(InternTierTest, CollidingFingerprintNeverAdoptsWrongAnalytics) {
+  // Degraded fingerprints make every structure collide in the tier;
+  // the same-structure compare must reject the snapshot and fall back
+  // to a fresh private computation.
+  InternTableOptions options;
+  options.degrade_fingerprint_for_tests = true;
+  InternGlobalTier tier;
+  StructureInternTable a(options);
+  StructureInternTable b(options);
+  a.set_global_tier(&tier);
+  b.set_global_tier(&tier);
+
+  Digraph g1(4);
+  g1.add_self_loops();
+  g1.add_edge(0, 1);
+  Digraph g2(4);
+  g2.add_self_loops();
+  g2.add_edge(1, 0);
+
+  InternedStructure* e1 = a.intern(g1);
+  ASSERT_NE(e1, nullptr);
+  (void)e1->scc();
+  ASSERT_EQ(a.intern(g1), e1);  // promote g1's snapshot
+  ASSERT_EQ(tier.entry_count(), 1u);
+
+  // b interns the *different* structure behind the same fingerprint.
+  InternedStructure* e2 = b.intern(g2);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(b.stats().promotion_hits, 0);
+  EXPECT_EQ(e2->nodes(), g2.nodes());
+  EXPECT_EQ(e2->graph(), g2);
+}
+
 }  // namespace
 }  // namespace sskel

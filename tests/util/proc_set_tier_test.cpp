@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -297,6 +298,86 @@ TEST(ProcSetTierTest, MixedRepresentationOperands) {
   // Equality and hash are representation-independent.
   EXPECT_TRUE(b == a);
   EXPECT_EQ(b.hash(), a.hash());
+}
+
+TEST(ProcSetTierTest, OrWordAtMatchesPerBitInsertion) {
+  // or_word_at is the bulk write the graph layer leans on
+  // (Digraph::or_in_rows64); it must agree with bit-at-a-time insert
+  // in every representation, including the sparse form and the
+  // densify-on-growth transition.
+  ScopedTierThreshold threshold(1);
+  for (const ProcId n : {64, 200, 1024}) {
+    Rng rng(mix_seed(0x02D5E7, static_cast<std::uint64_t>(n)));
+    Twin t(n);
+    const std::size_t span = (static_cast<std::size_t>(n) + 63) / 64;
+    for (int step = 0; step < 64; ++step) {
+      const std::size_t w = rng.pick_index(span);
+      // Mask the final partial word so the write stays in-universe.
+      const ProcId base = static_cast<ProcId>(64 * w);
+      const ProcId width = std::min<ProcId>(64, n - base);
+      const std::uint64_t mask = width == 64
+                                     ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << width) - 1;
+      const std::uint64_t v = rng.next_u64() & mask;
+      t.tiered.or_word_at(w, v);
+      {
+        ScopedTierPolicy scope(ProcSet::TierPolicy::kDenseOnly);
+        for (ProcId b = 0; b < width; ++b) {
+          if ((v >> b) & 1U) t.dense.insert(base + b);
+        }
+      }
+      expect_equivalent(t.tiered, t.dense);
+    }
+  }
+}
+
+TEST(ProcSetTierTest, OrWordAtZeroIsANoOpInAnyForm) {
+  ScopedTierThreshold threshold(1);
+  const ProcId n = 512;
+  ProcSet sparse(n);
+  sparse.insert(70);
+  ASSERT_TRUE(sparse.is_sparse());
+  sparse.or_word_at(3, 0);
+  EXPECT_TRUE(sparse.is_sparse());
+  EXPECT_EQ(sparse.count(), 1);
+
+  ProcSet dense = ProcSet::full(n);
+  dense.or_word_at(0, 0);
+  EXPECT_EQ(dense.count(), n);
+}
+
+TEST(ProcSetTierTest, ArenaRecyclesRetiredDensePayloads) {
+  // The word arena parks a dense payload when its set dies and serves
+  // the next same-sized materialization from the parked buffer — the
+  // mechanism that keeps repeated run construction allocation-free.
+  ScopedTierThreshold threshold(1);
+  const ProcId n = 8192;
+  // Start from a clean thread arena: earlier tests may have parked a
+  // same-sized buffer, which would satisfy the first acquisition.
+  ProcSet::release_thread_arena();
+  const std::int64_t reuses_before = ProcSet::arena_reuses();
+  const std::int64_t parked_before = ProcSet::arena_bytes();
+  {
+    const ProcSet s = ProcSet::full(n);  // dense payload, 128 words
+    ASSERT_FALSE(s.is_sparse());
+  }
+  // Destruction parked the payload instead of freeing it.
+  EXPECT_GE(ProcSet::arena_bytes() - parked_before, 1024);
+  {
+    // A sparse set growing past the densify threshold materializes
+    // its payload through the arena — from the parked buffer, not the
+    // heap.
+    ProcSet s(n);
+    ASSERT_TRUE(s.is_sparse());
+    for (ProcId p = 0; p < n && s.is_sparse(); p += 64) s.insert(p);
+    ASSERT_FALSE(s.is_sparse());
+    EXPECT_EQ(ProcSet::arena_reuses(), reuses_before + 1);
+    EXPECT_EQ(ProcSet::arena_bytes(), parked_before);
+  }
+  // ... and parks it again on destruction; release drops it for real.
+  EXPECT_GE(ProcSet::arena_bytes() - parked_before, 1024);
+  ProcSet::release_thread_arena();
+  EXPECT_LE(ProcSet::arena_bytes(), parked_before);
 }
 
 TEST(ProcSetTierTest, ClearReleasesTieredPayload) {

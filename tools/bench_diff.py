@@ -6,10 +6,12 @@ Usage:
     bench_diff.py select-baseline RUNS_JSON --current-run ID \
         --branch BRANCH [--default-branch main]
 
-Records are matched on their identity fields (op plus n/k/adversary
-when present). For every matched pair the timing fields (*_ns,
-ns_per_op) and work counters (subsets_visited*, intern_*) are
-compared; a value that grew by more than `threshold` x its baseline
+Records are matched on their identity fields (op plus n/k/adversary/
+plane/tiles when present). For every matched pair the timing fields
+(*_ns, ns_per_op), throughput rates (*_per_sec — higher is better)
+and work counters (subsets_visited*, intern_*, credit_*) are
+compared; a lower-is-better value that grew by more than `threshold`
+x its baseline — or a rate that fell below baseline / `threshold` —
 counts as a regression and flips the exit code to 1. Records present
 on only one side are reported but never fail the diff (benches come
 and go), and timing fields below a noise floor are skipped —
@@ -28,11 +30,15 @@ import json
 import sys
 
 # Fields that identify a record rather than measure it.
-IDENTITY_FIELDS = ("op", "adversary", "n", "k", "j", "rounds")
+IDENTITY_FIELDS = ("op", "adversary", "n", "k", "j", "rounds", "plane",
+                   "tiles")
 # Measured fields compared against the threshold: (suffix, noise floor).
 TIMING_SUFFIXES = ("_ns", "ns_per_op")
-COUNTER_PREFIXES = ("subsets_visited", "intern_", "peak_")
+# Throughput rates: higher is better, so the regression direction flips.
+RATE_SUFFIXES = ("_per_sec",)
+COUNTER_PREFIXES = ("subsets_visited", "intern_", "peak_", "credit_")
 TIMING_NOISE_FLOOR_NS = 1000.0  # ignore sub-microsecond timings
+RATE_NOISE_FLOOR = 1.0
 COUNTER_NOISE_FLOOR = 64.0
 
 
@@ -41,13 +47,16 @@ def record_key(record):
 
 
 def measured_fields(record):
+    """Yields (name, value, noise_floor, higher_is_better) per field."""
     for key, value in record.items():
         if key in IDENTITY_FIELDS or not isinstance(value, (int, float)):
             continue
         if any(key.endswith(s) for s in TIMING_SUFFIXES):
-            yield key, float(value), TIMING_NOISE_FLOOR_NS
+            yield key, float(value), TIMING_NOISE_FLOOR_NS, False
+        elif any(key.endswith(s) for s in RATE_SUFFIXES):
+            yield key, float(value), RATE_NOISE_FLOOR, True
         elif any(key.startswith(p) for p in COUNTER_PREFIXES):
-            yield key, float(value), COUNTER_NOISE_FLOOR
+            yield key, float(value), COUNTER_NOISE_FLOOR, False
 
 
 def load_records(path):
@@ -130,7 +139,7 @@ def main_diff(argv):
         if base_rec is None:
             print(f"  new record (not compared): {label}")
             continue
-        for field, cur_val, floor in measured_fields(cur_rec):
+        for field, cur_val, floor, higher_better in measured_fields(cur_rec):
             base_val = base_rec.get(field)
             if not isinstance(base_val, (int, float)):
                 continue
@@ -138,7 +147,15 @@ def main_diff(argv):
             if base_val < floor and cur_val < floor:
                 continue
             compared += 1
-            if base_val > 0 and cur_val > args.threshold * base_val:
+            if base_val <= 0:
+                continue
+            if higher_better:
+                if cur_val * args.threshold < base_val:
+                    ratio = base_val / max(cur_val, 1e-12)
+                    regressions.append(
+                        f"{label}: {field} {base_val:.6g} -> {cur_val:.6g} "
+                        f"({ratio:.2f}x slower > {args.threshold}x)")
+            elif cur_val > args.threshold * base_val:
                 ratio = cur_val / base_val
                 regressions.append(
                     f"{label}: {field} {base_val:.6g} -> {cur_val:.6g} "

@@ -73,7 +73,7 @@ class MeasuredFieldsTest(unittest.TestCase):
                   "intern_misses": 12, "intern_hits": 900,
                   "subsets_visited": 5, "total_ns": 1e6,
                   "note": "not-a-number"}
-        fields = {name for name, _, _ in bench_diff.measured_fields(record)}
+        fields = {name for name, _, _, _ in bench_diff.measured_fields(record)}
         self.assertEqual(
             fields,
             {"intern_misses", "intern_hits", "subsets_visited", "total_ns"})
@@ -83,15 +83,90 @@ class MeasuredFieldsTest(unittest.TestCase):
                   "peak_bytes_dense": 2_147_483_648,
                   "peak_bytes_tiered": 16_777_216,
                   "speedup": 125.0, "tiered_ns": 1e7}
-        fields = {name for name, _, _ in bench_diff.measured_fields(record)}
+        fields = {name for name, _, _, _ in bench_diff.measured_fields(record)}
         self.assertIn("peak_bytes_dense", fields)
         self.assertIn("peak_bytes_tiered", fields)
         self.assertIn("tiered_ns", fields)
         self.assertNotIn("speedup", fields)  # ratio, not timing/counter
 
     def test_identity_fields_are_never_measured(self):
-        record = {"op": "trial", "n": 64, "k": 2, "rounds": 10}
+        record = {"op": "trial", "n": 64, "k": 2, "rounds": 10,
+                  "plane": "ring", "tiles": 2}
         self.assertEqual(list(bench_diff.measured_fields(record)), [])
+
+    def test_rate_fields_are_higher_is_better(self):
+        record = {"op": "plane_throughput", "plane": "ring", "n": 24,
+                  "process_rounds_per_sec": 1.7e6, "total_ns": 2e9,
+                  "credit_stall_total": 3}
+        directions = {name: higher for name, _, _, higher
+                      in bench_diff.measured_fields(record)}
+        self.assertTrue(directions["process_rounds_per_sec"])
+        self.assertFalse(directions["total_ns"])
+        self.assertFalse(directions["credit_stall_total"])
+
+    def test_credit_counters_are_compared(self):
+        record = {"op": "multiplexed", "tiles": 2,
+                  "credit_stall_submit": 10, "credit_stall_result": 4}
+        fields = {name for name, _, _, _ in bench_diff.measured_fields(record)}
+        self.assertEqual(fields,
+                         {"credit_stall_submit", "credit_stall_result"})
+
+    def test_plane_distinguishes_record_identity(self):
+        ring = {"op": "plane_throughput", "plane": "ring", "n": 24}
+        eq = {"op": "plane_throughput", "plane": "event-queue", "n": 24}
+        self.assertNotEqual(bench_diff.record_key(ring),
+                            bench_diff.record_key(eq))
+
+
+class DiffDirectionTest(unittest.TestCase):
+    """End-to-end diff runs over temp files: regression directions."""
+
+    def run_diff(self, base_records, cur_records, threshold=2.0):
+        import json
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            cur_path = os.path.join(tmp, "cur.json")
+            with open(base_path, "w", encoding="utf-8") as f:
+                json.dump({"bench": "t", "records": base_records}, f)
+            with open(cur_path, "w", encoding="utf-8") as f:
+                json.dump({"bench": "t", "records": cur_records}, f)
+            return bench_diff.main_diff(
+                [base_path, cur_path, "--threshold", str(threshold)])
+
+    def test_rate_drop_beyond_threshold_fails(self):
+        base = [{"op": "plane_throughput", "plane": "ring",
+                 "process_rounds_per_sec": 1.6e6}]
+        cur = [{"op": "plane_throughput", "plane": "ring",
+                "process_rounds_per_sec": 0.5e6}]  # > 2x slower
+        self.assertEqual(self.run_diff(base, cur), 1)
+
+    def test_rate_gain_never_fails(self):
+        base = [{"op": "plane_throughput", "plane": "ring",
+                 "process_rounds_per_sec": 0.5e6}]
+        cur = [{"op": "plane_throughput", "plane": "ring",
+                "process_rounds_per_sec": 5e6}]  # 10x faster: fine
+        self.assertEqual(self.run_diff(base, cur), 0)
+
+    def test_rate_drop_within_threshold_passes(self):
+        base = [{"op": "plane_throughput", "plane": "ring",
+                 "process_rounds_per_sec": 1.6e6}]
+        cur = [{"op": "plane_throughput", "plane": "ring",
+                "process_rounds_per_sec": 1.0e6}]  # 1.6x: under 2x
+        self.assertEqual(self.run_diff(base, cur), 0)
+
+    def test_credit_stall_growth_fails(self):
+        base = [{"op": "multiplexed", "tiles": 2,
+                 "credit_stall_submit": 100}]
+        cur = [{"op": "multiplexed", "tiles": 2,
+                "credit_stall_submit": 500}]
+        self.assertEqual(self.run_diff(base, cur), 1)
+
+    def test_missing_baseline_record_is_skipped(self):
+        base = []
+        cur = [{"op": "plane_throughput", "plane": "ring",
+                "process_rounds_per_sec": 1.6e6}]
+        self.assertEqual(self.run_diff(base, cur), 0)
 
 
 if __name__ == "__main__":
