@@ -144,7 +144,8 @@ struct MuxContext {
   Round rounds = 0;
 };
 
-TileResult run_one_mux_work(void* ctx, const TileWork& work) {
+TileResult run_one_mux_work(void* ctx, unsigned /*tile*/,
+                            const TileWork& work) {
   const auto& mux = *static_cast<const MuxContext*>(ctx);
   const ThroughputRun run =
       run_throughput(NetPlane::kRing, *mux.links, mux.rounds, work.seed);

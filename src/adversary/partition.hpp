@@ -39,6 +39,13 @@ class PartitionSource final : public GraphSource {
   /// Allocation-free round generation over the stable block structure.
   void graph_into(Round r, Digraph& out) override;
 
+  /// Rebinds the source to a new trial seed. Equivalent to
+  /// constructing PartitionSource(seed, same params) — the seed only
+  /// feeds the per-round noise RNG — but skips re-validating the
+  /// partition and rebuilding the stable graph, so per-worker trial
+  /// scratches can reuse one source across a whole batch.
+  void reseed(std::uint64_t seed) { seed_ = seed; }
+
   /// The stable skeleton: disjoint complete blocks (self-loops in).
   [[nodiscard]] const Digraph& stable_skeleton() const { return stable_; }
 

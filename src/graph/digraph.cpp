@@ -74,6 +74,13 @@ void Digraph::reset() {
   for (ProcSet& row : in_) row.clear();
 }
 
+void Digraph::fill_complete() {
+  const ProcSet all = ProcSet::full(n_);
+  nodes_ = all;
+  for (ProcSet& row : out_) row = all;
+  for (ProcSet& row : in_) row = all;
+}
+
 namespace {
 /// In-place 64x64 bit-matrix transpose (Hacker's Delight 7-3, with
 /// the shifts mirrored for the LSB-is-column-0 convention ProcSet

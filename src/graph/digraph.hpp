@@ -125,6 +125,12 @@ class Digraph {
   /// 2n rows for) a new Digraph every round.
   void reset();
 
+  /// Restores the complete graph (every edge including self-loops) in
+  /// place, reusing row storage — the counterpart of reset() for
+  /// consumers that start from Digraph::complete, like a recycled
+  /// skeleton tracker.
+  void fill_complete();
+
   [[nodiscard]] bool has_edge(ProcId q, ProcId p) const {
     return out_[static_cast<std::size_t>(q)].contains(p);
   }

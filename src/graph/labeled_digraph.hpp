@@ -41,6 +41,11 @@ class GraphStructure {
   /// last capture(). False before any capture.
   [[nodiscard]] bool matches(const LabeledDigraph& g) const;
 
+  /// Forgets the last capture — matches() is false until the next
+  /// capture() — while keeping the row buffers for reuse (trial
+  /// scratch reset).
+  void invalidate() { valid_ = false; }
+
  private:
   bool valid_ = false;
   ProcSet nodes_;

@@ -26,6 +26,12 @@ SkeletonMessage AblationKSetProcess::send(Round /*r*/) {
   return SkeletonMessage{decided_, x_, g_};
 }
 
+void AblationKSetProcess::send_into(Round /*r*/, SkeletonMessage& out) {
+  out.decide = decided_;
+  out.x = x_;
+  out.graph = g_;  // copy-assign: the outbox slot's rows are reused
+}
+
 void AblationKSetProcess::transition(Round r,
                                      const Inbox<SkeletonMessage>& inbox) {
   pt_ &= inbox.senders();

@@ -46,6 +46,7 @@ class AblationKSetProcess final : public Algorithm<SkeletonMessage> {
                       DecisionGuard guard = DecisionGuard::kAfterRoundN);
 
   [[nodiscard]] SkeletonMessage send(Round r) override;
+  void send_into(Round r, SkeletonMessage& out) override;
   void transition(Round r, const Inbox<SkeletonMessage>& inbox) override;
 
   [[nodiscard]] Value proposal() const { return proposal_; }

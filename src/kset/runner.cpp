@@ -49,29 +49,35 @@ std::vector<std::unique_ptr<Algorithm<SkeletonMessage>>> make_kset_processes(
   return procs;
 }
 
-KSetRunReport run_kset_on_engine(RoundEngine<SkeletonMessage>& engine,
-                                 const KSetRunConfig& config) {
+namespace {
+
+/// Concrete views of the engine's processes, built once per engine
+/// (trial scratches cache them across runs).
+std::vector<SkeletonKSetProcess*> kset_views(
+    RoundEngine<SkeletonMessage>& engine) {
+  const ProcId n = engine.n();
+  std::vector<SkeletonKSetProcess*> views;
+  views.reserve(static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < n; ++p) {
+    auto* view = dynamic_cast<SkeletonKSetProcess*>(&engine.process(p));
+    SSKEL_REQUIRE(view != nullptr);
+    views.push_back(view);
+  }
+  return views;
+}
+
+/// The run loop and report build behind run_kset_on_engine. The
+/// tracker arrives freshly constructed or reset(), interned per the
+/// config, with its observer already on the engine's bus; `views` are
+/// the engine's processes.
+KSetRunReport run_kset_core(RoundEngine<SkeletonMessage>& engine,
+                            const KSetRunConfig& config,
+                            SkeletonTracker& tracker,
+                            const std::vector<SkeletonKSetProcess*>& views) {
   const ProcId n = engine.n();
   SSKEL_REQUIRE(n > 0);
   SSKEL_REQUIRE(config.k >= 1);
   SSKEL_REQUIRE(engine.rounds_completed() == 0);
-
-  // The engine owns Algorithm<SkeletonMessage> processes; the analysis
-  // stack needs the concrete SkeletonKSetProcess views.
-  std::vector<const SkeletonKSetProcess*> views;
-  views.reserve(static_cast<std::size_t>(n));
-  for (ProcId p = 0; p < n; ++p) {
-    const auto* view =
-        dynamic_cast<const SkeletonKSetProcess*>(&engine.process(p));
-    SSKEL_REQUIRE(view != nullptr);
-    views.push_back(view);
-  }
-
-  SkeletonTracker tracker(n);
-  if (config.intern != nullptr) {
-    tracker.attach_intern(&config.intern->local());
-  }
-  engine.add_observer(tracker.observer());
 
   if (config.measure_bytes) {
     engine.set_message_sizer(
@@ -163,10 +169,95 @@ KSetRunReport run_kset_on_engine(RoundEngine<SkeletonMessage>& engine,
   return report;
 }
 
+}  // namespace
+
+KSetRunReport run_kset_on_engine(RoundEngine<SkeletonMessage>& engine,
+                                 const KSetRunConfig& config) {
+  SkeletonTracker tracker(engine.n());
+  if (config.intern != nullptr) {
+    tracker.attach_intern(&config.intern->local());
+  }
+  engine.add_observer(tracker.observer());
+  return run_kset_core(engine, config, tracker, kset_views(engine));
+}
+
 KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
   Simulator<SkeletonMessage> sim(source,
                                  make_kset_processes(source.n(), config));
   return run_kset_on_engine(sim, config);
+}
+
+struct KSetTrialScratch::Impl {
+  std::unique_ptr<Simulator<SkeletonMessage>> sim;
+  std::unique_ptr<SkeletonTracker> tracker;
+  std::vector<SkeletonKSetProcess*> views;
+  /// default_proposals(n), computed once — reused whenever the run
+  /// config does not supply proposals.
+  std::vector<Value> default_props;
+  ProcId n = 0;
+  DecisionGuard guard = DecisionGuard::kAfterRoundN;
+  std::int64_t reuses = 0;
+};
+
+KSetTrialScratch::KSetTrialScratch() = default;
+KSetTrialScratch::~KSetTrialScratch() = default;
+KSetTrialScratch::KSetTrialScratch(KSetTrialScratch&&) noexcept = default;
+KSetTrialScratch& KSetTrialScratch::operator=(KSetTrialScratch&&) noexcept =
+    default;
+
+std::int64_t KSetTrialScratch::reuses() const {
+  return impl_ != nullptr ? impl_->reuses : 0;
+}
+
+KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config,
+                       KSetTrialScratch& scratch) {
+  if (scratch.impl_ == nullptr) {
+    scratch.impl_ = std::make_unique<KSetTrialScratch::Impl>();
+  }
+  KSetTrialScratch::Impl& impl = *scratch.impl_;
+  const ProcId n = source.n();
+
+  if (impl.sim == nullptr || impl.n != n || impl.guard != config.guard) {
+    // First use or shape change: build once, reuse thereafter. The
+    // guard is a constructor-time choice of the processes, so a guard
+    // change rebuilds rather than resets.
+    impl.sim = std::make_unique<Simulator<SkeletonMessage>>(
+        source, make_kset_processes(n, config));
+    impl.tracker = std::make_unique<SkeletonTracker>(n);
+    impl.views = kset_views(*impl.sim);
+    impl.default_props.clear();
+    impl.n = n;
+    impl.guard = config.guard;
+  } else {
+    // Reuse: rebind the engine and restore every process and the
+    // tracker to the state first use would have constructed —
+    // including the per-call intern-shard binding, which must come
+    // from the *current* thread and the *current* config.
+    impl.sim->reset(source);
+    impl.tracker->reset();
+    const std::vector<Value>* proposals = &config.proposals;
+    if (config.proposals.empty()) {
+      if (impl.default_props.empty()) {
+        impl.default_props = default_proposals(n);
+      }
+      proposals = &impl.default_props;
+    }
+    SSKEL_REQUIRE(proposals->size() == static_cast<std::size_t>(n));
+    StructureInternTable* table =
+        config.intern != nullptr ? &config.intern->local() : nullptr;
+    for (ProcId p = 0; p < n; ++p) {
+      SkeletonKSetProcess* proc = impl.views[static_cast<std::size_t>(p)];
+      proc->reset((*proposals)[static_cast<std::size_t>(p)]);
+      proc->set_intern_table(table);
+    }
+    ++impl.reuses;
+  }
+
+  if (config.intern != nullptr) {
+    impl.tracker->attach_intern(&config.intern->local());
+  }
+  impl.sim->add_observer(impl.tracker->observer());
+  return run_kset_core(*impl.sim, config, *impl.tracker, impl.views);
 }
 
 }  // namespace sskel

@@ -111,6 +111,42 @@ make_kset_processes(ProcId n, const KSetRunConfig& config);
 [[nodiscard]] KSetRunReport run_kset(GraphSource& source,
                                      const KSetRunConfig& config);
 
+/// Reusable across-trial state for run_kset: the Simulator (round
+/// graph + outbox storage) and the n process objects survive between
+/// trials, so a repeat trial costs n process *resets* instead of n
+/// process constructions plus an engine construction — the dominant
+/// fixed cost of small-n Monte-Carlo (DESIGN.md §13). One scratch
+/// serves one thread; the tile plane keeps one per tile.
+///
+/// The scratch is revalidated per call: a different n or decision
+/// guard rebuilds the engine, and the intern-table binding is
+/// refreshed from the *calling thread's* shard every trial, so a
+/// scratch is safe across configs and (sequentially) across threads.
+class KSetTrialScratch {
+ public:
+  KSetTrialScratch();
+  ~KSetTrialScratch();
+  KSetTrialScratch(KSetTrialScratch&&) noexcept;
+  KSetTrialScratch& operator=(KSetTrialScratch&&) noexcept;
+
+  /// Trials served by reusing the persistent engine (vs rebuilt).
+  [[nodiscard]] std::int64_t reuses() const;
+
+ private:
+  friend KSetRunReport run_kset(GraphSource& source,
+                                const KSetRunConfig& config,
+                                KSetTrialScratch& scratch);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// run_kset with persistent engine/process reuse. Reports are
+/// bit-identical to the scratch-free overload (the scheduler
+/// equivalence tripwire pins this).
+[[nodiscard]] KSetRunReport run_kset(GraphSource& source,
+                                     const KSetRunConfig& config,
+                                     KSetTrialScratch& scratch);
+
 /// Default distinct proposals (100*p + 7) for n processes.
 [[nodiscard]] std::vector<Value> default_proposals(ProcId n);
 

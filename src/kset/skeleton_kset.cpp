@@ -17,10 +17,34 @@ SkeletonKSetProcess::SkeletonKSetProcess(ProcId n, ProcId id, Value proposal,
   SSKEL_REQUIRE(proposal != kNoValue);
 }
 
+void SkeletonKSetProcess::reset(Value proposal) {
+  SSKEL_REQUIRE(proposal != kNoValue);
+  proposal_ = proposal;
+  x_ = proposal;            // Line 2
+  pt_ = ProcSet::full(n()); // Line 1
+  g_.reset(id());           // Line 3
+  decided_ = false;
+  decision_round_ = 0;
+  path_ = DecisionPath::kNone;
+  structure_.invalidate();
+  cached_sc_ = false;
+  cached_sc_valid_ = false;
+  reach_cache_hits_ = 0;
+  intern_ = nullptr;
+  entry_ = nullptr;
+  intern_resolutions_ = 0;
+}
+
 SkeletonMessage SkeletonKSetProcess::send(Round /*r*/) {
   // Lines 5-8: the same payload is broadcast either as a decide or a
   // prop message.
   return SkeletonMessage{decided_, x_, g_};
+}
+
+void SkeletonKSetProcess::send_into(Round /*r*/, SkeletonMessage& out) {
+  out.decide = decided_;
+  out.x = x_;
+  out.graph = g_;  // copy-assign: the outbox slot's rows are reused
 }
 
 void SkeletonKSetProcess::transition(Round r, const Inbox<SkeletonMessage>& inbox) {

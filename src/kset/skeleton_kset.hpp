@@ -54,7 +54,17 @@ class SkeletonKSetProcess final : public Algorithm<SkeletonMessage> {
   SkeletonKSetProcess(ProcId n, ProcId id, Value proposal,
                       DecisionGuard guard = DecisionGuard::kAfterRoundN);
 
+  /// Restores the freshly-constructed state for a new trial with a
+  /// (possibly different) proposal, reusing the PT/G_p storage and the
+  /// structure-cache buffers instead of reallocating them. n, id and
+  /// guard are fixed; the intern table detaches (the next trial's
+  /// table may belong to a different run — call set_intern_table
+  /// again). The cross-scheduler bit-equality tripwire
+  /// (tests/mc/mc_plane_test.cpp) pins reset == construct.
+  void reset(Value proposal);
+
   [[nodiscard]] SkeletonMessage send(Round r) override;
+  void send_into(Round r, SkeletonMessage& out) override;
   void transition(Round r, const Inbox<SkeletonMessage>& inbox) override;
 
   /// v_p, the initial proposal.

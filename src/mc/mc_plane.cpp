@@ -1,0 +1,110 @@
+#include "mc/mc_plane.hpp"
+
+#include "mc/parallel_for.hpp"
+#include "util/rng.hpp"
+#include "util/topology.hpp"
+
+namespace sskel {
+
+namespace {
+
+TilePlaneOptions to_tile_options(const McPlaneOptions& options) {
+  TilePlaneOptions tile_options;
+  tile_options.ring_depth = options.ring_depth;
+  tile_options.lazy = options.lazy;
+  tile_options.pin_threads = options.pin_tiles;
+  tile_options.cpu_placement = options.cpu_placement;
+  return tile_options;
+}
+
+}  // namespace
+
+McTilePlane::McTilePlane(const ScenarioFactory& scenario,
+                         McPlaneOptions options)
+    : scenario_(&scenario),
+      scratch_(resolve_tile_count(options.tiles)),
+      // scratch_.size() rather than resolving again: SSKEL_THREADS is
+      // re-read per resolve and must bind exactly once per plane.
+      plane_(static_cast<unsigned>(scratch_.size()), &McTilePlane::work_fn,
+             this, to_tile_options(options)) {
+  for (auto& slot : scratch_) slot = scenario.make_scratch();
+}
+
+McTilePlane::~McTilePlane() = default;
+
+TileResult McTilePlane::work_fn(void* ctx, unsigned tile,
+                                const TileWork& work) {
+  auto* self = static_cast<McTilePlane*>(ctx);
+  const auto t = static_cast<std::size_t>(work.id);
+  // Exclusive write: trial index t belongs to exactly one work item.
+  // The result-ring publish (release) orders it before the
+  // dispatcher's drain (acquire) of the completion token below.
+  (*self->batch_.results)[t] = self->scenario_->run_trial(
+      work.seed, *self->batch_.config, self->scratch_[tile].get());
+  TileResult token;
+  token.id = work.id;
+  return token;
+}
+
+McSummary McTilePlane::run(std::uint64_t master_seed, int trials,
+                           const KSetRunConfig& config,
+                           const TrialCallback& per_trial) {
+  SSKEL_REQUIRE(trials >= 0);
+
+  // The persistent domain is the service's point: tile shards carry
+  // interned analytics from batch to batch, so a converged scenario's
+  // second batch re-analyzes (almost) nothing.
+  KSetRunConfig run_config = config;
+  if (run_config.intern == nullptr) run_config.intern = &intern_;
+
+  ProcSet::reset_peak_bytes();
+
+  results_.assign(static_cast<std::size_t>(trials), ScenarioTrial{});
+  batch_.config = &run_config;
+  batch_.results = &results_;
+
+  tokens_.clear();
+  for (int t = 0; t < trials; ++t) {
+    TileWork work;
+    work.id = static_cast<std::uint64_t>(t);
+    work.seed = mix_seed(master_seed, static_cast<std::uint64_t>(t));
+    plane_.submit(work);
+    plane_.drain(tokens_);
+  }
+  while (tokens_.size() < static_cast<std::size_t>(trials)) {
+    if (plane_.drain(tokens_) == 0) std::this_thread::yield();
+  }
+
+  McSummary summary;
+  summary.scenario = scenario_->name();
+  summary.intern = run_config.intern->merged_stats();
+  summary.intern_shards =
+      static_cast<std::int64_t>(run_config.intern->shard_count());
+  summary.peak_proc_set_bytes = ProcSet::peak_bytes();
+  summary.live_proc_set_bytes = ProcSet::live_bytes();
+  summary.arena_proc_set_bytes = ProcSet::arena_bytes();
+  summary.arena_reuses = ProcSet::arena_reuses();
+  summary.bytes_measured = config.measure_bytes;
+  summary.scheduler = "tile-plane";
+  summary.tiles = static_cast<std::int64_t>(plane_.tiles());
+  summary.tile_placement = cpu_list_to_string(plane_.placement());
+  summary.failed_pins = static_cast<std::int64_t>(plane_.failed_pins());
+  fold_scenario_trials(summary, results_, config, per_trial);
+  return summary;
+}
+
+McSummary run_scenario_trials_on(McScheduler scheduler,
+                                 const ScenarioFactory& scenario,
+                                 std::uint64_t master_seed, int trials,
+                                 const KSetRunConfig& config,
+                                 const McPlaneOptions& options,
+                                 const TrialCallback& per_trial) {
+  if (scheduler == McScheduler::kPool) {
+    return run_scenario_trials(scenario, master_seed, trials, config,
+                               options.tiles, per_trial);
+  }
+  McTilePlane plane(scenario, options);
+  return plane.run(master_seed, trials, config, per_trial);
+}
+
+}  // namespace sskel

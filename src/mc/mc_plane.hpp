@@ -1,0 +1,147 @@
+// Monte-Carlo trial scheduling on the tile plane (DESIGN.md §13).
+//
+// run_scenario_trials (the "pool" scheduler) fans trials over the
+// fork-join WorkerPool: correct and bit-deterministic, but every call
+// pays batch-scoped fixed costs — a fresh InternDomain whose shards
+// re-analyze every structure the previous batch already knew, and a
+// fresh engine + n process constructions per trial. Campaign-scale
+// runs are many small batches, so those fixed costs dominate at small
+// n.
+//
+// McTilePlane is the same trial loop rebuilt as a persistent
+// *service* over the PR 7 tile/ring transport:
+//
+//   * trial batches flow through the TilePlane's credit-gated
+//     submit/result FragRings as TileWork{trial, seed} and come back
+//     RingMux-merged, exactly like the multiplexed net runs;
+//   * each tile owns persistent worker state — its InternDomain shard
+//     (tile threads live across batches, so InternDomain::local() is
+//     stable per tile), its ProcSet word arena, and a reusable
+//     engine/scenario scratch (ScenarioFactory::make_scratch) — so a
+//     trial resets hot structures instead of reconstructing them;
+//   * tiles are placed physical-core-first from the probed host
+//     topology when pinning is enabled (util/topology.hpp), and the
+//     effective placement + failed pin count surface in McSummary.
+//
+// Determinism: trial t always uses seed mix_seed(master, t), results
+// land in a trial-indexed buffer (the result ring carries completion
+// tokens, not payloads — the ring's release/acquire ordering makes
+// the buffer write visible to the dispatcher), and the fold is the
+// shared fold_scenario_trials — so McSummary's trial-derived fields
+// are bit-identical across tile counts and vs the pool scheduler.
+// The pool path stays selectable as the reference scheduler,
+// mirroring the NetPlane::kRing/kEventQueue pattern.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mc/montecarlo.hpp"
+#include "mc/scenario.hpp"
+#include "net/tile.hpp"
+#include "skeleton/intern.hpp"
+
+namespace sskel {
+
+/// Which trial scheduler runs a Monte-Carlo batch (the NetPlane
+/// pattern: new fast path + selectable reference path).
+enum class McScheduler {
+  kPool,       // fork-join WorkerPool (reference)
+  kTilePlane,  // persistent tile-plane service
+};
+
+struct McPlaneOptions {
+  /// Worker tiles. 0 = resolve from SSKEL_THREADS / hardware
+  /// concurrency; explicit values are still capped by SSKEL_THREADS
+  /// (resolve_tile_count — the single concurrency knob).
+  unsigned tiles = 0;
+  /// Intake/result ring depth (tiny values exercise backpressure).
+  std::size_t ring_depth = 64;
+  /// Watermark-publication cadence (TilePlaneOptions::lazy).
+  std::int64_t lazy = 8;
+  /// Pin tiles physical-core-first from the probed topology (or
+  /// `cpu_placement` when set). Off by default: single-core CI hosts
+  /// gain nothing and lose scheduling freedom.
+  bool pin_tiles = false;
+  /// Explicit CPU per tile (cycled); empty = derive from topology.
+  std::vector<int> cpu_placement;
+};
+
+/// A persistent Monte-Carlo scheduling service: construct once per
+/// scenario, call run() per batch. Tiles, their intern shards, and
+/// their engine scratch survive between batches — the second batch of
+/// a converged scenario runs almost entirely on interned analytics
+/// and reset (not reconstructed) engines. Dispatcher methods (run and
+/// the counters) belong to one thread at a time.
+class McTilePlane {
+ public:
+  explicit McTilePlane(const ScenarioFactory& scenario,
+                       McPlaneOptions options = {});
+  ~McTilePlane();
+
+  McTilePlane(const McTilePlane&) = delete;
+  McTilePlane& operator=(const McTilePlane&) = delete;
+
+  /// Runs one batch: trial t gets seed mix_seed(master_seed, t);
+  /// aggregates fold in trial order. Bit-identical trial fields vs
+  /// run_scenario_trials with the same (scenario, seed, trials,
+  /// config). When config.intern is null the service's own persistent
+  /// domain is used (intern stats in the summary are then cumulative
+  /// across this plane's batches — service-level counters, like the
+  /// stall counters below).
+  [[nodiscard]] McSummary run(std::uint64_t master_seed, int trials,
+                              const KSetRunConfig& config,
+                              const TrialCallback& per_trial = {});
+
+  [[nodiscard]] unsigned tiles() const { return plane_.tiles(); }
+  [[nodiscard]] unsigned failed_pins() const { return plane_.failed_pins(); }
+  [[nodiscard]] const std::vector<int>& placement() const {
+    return plane_.placement();
+  }
+  [[nodiscard]] std::int64_t submit_stalls() const {
+    return plane_.submit_stalls();
+  }
+  [[nodiscard]] std::int64_t result_stalls() const {
+    return plane_.result_stalls();
+  }
+  /// Trials executed by this service since construction.
+  [[nodiscard]] std::int64_t trials_executed() const {
+    return plane_.frags_processed();
+  }
+
+ private:
+  static TileResult work_fn(void* ctx, unsigned tile, const TileWork& work);
+
+  /// One batch's shared inputs. Mutated only between batches: every
+  /// result of the previous batch is drained (acquire) before run()
+  /// returns, and the new values publish to tiles via the intake
+  /// ring's release, so tiles never observe a torn batch.
+  struct Batch {
+    const KSetRunConfig* config = nullptr;
+    std::vector<ScenarioTrial>* results = nullptr;
+  };
+
+  const ScenarioFactory* scenario_;
+  /// Persistent cross-batch intern domain; tile threads are stable so
+  /// each tile keeps one shard for the service's lifetime.
+  InternDomain intern_;
+  /// Per-tile engine/scenario scratch (index = tile).
+  std::vector<std::unique_ptr<ScenarioFactory::Scratch>> scratch_;
+  /// Trial-indexed result buffer, reused across batches.
+  std::vector<ScenarioTrial> results_;
+  Batch batch_;
+  std::vector<TileResult> tokens_;  // drained completion tokens
+  TilePlane plane_;                 // last: joins tiles before the rest dies
+};
+
+/// Scheduler-dispatching convenience: kPool calls run_scenario_trials
+/// (threads = options.tiles), kTilePlane builds a one-batch
+/// McTilePlane. Campaign code holds a McTilePlane directly to reuse
+/// it across batches.
+[[nodiscard]] McSummary run_scenario_trials_on(
+    McScheduler scheduler, const ScenarioFactory& scenario,
+    std::uint64_t master_seed, int trials, const KSetRunConfig& config,
+    const McPlaneOptions& options = {}, const TrialCallback& per_trial = {});
+
+}  // namespace sskel

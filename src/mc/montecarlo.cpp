@@ -5,41 +5,10 @@
 
 namespace sskel {
 
-McSummary run_scenario_trials(const ScenarioFactory& scenario,
-                              std::uint64_t master_seed, int trials,
-                              const KSetRunConfig& config, unsigned threads,
-                              const TrialCallback& per_trial) {
-  SSKEL_REQUIRE(trials >= 0);
-
-  // Intern by default: trials on one worker share a table shard, so
-  // the distinct structures of a whole seed sweep are analyzed once
-  // per worker instead of once per trial. A caller-supplied domain
-  // (config.intern) extends the sharing across several sweeps.
-  InternDomain trial_domain;
-  KSetRunConfig run_config = config;
-  if (run_config.intern == nullptr) run_config.intern = &trial_domain;
-
-  // High-water mark for this batch only (sets live before the batch
-  // still count toward the level the mark is measured from).
-  ProcSet::reset_peak_bytes();
-
-  const std::vector<ScenarioTrial> results = collect_parallel<ScenarioTrial>(
-      static_cast<std::size_t>(trials),
-      [&](std::size_t t) {
-        return scenario.run_trial(mix_seed(master_seed, t), run_config);
-      },
-      threads);
-
-  McSummary summary;
-  summary.scenario = scenario.name();
-  summary.intern = run_config.intern->merged_stats();
-  summary.intern_shards =
-      static_cast<std::int64_t>(run_config.intern->shard_count());
-  summary.peak_proc_set_bytes = ProcSet::peak_bytes();
-  summary.live_proc_set_bytes = ProcSet::live_bytes();
-  summary.arena_proc_set_bytes = ProcSet::arena_bytes();
-  summary.arena_reuses = ProcSet::arena_reuses();
-  summary.bytes_measured = config.measure_bytes;
+void fold_scenario_trials(McSummary& summary,
+                          const std::vector<ScenarioTrial>& results,
+                          const KSetRunConfig& config,
+                          const TrialCallback& per_trial) {
   for (std::size_t t = 0; t < results.size(); ++t) {
     const ScenarioTrial& trial = results[t];
     const KSetRunReport& report = trial.kset;
@@ -78,6 +47,46 @@ McSummary run_scenario_trials(const ScenarioFactory& scenario,
     }
     if (per_trial) per_trial(t, trial);
   }
+}
+
+McSummary run_scenario_trials(const ScenarioFactory& scenario,
+                              std::uint64_t master_seed, int trials,
+                              const KSetRunConfig& config, unsigned threads,
+                              const TrialCallback& per_trial) {
+  SSKEL_REQUIRE(trials >= 0);
+
+  // Intern by default: trials on one worker share a table shard, so
+  // the distinct structures of a whole seed sweep are analyzed once
+  // per worker instead of once per trial. A caller-supplied domain
+  // (config.intern) extends the sharing across several sweeps.
+  InternDomain trial_domain;
+  KSetRunConfig run_config = config;
+  if (run_config.intern == nullptr) run_config.intern = &trial_domain;
+
+  // High-water mark for this batch only (sets live before the batch
+  // still count toward the level the mark is measured from).
+  ProcSet::reset_peak_bytes();
+
+  const std::vector<ScenarioTrial> results = collect_parallel<ScenarioTrial>(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t) {
+        return scenario.run_trial(mix_seed(master_seed, t), run_config);
+      },
+      threads);
+
+  McSummary summary;
+  summary.scenario = scenario.name();
+  summary.intern = run_config.intern->merged_stats();
+  summary.intern_shards =
+      static_cast<std::int64_t>(run_config.intern->shard_count());
+  summary.peak_proc_set_bytes = ProcSet::peak_bytes();
+  summary.live_proc_set_bytes = ProcSet::live_bytes();
+  summary.arena_proc_set_bytes = ProcSet::arena_bytes();
+  summary.arena_reuses = ProcSet::arena_reuses();
+  summary.bytes_measured = config.measure_bytes;
+  summary.scheduler = "pool";
+  summary.tiles = static_cast<std::int64_t>(resolve_thread_count(threads));
+  fold_scenario_trials(summary, results, config, per_trial);
   return summary;
 }
 

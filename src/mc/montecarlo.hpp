@@ -76,6 +76,19 @@ struct McSummary {
   /// count of dense materializations served from a recycled buffer.
   std::int64_t arena_proc_set_bytes = 0;
   std::int64_t arena_reuses = 0;
+
+  /// Scheduler provenance (DESIGN.md §13): which trial scheduler
+  /// produced this summary ("pool" or "tile-plane"), how many
+  /// workers/tiles it ran, the planned CPU per tile when pinning was
+  /// on ("" otherwise, util/topology.hpp rendering), and how many pins
+  /// the OS refused — so a throughput regression caused by denied
+  /// affinity is diagnosable from the artifact alone. Excluded from
+  /// the cross-scheduler bit-equality tripwire, like the intern/arena
+  /// fields above.
+  std::string scheduler = "pool";
+  std::int64_t tiles = 0;
+  std::string tile_placement;
+  std::int64_t failed_pins = 0;
 };
 
 /// Optional per-trial hook, invoked in trial order after the parallel
@@ -83,6 +96,18 @@ struct McSummary {
 /// the full trial result; use it for per-trial tables the summary's
 /// accumulators don't capture.
 using TrialCallback = std::function<void(std::size_t, const ScenarioTrial&)>;
+
+/// Folds per-trial results into `summary` in trial order and fires
+/// `per_trial` for each. Shared verbatim by the pool scheduler
+/// (run_scenario_trials) and the tile-plane scheduler (McTilePlane),
+/// so the trial-derived aggregates are bit-identical across
+/// schedulers by construction. `config` supplies the guard for the
+/// Lemma-11 bound check and measure_bytes gating; summary.runs etc.
+/// accumulate on top of whatever is already in `summary`.
+void fold_scenario_trials(McSummary& summary,
+                          const std::vector<ScenarioTrial>& results,
+                          const KSetRunConfig& config,
+                          const TrialCallback& per_trial = {});
 
 /// Runs `trials` independent trials of `scenario`. Trial t uses the
 /// seed mix_seed(master_seed, t). Thread count 0 = hardware

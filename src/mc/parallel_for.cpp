@@ -32,6 +32,25 @@ unsigned resolve_thread_count(unsigned requested) {
   return threads_from_env_value(std::getenv("SSKEL_THREADS"), hw);
 }
 
+unsigned tiles_from_env_value(unsigned requested, const char* value,
+                              unsigned hardware) {
+  if (requested == 0) return threads_from_env_value(value, hardware);
+  if (value == nullptr || *value == '\0') return requested;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  for (const char* c = end; c != nullptr && *c != '\0'; ++c) {
+    if (std::isspace(static_cast<unsigned char>(*c)) == 0) return requested;
+  }
+  if (end == value || parsed <= 0) return requested;
+  if (parsed >= static_cast<long>(requested)) return requested;
+  return static_cast<unsigned>(parsed);
+}
+
+unsigned resolve_tile_count(unsigned requested) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return tiles_from_env_value(requested, std::getenv("SSKEL_THREADS"), hw);
+}
+
 namespace detail {
 
 namespace {

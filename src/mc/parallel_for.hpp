@@ -54,6 +54,22 @@ namespace sskel {
 [[nodiscard]] unsigned threads_from_env_value(const char* value,
                                               unsigned hardware);
 
+/// SSKEL_THREADS as the single concurrency knob, applied to a tile
+/// count: requested == 0 resolves exactly like the worker pool
+/// (threads_from_env_value, hardware-clamped); an explicit nonzero
+/// request is *capped* by a parsed-positive SSKEL_THREADS but is NOT
+/// hardware-clamped — oversubscribed tile counts are a deliberate
+/// testing configuration (4 tiles on a 1-core host must stay 4 unless
+/// the env says less). Unparsable env values leave the request alone.
+/// Pure; exposed for unit tests.
+[[nodiscard]] unsigned tiles_from_env_value(unsigned requested,
+                                            const char* value,
+                                            unsigned hardware);
+
+/// tiles_from_env_value against the live SSKEL_THREADS (re-read per
+/// call) and hardware concurrency.
+[[nodiscard]] unsigned resolve_tile_count(unsigned requested);
+
 namespace detail {
 
 /// The process-wide persistent worker pool. Created lazily on the

@@ -17,12 +17,58 @@ ScenarioTrial from_report(KSetRunReport report) {
   return trial;
 }
 
+/// Scratch for the simulator-backed scenarios: one persistent
+/// engine + process vector per worker (kset/runner.hpp).
+class KSetScratch : public ScenarioFactory::Scratch {
+ public:
+  KSetTrialScratch kset;
+};
+
+/// PartitionScenario's scratch additionally persists the graph source:
+/// the partition's stable structure is seed-independent, so a reseed
+/// replays exactly what a fresh construction would produce without
+/// re-validating the blocks or rebuilding the stable graph.
+class PartitionScratch final : public KSetScratch {
+ public:
+  std::unique_ptr<PartitionSource> source;
+};
+
+/// Downcast helper: any foreign scratch (or nullptr) degrades to the
+/// scratch-free path rather than failing.
+KSetTrialScratch* kset_scratch(ScenarioFactory::Scratch* scratch) {
+  auto* typed = dynamic_cast<KSetScratch*>(scratch);
+  return typed != nullptr ? &typed->kset : nullptr;
+}
+
+ScenarioTrial run_kset_trial(GraphSource& source, const KSetRunConfig& config,
+                             ScenarioFactory::Scratch* scratch) {
+  KSetTrialScratch* reuse = kset_scratch(scratch);
+  return from_report(reuse != nullptr ? run_kset(source, config, *reuse)
+                                      : run_kset(source, config));
+}
+
+std::unique_ptr<ScenarioFactory::Scratch> make_kset_scratch() {
+  return std::make_unique<KSetScratch>();
+}
+
 }  // namespace
 
 ScenarioTrial RandomPsrcsScenario::run_trial(
     std::uint64_t seed, const KSetRunConfig& config) const {
   RandomPsrcsSource source(seed, params_);
   return from_report(run_kset(source, config));
+}
+
+std::unique_ptr<ScenarioFactory::Scratch> RandomPsrcsScenario::make_scratch()
+    const {
+  return make_kset_scratch();
+}
+
+ScenarioTrial RandomPsrcsScenario::run_trial(std::uint64_t seed,
+                                             const KSetRunConfig& config,
+                                             Scratch* scratch) const {
+  RandomPsrcsSource source(seed, params_);
+  return run_kset_trial(source, config, scratch);
 }
 
 CrashScenario::CrashScenario(ProcId n, int crashes, Round max_crash_round)
@@ -39,6 +85,19 @@ ScenarioTrial CrashScenario::run_trial(std::uint64_t seed,
   return from_report(run_kset(*source, config));
 }
 
+std::unique_ptr<ScenarioFactory::Scratch> CrashScenario::make_scratch()
+    const {
+  return make_kset_scratch();
+}
+
+ScenarioTrial CrashScenario::run_trial(std::uint64_t seed,
+                                       const KSetRunConfig& config,
+                                       Scratch* scratch) const {
+  const std::unique_ptr<CrashSource> source =
+      make_random_crash_source(seed, n_, crashes_, max_crash_round_);
+  return run_kset_trial(*source, config, scratch);
+}
+
 PartitionScenario::PartitionScenario(PartitionParams params)
     : params_(std::move(params)), n_(0) {
   SSKEL_REQUIRE(!params_.blocks.empty());
@@ -49,6 +108,26 @@ ScenarioTrial PartitionScenario::run_trial(
     std::uint64_t seed, const KSetRunConfig& config) const {
   PartitionSource source(seed, params_);
   return from_report(run_kset(source, config));
+}
+
+std::unique_ptr<ScenarioFactory::Scratch> PartitionScenario::make_scratch()
+    const {
+  return std::make_unique<PartitionScratch>();
+}
+
+ScenarioTrial PartitionScenario::run_trial(std::uint64_t seed,
+                                           const KSetRunConfig& config,
+                                           Scratch* scratch) const {
+  if (auto* typed = dynamic_cast<PartitionScratch*>(scratch)) {
+    if (typed->source == nullptr) {
+      typed->source = std::make_unique<PartitionSource>(seed, params_);
+    } else {
+      typed->source->reseed(seed);
+    }
+    return run_kset_trial(*typed->source, config, scratch);
+  }
+  PartitionSource source(seed, params_);
+  return run_kset_trial(source, config, scratch);
 }
 
 RotatingScenario::RotatingScenario(ProcId n, Round hold)
@@ -64,6 +143,21 @@ ScenarioTrial RotatingScenario::run_trial(std::uint64_t seed,
   const std::unique_ptr<GraphSource> source =
       make_rotating_star_source(n_, hold_, first_center);
   return from_report(run_kset(*source, config));
+}
+
+std::unique_ptr<ScenarioFactory::Scratch> RotatingScenario::make_scratch()
+    const {
+  return make_kset_scratch();
+}
+
+ScenarioTrial RotatingScenario::run_trial(std::uint64_t seed,
+                                          const KSetRunConfig& config,
+                                          Scratch* scratch) const {
+  const ProcId first_center =
+      static_cast<ProcId>(seed % static_cast<std::uint64_t>(n_));
+  const std::unique_ptr<GraphSource> source =
+      make_rotating_star_source(n_, hold_, first_center);
+  return run_kset_trial(*source, config, scratch);
 }
 
 NetScenario::NetScenario(LinkMatrix links, NetConfig net)

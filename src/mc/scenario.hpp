@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "adversary/partition.hpp"
@@ -53,6 +54,32 @@ class ScenarioFactory {
   [[nodiscard]] virtual ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const = 0;
 
+  /// Opaque per-worker trial state a scenario may reuse across trials
+  /// (persistent engine + process objects — DESIGN.md §13). Purity is
+  /// preserved: a trial run with scratch must be bit-identical to one
+  /// run without (the scheduler-equivalence tripwire pins this). One
+  /// scratch must only serve one trial at a time.
+  class Scratch {
+   public:
+    virtual ~Scratch() = default;
+  };
+
+  /// Creates worker scratch, or nullptr when the scenario has no
+  /// reusable state (the default). The engine keeps one per
+  /// worker/tile and threads it through run_trial.
+  [[nodiscard]] virtual std::unique_ptr<Scratch> make_scratch() const {
+    return nullptr;
+  }
+
+  /// Scratch-aware trial; the default ignores the scratch and
+  /// delegates to the pure overload.
+  [[nodiscard]] virtual ScenarioTrial run_trial(std::uint64_t seed,
+                                                const KSetRunConfig& config,
+                                                Scratch* scratch) const {
+    (void)scratch;
+    return run_trial(seed, config);
+  }
+
  protected:
   ScenarioFactory() = default;
 };
@@ -68,6 +95,10 @@ class RandomPsrcsScenario final : public ScenarioFactory {
   [[nodiscard]] ProcId n() const override { return params_.n; }
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
+  [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
+  [[nodiscard]] ScenarioTrial run_trial(std::uint64_t seed,
+                                        const KSetRunConfig& config,
+                                        Scratch* scratch) const override;
 
   [[nodiscard]] const RandomPsrcsParams& params() const { return params_; }
 
@@ -85,6 +116,10 @@ class CrashScenario final : public ScenarioFactory {
   [[nodiscard]] ProcId n() const override { return n_; }
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
+  [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
+  [[nodiscard]] ScenarioTrial run_trial(std::uint64_t seed,
+                                        const KSetRunConfig& config,
+                                        Scratch* scratch) const override;
 
  private:
   ProcId n_;
@@ -102,6 +137,10 @@ class PartitionScenario final : public ScenarioFactory {
   [[nodiscard]] ProcId n() const override { return n_; }
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
+  [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
+  [[nodiscard]] ScenarioTrial run_trial(std::uint64_t seed,
+                                        const KSetRunConfig& config,
+                                        Scratch* scratch) const override;
 
  private:
   PartitionParams params_;
@@ -120,6 +159,10 @@ class RotatingScenario final : public ScenarioFactory {
   [[nodiscard]] ProcId n() const override { return n_; }
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
+  [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
+  [[nodiscard]] ScenarioTrial run_trial(std::uint64_t seed,
+                                        const KSetRunConfig& config,
+                                        Scratch* scratch) const override;
 
  private:
   ProcId n_;

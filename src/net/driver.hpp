@@ -404,7 +404,7 @@ class NetRoundDriver final : public RoundEngine<Msg> {
   /// beginning-of-round-r state) and schedule the round's close.
   void start_round(ProcId p, Round r) {
     const std::uint32_t slot = dcache_slot(p, r);
-    dcache_[slot] = processes_[static_cast<std::size_t>(p)]->send(r);
+    processes_[static_cast<std::size_t>(p)]->send_into(r, dcache_[slot]);
     const Msg& msg = dcache_[slot];
 
     // Self-delivery is immediate and always on time (not counted in

@@ -14,23 +14,36 @@ namespace sskel {
 
 namespace {
 
-void pin_current_thread(unsigned index, std::atomic<unsigned>& failures) {
+void pin_current_thread(int cpu, std::atomic<unsigned>& failures) {
 #ifdef __linux__
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) {
-    failures.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(index % hw, &set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
   if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
     failures.fetch_add(1, std::memory_order_relaxed);
   }
 #else
-  (void)index;
+  (void)cpu;
   failures.fetch_add(1, std::memory_order_relaxed);
 #endif
+}
+
+std::vector<int> resolve_placement(const TilePlaneOptions& options,
+                                   unsigned tiles) {
+  if (!options.pin_threads) return {};
+  std::vector<int> plan;
+  if (!options.cpu_placement.empty()) {
+    plan.reserve(tiles);
+    for (unsigned i = 0; i < tiles; ++i) {
+      plan.push_back(options.cpu_placement[i % options.cpu_placement.size()]);
+    }
+    return plan;
+  }
+  plan = plan_tile_cpus(probe_cpu_topology(), tiles);
+  if (plan.empty()) {  // degenerate probe: fall back to identity
+    for (unsigned i = 0; i < tiles; ++i) plan.push_back(static_cast<int>(i));
+  }
+  return plan;
 }
 
 }  // namespace
@@ -65,7 +78,11 @@ struct TilePlane::Tile {
 
 TilePlane::TilePlane(unsigned tiles, WorkFn fn, void* ctx,
                      TilePlaneOptions options)
-    : fn_(fn), ctx_(ctx), options_(options), result_fseq_(tiles) {
+    : fn_(fn),
+      ctx_(ctx),
+      options_(std::move(options)),
+      placement_(resolve_placement(options_, tiles)),
+      result_fseq_(tiles) {
   SSKEL_REQUIRE(tiles > 0);
   SSKEL_REQUIRE(fn != nullptr);
   tiles_.reserve(tiles);
@@ -96,7 +113,9 @@ unsigned TilePlane::tiles() const {
 }
 
 void TilePlane::tile_main(Tile& tile, const std::stop_token& stop) {
-  if (options_.pin_threads) pin_current_thread(tile.index, pin_failures_);
+  if (options_.pin_threads && tile.index < placement_.size()) {
+    pin_current_thread(placement_[tile.index], pin_failures_);
+  }
   FragRing<TileWork>::Cursor cursor;
   TickPacer pacer(options_.lazy);
   Frag frag;
@@ -107,7 +126,7 @@ void TilePlane::tile_main(Tile& tile, const std::stop_token& stop) {
       // intake_fseq and cannot recycle this slot yet.
       const TileWork work = tile.intake.payload(frag.slot);
       if (pacer.tick()) tile.intake_fseq.publish(cursor.seq);
-      const TileResult result = fn_(ctx_, work);
+      const TileResult result = fn_(ctx_, tile.index, work);
       while (!tile.result_fctl.acquire(tile.result.seq_produced())) {
         tile.result_stalls.fetch_add(1, std::memory_order_relaxed);
         if (stop.stop_requested()) return;  // shutdown: drop the result
@@ -201,5 +220,7 @@ std::int64_t TilePlane::frags_processed() const {
 unsigned TilePlane::failed_pins() const {
   return pin_failures_.load(std::memory_order_relaxed);
 }
+
+const std::vector<int>& TilePlane::placement() const { return placement_; }
 
 }  // namespace sskel

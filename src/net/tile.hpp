@@ -31,6 +31,7 @@
 
 #include "net/fctl.hpp"
 #include "net/ring.hpp"
+#include "util/topology.hpp"
 
 namespace sskel {
 
@@ -78,10 +79,17 @@ struct TilePlaneOptions {
   /// Housekeeping cadence: a tile publishes its intake watermark every
   /// `lazy` processed frags (and whenever it goes idle).
   std::int64_t lazy = 8;
-  /// Pin tile i to CPU i mod hardware_concurrency (Linux only; a
-  /// failed pin is recorded, never fatal — CI runners often forbid
-  /// affinity changes).
+  /// Pin each tile thread to a CPU (Linux only; a failed pin is
+  /// recorded, never fatal — CI runners often forbid affinity
+  /// changes). The CPU per tile comes from `cpu_placement` when set,
+  /// else from the probed host topology physical-core-first
+  /// (util/topology.hpp), so SMT siblings are used only after every
+  /// physical core carries a tile.
   bool pin_threads = false;
+  /// Explicit CPU id per tile (cycled when shorter than the tile
+  /// count). Empty = derive from probe_cpu_topology(). Ignored unless
+  /// pin_threads is set.
+  std::vector<int> cpu_placement;
 };
 
 /// A fixed set of worker tiles executing TileWork items delivered over
@@ -90,7 +98,11 @@ struct TilePlaneOptions {
 /// dispatcher thread.
 class TilePlane {
  public:
-  using WorkFn = TileResult (*)(void* ctx, const TileWork& work);
+  /// `tile` is the executing tile's index — work functions use it to
+  /// address persistent per-tile state (scratch engines, intern
+  /// shards) without thread-local lookups.
+  using WorkFn = TileResult (*)(void* ctx, unsigned tile,
+                                const TileWork& work);
 
   TilePlane(unsigned tiles, WorkFn fn, void* ctx,
             TilePlaneOptions options = {});
@@ -125,6 +137,10 @@ class TilePlane {
   /// Tiles whose CPU pin attempt failed (diagnostics; 0 when pinning
   /// is off).
   [[nodiscard]] unsigned failed_pins() const;
+  /// Planned CPU id per tile when pinning is on (empty otherwise).
+  /// Entries are the *intended* placement; failed_pins() says how many
+  /// of them the OS refused.
+  [[nodiscard]] const std::vector<int>& placement() const;
 
  private:
   struct Tile;
@@ -133,6 +149,7 @@ class TilePlane {
   WorkFn fn_;
   void* ctx_;
   TilePlaneOptions options_;
+  std::vector<int> placement_;  // CPU per tile; empty when not pinning
   std::vector<std::unique_ptr<Tile>> tiles_;
   RingMux<TileResult> result_mux_;
   std::vector<FlowSeq> result_fseq_;  // dispatcher's consumption marks

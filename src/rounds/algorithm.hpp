@@ -83,6 +83,15 @@ class Algorithm {
   /// simulator calls every send before any transition).
   [[nodiscard]] virtual Msg send(Round r) = 0;
 
+  /// Storage-reusing form of send(): writes S_p^r into `out`,
+  /// replacing its previous contents. The default forwards to send();
+  /// algorithms whose messages own heap storage (graphs) override it
+  /// to copy-assign the fields directly, so the engines' per-round
+  /// outbox refresh reuses the existing message buffers instead of
+  /// reallocating them. Same contract as send(): must not mutate
+  /// observable state.
+  virtual void send_into(Round r, Msg& out) { out = send(r); }
+
   /// Transition function T_p^r: consumes the round-r inbox and moves
   /// the process to its round r+1 state.
   virtual void transition(Round r, const Inbox<Msg>& inbox) = 0;

@@ -53,6 +53,9 @@ class ObserverBus {
   [[nodiscard]] std::size_t size() const { return observers_.size(); }
   [[nodiscard]] bool empty() const { return observers_.empty(); }
 
+  /// Drops every observer (engine reuse across trials).
+  void clear() { observers_.clear(); }
+
  private:
   std::vector<Observer> observers_;
 };
@@ -119,6 +122,15 @@ class RoundEngine {
 
  protected:
   RoundEngine() = default;
+
+  /// For substrates that support trial reuse (Simulator::reset):
+  /// forgets observers, sizer and trace so the next run starts from
+  /// the freshly-constructed engine contract.
+  void reset_run_state() {
+    bus_.clear();
+    sizer_ = nullptr;
+    trace_.clear();
+  }
 
   ObserverBus bus_;
   MessageSizer sizer_;

@@ -39,9 +39,9 @@ class Simulator final : public RoundEngine<Msg> {
   /// Takes ownership of the processes. `processes[i]` must have id i.
   Simulator(GraphSource& source,
             std::vector<std::unique_ptr<Process>> processes)
-      : source_(source), processes_(std::move(processes)) {
+      : source_(&source), processes_(std::move(processes)) {
     SSKEL_REQUIRE(!processes_.empty());
-    SSKEL_REQUIRE(static_cast<std::size_t>(source_.n()) == processes_.size());
+    SSKEL_REQUIRE(static_cast<std::size_t>(source_->n()) == processes_.size());
     for (std::size_t i = 0; i < processes_.size(); ++i) {
       SSKEL_REQUIRE(processes_[i] != nullptr);
       SSKEL_REQUIRE(processes_[i]->id() == static_cast<ProcId>(i));
@@ -49,9 +49,22 @@ class Simulator final : public RoundEngine<Msg> {
     outbox_.resize(processes_.size());
   }
 
-  [[nodiscard]] ProcId n() const override { return source_.n(); }
+  [[nodiscard]] ProcId n() const override { return source_->n(); }
   [[nodiscard]] Round current_round() const { return round_; }
   [[nodiscard]] Round rounds_completed() const override { return round_; }
+
+  /// Rebinds the simulator to a fresh source and resets all run state
+  /// — round counter, observers, sizer, trace — restoring the
+  /// freshly-constructed engine contract (rounds_completed() == 0)
+  /// while keeping the process objects and the graph/outbox storage.
+  /// The caller must reset the processes themselves (the engine does
+  /// not know their internals); `source` must have the same n.
+  void reset(GraphSource& source) {
+    SSKEL_REQUIRE(static_cast<std::size_t>(source.n()) == processes_.size());
+    source_ = &source;
+    round_ = 0;
+    this->reset_run_state();
+  }
 
   [[nodiscard]] Process& process(ProcId p) override {
     SSKEL_REQUIRE(p >= 0 && p < n());
@@ -66,14 +79,16 @@ class Simulator final : public RoundEngine<Msg> {
   /// (after self-loop closure).
   const Digraph& step() override {
     const Round r = ++round_;
-    source_.graph_into(r, graph_);
+    source_->graph_into(r, graph_);
     SSKEL_REQUIRE(graph_.n() == n());
     SSKEL_REQUIRE(graph_.nodes() == ProcSet::full(n()));
     graph_.add_self_loops();
 
-    // Phase 1: all sends, from beginning-of-round state.
+    // Phase 1: all sends, from beginning-of-round state. send_into
+    // refreshes the outbox slots in place, so steady-state rounds do
+    // not reallocate message storage.
     for (std::size_t i = 0; i < processes_.size(); ++i) {
-      outbox_[i] = processes_[i]->send(r);
+      processes_[i]->send_into(r, outbox_[i]);
     }
 
     // Phase 2: deliveries + transitions.
@@ -101,7 +116,7 @@ class Simulator final : public RoundEngine<Msg> {
   }
 
  private:
-  GraphSource& source_;
+  GraphSource* source_;  // non-owning; rebound by reset()
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<Msg> outbox_;
   Digraph graph_;

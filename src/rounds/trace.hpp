@@ -28,6 +28,10 @@ class RunTrace {
  public:
   void record(RoundStats stats) { per_round_.push_back(stats); }
 
+  /// Forgets all rounds, keeping the vector's capacity (engine reuse
+  /// across trials).
+  void clear() { per_round_.clear(); }
+
   [[nodiscard]] const std::vector<RoundStats>& per_round() const {
     return per_round_;
   }

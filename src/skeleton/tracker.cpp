@@ -30,6 +30,24 @@ void SkeletonTracker::observe(Round r, const Digraph& graph) {
   if (history_ == History::kKeepAll) past_.push_back(skeleton_);
 }
 
+void SkeletonTracker::reset() {
+  skeleton_.fill_complete();
+  past_.clear();
+  round_ = 0;
+  last_change_ = 0;
+  version_ = 0;
+  intern_ = nullptr;
+  entry_ = nullptr;
+  // Interned runs never seed the private maintainer; replacing it is
+  // the rare fallback-path case, not the per-trial cost.
+  if (inc_scc_.seeded()) inc_scc_ = IncrementalScc();
+  pending_.clear();
+  roots_.clear();
+  analytics_version_ = 0;
+  analytics_valid_ = false;
+  analytics_recomputes_ = 0;
+}
+
 const Digraph& SkeletonTracker::skeleton_at(Round r) const {
   SSKEL_REQUIRE(history_ == History::kKeepAll);
   SSKEL_REQUIRE(r >= 1 && r <= static_cast<Round>(past_.size()));

@@ -44,6 +44,13 @@ class SkeletonTracker {
   /// Folds G^r into the skeleton. Rounds must arrive as 1, 2, 3, ...
   void observe(Round r, const Digraph& graph);
 
+  /// Restores the freshly-constructed state (complete skeleton, round
+  /// 0, no analytics) without releasing storage, detaching any intern
+  /// table — re-attach afterwards if interning is wanted. Trial
+  /// scratches recycle one tracker across runs through this; the
+  /// scheduler-equivalence tripwire pins reset == construct.
+  void reset();
+
   /// Adapter for Simulator::add_observer.
   [[nodiscard]] std::function<void(Round, const Digraph&)> observer() {
     return [this](Round r, const Digraph& g) { observe(r, g); };

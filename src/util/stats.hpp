@@ -19,7 +19,16 @@ class Accumulator {
   void add(double x);
 
   [[nodiscard]] std::int64_t count() const { return count_; }
-  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// sum/count, not the Welford running mean: the running mean
+  /// accumulates one rounding error per sample, which leaked digits
+  /// like `296.2000000000001` into bench JSON for integer-valued
+  /// observations. The compensated-by-construction sum quotient is
+  /// exact whenever the sum is exactly representable (all integer
+  /// samples) and at worst one rounding away otherwise. The Welford
+  /// state still backs variance(), where it is numerically superior.
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   [[nodiscard]] double variance() const;
   [[nodiscard]] double stddev() const;

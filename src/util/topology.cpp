@@ -1,0 +1,162 @@
+#include "util/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace sskel {
+
+namespace {
+
+// Whole-file slurp; empty optional-style "" on any failure. Sysfs
+// topology files are one short line, so this never allocates much.
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// First integer in `text`, or `fallback` when none parses.
+int parse_int_or(std::string_view text, int fallback) {
+  std::size_t begin = text.find_first_of("0123456789-");
+  if (begin == std::string_view::npos) return fallback;
+  int value = fallback;
+  const char* first = text.data() + begin;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{}) return fallback;
+  (void)ptr;
+  return value;
+}
+
+}  // namespace
+
+std::size_t CpuTopology::physical_core_count() const {
+  std::set<std::pair<int, int>> cores;
+  for (const CpuSlot& slot : cpus) cores.emplace(slot.package, slot.core);
+  return cores.size();
+}
+
+std::vector<int> parse_cpu_list(std::string_view text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    std::string_view chunk = text.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? text.size() : comma + 1;
+    // Trim whitespace/newlines around the chunk.
+    while (!chunk.empty() &&
+           (chunk.front() == ' ' || chunk.front() == '\n' ||
+            chunk.front() == '\t' || chunk.front() == '\r')) {
+      chunk.remove_prefix(1);
+    }
+    while (!chunk.empty() &&
+           (chunk.back() == ' ' || chunk.back() == '\n' ||
+            chunk.back() == '\t' || chunk.back() == '\r')) {
+      chunk.remove_suffix(1);
+    }
+    if (chunk.empty()) continue;
+    int lo = 0;
+    const char* first = chunk.data();
+    const char* last = chunk.data() + chunk.size();
+    auto [after_lo, ec_lo] = std::from_chars(first, last, lo);
+    if (ec_lo != std::errc{} || lo < 0) continue;
+    int hi = lo;
+    if (after_lo != last) {
+      if (*after_lo != '-') continue;
+      auto [after_hi, ec_hi] = std::from_chars(after_lo + 1, last, hi);
+      if (ec_hi != std::errc{} || after_hi != last || hi < lo) continue;
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+CpuTopology fallback_topology(unsigned logical) {
+  if (logical == 0) logical = 1;
+  CpuTopology topology;
+  topology.cpus.reserve(logical);
+  for (unsigned cpu = 0; cpu < logical; ++cpu) {
+    topology.cpus.push_back(
+        CpuSlot{static_cast<int>(cpu), static_cast<int>(cpu), 0});
+  }
+  topology.probed = false;
+  return topology;
+}
+
+CpuTopology probe_cpu_topology() {
+#if defined(__linux__)
+  const std::string base = "/sys/devices/system/cpu";
+  std::vector<int> online = parse_cpu_list(read_file(base + "/online"));
+  if (!online.empty()) {
+    CpuTopology topology;
+    topology.cpus.reserve(online.size());
+    for (int cpu : online) {
+      const std::string dir = base + "/cpu" + std::to_string(cpu) +
+                              "/topology";
+      // Missing per-cpu files degrade that slot to its own core
+      // (core_id = cpu) rather than failing the whole probe.
+      int core = parse_int_or(read_file(dir + "/core_id"), cpu);
+      int package =
+          parse_int_or(read_file(dir + "/physical_package_id"), 0);
+      topology.cpus.push_back(CpuSlot{cpu, core, package});
+    }
+    topology.probed = true;
+    return topology;
+  }
+#endif
+  return fallback_topology(std::thread::hardware_concurrency());
+}
+
+std::vector<int> physical_first_order(const CpuTopology& topology) {
+  // Group SMT siblings per (package, core); map iteration gives the
+  // ascending package-then-core order the contract promises, and
+  // slots arrive ascending by cpu id so sibling lists stay sorted.
+  std::map<std::pair<int, int>, std::vector<int>> cores;
+  for (const CpuSlot& slot : topology.cpus) {
+    cores[{slot.package, slot.core}].push_back(slot.cpu);
+  }
+  std::vector<int> order;
+  order.reserve(topology.cpus.size());
+  for (std::size_t lane = 0; order.size() < topology.cpus.size(); ++lane) {
+    for (const auto& [key, siblings] : cores) {
+      (void)key;
+      if (lane < siblings.size()) order.push_back(siblings[lane]);
+    }
+  }
+  return order;
+}
+
+std::vector<int> plan_tile_cpus(const CpuTopology& topology,
+                                unsigned tiles) {
+  std::vector<int> order = physical_first_order(topology);
+  std::vector<int> plan;
+  if (order.empty() || tiles == 0) return plan;
+  plan.reserve(tiles);
+  for (unsigned tile = 0; tile < tiles; ++tile) {
+    plan.push_back(order[tile % order.size()]);
+  }
+  return plan;
+}
+
+std::string cpu_list_to_string(const std::vector<int>& cpus) {
+  std::string out;
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(cpus[i]);
+  }
+  return out;
+}
+
+}  // namespace sskel

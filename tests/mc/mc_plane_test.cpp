@@ -1,0 +1,258 @@
+// The scheduler-equivalence tripwire for Monte-Carlo on the tile
+// plane (DESIGN.md §13), extending the PR 7 plane-equivalence
+// pattern: the same (scenario, master seed, trials, config) must
+// produce bit-identical trial-derived McSummary fields on the
+// fork-join pool scheduler and on the tile-plane scheduler, across
+// tile counts {1, 2, 4}, and under a tiny-ring backpressure
+// configuration. Only service-level fields — intern/arena/peak
+// counters and scheduler provenance — may differ. Also covers the
+// engine-scratch reuse contract (run_trial with scratch == without)
+// and the SSKEL_THREADS tile-count cap.
+#include "mc/mc_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "mc/parallel_for.hpp"
+
+namespace sskel {
+namespace {
+
+void expect_accumulators_equal(const Accumulator& a, const Accumulator& b,
+                               const char* field) {
+  EXPECT_EQ(a.count(), b.count()) << field;
+  EXPECT_EQ(a.sum(), b.sum()) << field;
+  EXPECT_EQ(a.mean(), b.mean()) << field;
+  EXPECT_EQ(a.min(), b.min()) << field;
+  EXPECT_EQ(a.max(), b.max()) << field;
+}
+
+/// Bit-equality over every trial-derived field. Service-level fields
+/// (intern stats, shard counts, ProcSet peak/live/arena accounting,
+/// scheduler/tiles/placement/failed_pins) are deliberately excluded:
+/// they describe the machinery, not the trials.
+void expect_summaries_equal(const McSummary& a, const McSummary& b) {
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.undecided_runs, b.undecided_runs);
+  EXPECT_EQ(a.agreement_violations, b.agreement_violations);
+  EXPECT_EQ(a.validity_violations, b.validity_violations);
+  EXPECT_EQ(a.bound_violations, b.bound_violations);
+  EXPECT_EQ(a.lemma_violation_runs, b.lemma_violation_runs);
+  expect_accumulators_equal(a.distinct_values, b.distinct_values,
+                            "distinct_values");
+  expect_accumulators_equal(a.root_components, b.root_components,
+                            "root_components");
+  expect_accumulators_equal(a.last_decision_round, b.last_decision_round,
+                            "last_decision_round");
+  expect_accumulators_equal(a.stabilization_round, b.stabilization_round,
+                            "stabilization_round");
+  expect_accumulators_equal(a.total_messages, b.total_messages,
+                            "total_messages");
+  EXPECT_EQ(a.bytes_measured, b.bytes_measured);
+  expect_accumulators_equal(a.total_bytes, b.total_bytes, "total_bytes");
+  expect_accumulators_equal(a.max_message_bytes, b.max_message_bytes,
+                            "max_message_bytes");
+  EXPECT_EQ(a.distinct_histogram.to_string(), b.distinct_histogram.to_string());
+  EXPECT_EQ(a.root_histogram.to_string(), b.root_histogram.to_string());
+  EXPECT_EQ(a.net_backed, b.net_backed);
+  expect_accumulators_equal(a.late_messages, b.late_messages,
+                            "late_messages");
+  expect_accumulators_equal(a.lost_messages, b.lost_messages,
+                            "lost_messages");
+  expect_accumulators_equal(a.wall_clock_ms, b.wall_clock_ms,
+                            "wall_clock_ms");
+  EXPECT_EQ(a.credit_stalls, b.credit_stalls);
+}
+
+PartitionScenario make_partition_scenario(ProcId n) {
+  PartitionParams params;
+  params.blocks = even_blocks(n, 2);
+  params.cross_noise_probability = 0.15;
+  params.stabilization_round = 4;
+  return PartitionScenario(params);
+}
+
+KSetRunConfig base_config() {
+  KSetRunConfig config;
+  config.k = 2;
+  config.tail_rounds = 2;
+  return config;
+}
+
+constexpr std::uint64_t kSeed = 0xC0FFEE5EED;
+
+TEST(McTilePlane, PoolVsTilePlaneBitIdentical) {
+  const PartitionScenario scenario = make_partition_scenario(10);
+  const KSetRunConfig config = base_config();
+  const int trials = 24;
+
+  const McSummary pool =
+      run_scenario_trials(scenario, kSeed, trials, config, /*threads=*/2);
+  McPlaneOptions options;
+  options.tiles = 2;
+  McTilePlane plane(scenario, options);
+  const McSummary tiled = plane.run(kSeed, trials, config);
+
+  expect_summaries_equal(pool, tiled);
+  EXPECT_EQ(pool.scheduler, "pool");
+  EXPECT_EQ(tiled.scheduler, "tile-plane");
+  EXPECT_EQ(tiled.tiles, 2);
+  EXPECT_EQ(plane.trials_executed(), trials);
+}
+
+TEST(McTilePlane, BitIdenticalAcrossTileCounts) {
+  const PartitionScenario scenario = make_partition_scenario(8);
+  const KSetRunConfig config = base_config();
+  const int trials = 20;
+
+  std::vector<McSummary> runs;
+  for (unsigned tiles : {1u, 2u, 4u}) {
+    McPlaneOptions options;
+    options.tiles = tiles;
+    McTilePlane plane(scenario, options);
+    runs.push_back(plane.run(kSeed, trials, config));
+    EXPECT_EQ(runs.back().tiles, static_cast<std::int64_t>(tiles));
+  }
+  expect_summaries_equal(runs[0], runs[1]);
+  expect_summaries_equal(runs[0], runs[2]);
+}
+
+TEST(McTilePlane, TinyRingBackpressureBitIdentical) {
+  // Depth-2 rings against 48 trials on 3 tiles: the dispatcher and
+  // tiles must ride the credit gates without reordering or dropping a
+  // trial. Results stay equal to the reference scheduler.
+  const PartitionScenario scenario = make_partition_scenario(8);
+  const KSetRunConfig config = base_config();
+  const int trials = 48;
+
+  const McSummary pool =
+      run_scenario_trials(scenario, kSeed, trials, config, /*threads=*/1);
+  McPlaneOptions options;
+  options.tiles = 3;
+  options.ring_depth = 2;
+  options.lazy = 1;
+  McTilePlane plane(scenario, options);
+  const McSummary tiled = plane.run(kSeed, trials, config);
+  expect_summaries_equal(pool, tiled);
+}
+
+TEST(McTilePlane, PersistentServiceReusesInternAcrossBatches) {
+  // The point of the persistent service: batch 2 of the same scenario
+  // resolves structures against the shards batch 1 populated — entry
+  // count stops growing while hits keep climbing. Trial-derived
+  // fields stay bit-identical (same seeds).
+  const PartitionScenario scenario = make_partition_scenario(10);
+  const KSetRunConfig config = base_config();
+  McPlaneOptions options;
+  options.tiles = 2;
+  McTilePlane plane(scenario, options);
+
+  const McSummary first = plane.run(kSeed, 16, config);
+  const McSummary second = plane.run(kSeed, 16, config);
+  expect_summaries_equal(first, second);
+  // Cumulative service-level counters: no new structures in batch 2...
+  EXPECT_EQ(second.intern.entries, first.intern.entries);
+  // ...while resolutions kept landing as hits.
+  EXPECT_GT(second.intern.hits, first.intern.hits);
+  EXPECT_EQ(plane.trials_executed(), 32);
+}
+
+TEST(McTilePlane, ScratchReuseMatchesScratchFreeTrials) {
+  // The ScenarioFactory scratch contract, scenario by scenario: a
+  // reused engine must replay a trial bit-identically to a fresh one.
+  const KSetRunConfig config = base_config();
+  const PartitionScenario partition = make_partition_scenario(8);
+  const CrashScenario crash(9, 2, 4);
+  const RotatingScenario rotating(7);
+  RandomPsrcsParams params;
+  params.n = 9;
+  params.k = 3;
+  const RandomPsrcsScenario random_psrcs(params);
+
+  const ScenarioFactory* scenarios[] = {&partition, &crash, &rotating,
+                                        &random_psrcs};
+  for (const ScenarioFactory* scenario : scenarios) {
+    const std::unique_ptr<ScenarioFactory::Scratch> scratch =
+        scenario->make_scratch();
+    ASSERT_NE(scratch, nullptr) << scenario->name();
+    for (std::uint64_t seed : {7u, 19u, 7u, 23u}) {  // includes a repeat
+      const ScenarioTrial fresh = scenario->run_trial(seed, config);
+      const ScenarioTrial reused =
+          scenario->run_trial(seed, config, scratch.get());
+      const KSetRunReport& a = fresh.kset;
+      const KSetRunReport& b = reused.kset;
+      EXPECT_EQ(a.n, b.n) << scenario->name();
+      ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << scenario->name();
+      for (std::size_t p = 0; p < a.outcomes.size(); ++p) {
+        EXPECT_EQ(a.outcomes[p].decided, b.outcomes[p].decided)
+            << scenario->name() << " p=" << p;
+        EXPECT_EQ(a.outcomes[p].decision, b.outcomes[p].decision)
+            << scenario->name() << " p=" << p;
+        EXPECT_EQ(a.outcomes[p].decision_round, b.outcomes[p].decision_round)
+            << scenario->name() << " p=" << p;
+      }
+      EXPECT_EQ(a.paths, b.paths) << scenario->name();
+      EXPECT_EQ(a.rounds_executed, b.rounds_executed) << scenario->name();
+      EXPECT_EQ(a.final_skeleton, b.final_skeleton) << scenario->name();
+      EXPECT_EQ(a.skeleton_last_change, b.skeleton_last_change)
+          << scenario->name();
+      EXPECT_EQ(a.root_components_final, b.root_components_final)
+          << scenario->name();
+      EXPECT_EQ(a.total_messages, b.total_messages) << scenario->name();
+    }
+  }
+}
+
+TEST(McTilePlane, RunScenarioTrialsOnDispatchesBothSchedulers) {
+  const PartitionScenario scenario = make_partition_scenario(8);
+  const KSetRunConfig config = base_config();
+  McPlaneOptions options;
+  options.tiles = 2;
+  const McSummary pool = run_scenario_trials_on(
+      McScheduler::kPool, scenario, kSeed, 12, config, options);
+  const McSummary tiled = run_scenario_trials_on(
+      McScheduler::kTilePlane, scenario, kSeed, 12, config, options);
+  EXPECT_EQ(pool.scheduler, "pool");
+  EXPECT_EQ(tiled.scheduler, "tile-plane");
+  expect_summaries_equal(pool, tiled);
+}
+
+TEST(McTilePlaneEnv, TilesFromEnvValuePureCases) {
+  // requested == 0: behaves exactly like the worker-pool resolution
+  // (hardware-clamped default).
+  EXPECT_EQ(tiles_from_env_value(0, nullptr, 8), 8u);
+  EXPECT_EQ(tiles_from_env_value(0, "3", 8), 3u);
+  EXPECT_EQ(tiles_from_env_value(0, "12", 8), 8u);  // clamped to hw
+  // Explicit request: capped by the env, never hardware-clamped.
+  EXPECT_EQ(tiles_from_env_value(4, nullptr, 1), 4u);
+  EXPECT_EQ(tiles_from_env_value(4, "", 1), 4u);
+  EXPECT_EQ(tiles_from_env_value(4, "2", 1), 2u);
+  EXPECT_EQ(tiles_from_env_value(4, "99", 1), 4u);
+  EXPECT_EQ(tiles_from_env_value(4, "4", 1), 4u);
+  // Garbage / non-positive env values leave the request alone.
+  EXPECT_EQ(tiles_from_env_value(4, "abc", 1), 4u);
+  EXPECT_EQ(tiles_from_env_value(4, "2x", 1), 4u);
+  EXPECT_EQ(tiles_from_env_value(4, "0", 1), 4u);
+  EXPECT_EQ(tiles_from_env_value(4, "-3", 1), 4u);
+  EXPECT_EQ(tiles_from_env_value(4, "2 ", 1), 2u);  // trailing space ok
+}
+
+TEST(McTilePlaneEnv, SskelThreadsCapsTileCount) {
+  // The live-env path: SSKEL_THREADS=1 must cap an explicit 4-tile
+  // request down to 1 (single concurrency knob).
+  ASSERT_EQ(setenv("SSKEL_THREADS", "1", 1), 0);
+  EXPECT_EQ(resolve_tile_count(4), 1u);
+  const PartitionScenario scenario = make_partition_scenario(8);
+  McPlaneOptions options;
+  options.tiles = 4;
+  McTilePlane plane(scenario, options);
+  EXPECT_EQ(plane.tiles(), 1u);
+  ASSERT_EQ(unsetenv("SSKEL_THREADS"), 0);
+  EXPECT_EQ(resolve_tile_count(4), 4u);
+}
+
+}  // namespace
+}  // namespace sskel

@@ -29,7 +29,8 @@ TEST(TickPacerTest, NonPositiveIntervalClampsToEveryTick) {
 
 /// Deterministic work function: value derives from seed and param
 /// only, so any tile computing it gets the same answer.
-TileResult square_work(void* /*ctx*/, const TileWork& work) {
+TileResult square_work(void* /*ctx*/, unsigned /*tile*/,
+                       const TileWork& work) {
   TileResult result;
   result.id = work.id;
   result.value = static_cast<std::int64_t>(work.seed * work.seed);
@@ -96,6 +97,67 @@ TEST(TilePlaneTest, SubmitAndDrainIncrementally) {
   }
   while (results.size() < 10) plane.drain(results);
   EXPECT_EQ(results.size(), 10u);
+}
+
+/// Echoes the executing tile's index so the dispatch fan is visible.
+TileResult tile_index_work(void* /*ctx*/, unsigned tile,
+                           const TileWork& work) {
+  TileResult result;
+  result.id = work.id;
+  result.value = static_cast<std::int64_t>(tile);
+  result.aux = 0;
+  return result;
+}
+
+TEST(TilePlaneTest, WorkFnSeesItsTileIndex) {
+  // Round-robin submit over 3 tiles: item i must be executed by tile
+  // i mod 3 — the index the work function receives is the index the
+  // dispatcher sent the work to.
+  const unsigned tiles = 3;
+  TilePlane plane(tiles, &tile_index_work, nullptr);
+  std::vector<TileWork> work;
+  for (std::size_t i = 0; i < 30; ++i) work.push_back(TileWork{i, 0, 0});
+  std::vector<TileResult> results;
+  plane.run_all(work, results);
+  ASSERT_EQ(results.size(), work.size());
+  for (const TileResult& r : results) {
+    EXPECT_EQ(r.value, static_cast<std::int64_t>(r.id % tiles));
+  }
+}
+
+TEST(TilePlaneTest, PlacementEmptyWhenNotPinning) {
+  TilePlane plane(/*tiles=*/2, &square_work, nullptr);
+  EXPECT_TRUE(plane.placement().empty());
+  EXPECT_EQ(plane.failed_pins(), 0u);
+}
+
+TEST(TilePlaneTest, ExplicitCpuPlacementIsCycledAcrossTiles) {
+  TilePlaneOptions options;
+  options.pin_threads = true;
+  options.cpu_placement = {0};  // CPU 0 always exists
+  TilePlane plane(/*tiles=*/3, &square_work, nullptr, options);
+  ASSERT_EQ(plane.placement().size(), 3u);
+  for (int cpu : plane.placement()) EXPECT_EQ(cpu, 0);
+  // Pinning to CPU 0 is legal on any host that lets us pin at all, so
+  // either every pin landed or the runner forbids affinity entirely.
+  std::vector<TileWork> work{{0, 2, 0}, {1, 3, 0}};
+  std::vector<TileResult> results;
+  plane.run_all(work, results);
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_LE(plane.failed_pins(), 3u);
+}
+
+TEST(TilePlaneTest, TopologyDerivedPlacementCoversEveryTile) {
+  TilePlaneOptions options;
+  options.pin_threads = true;  // placement from probe_cpu_topology()
+  TilePlane plane(/*tiles=*/4, &square_work, nullptr, options);
+  ASSERT_EQ(plane.placement().size(), 4u);
+  for (int cpu : plane.placement()) EXPECT_GE(cpu, 0);
+  std::vector<TileWork> work;
+  for (std::size_t i = 0; i < 16; ++i) work.push_back(TileWork{i, i, 0});
+  std::vector<TileResult> results;
+  plane.run_all(work, results);
+  EXPECT_EQ(results.size(), 16u);
 }
 
 }  // namespace

@@ -74,6 +74,35 @@ TEST(IntHistogramTest, CountsAndBounds) {
   EXPECT_EQ(h.to_string(), "1:1 3:2 7:1");
 }
 
+TEST(AccumulatorTest, MeanOfIntegerSamplesIsExact) {
+  // The regression behind BENCH_network.json's
+  // `mean_late_messages: 296.2000000000001`: a Welford running mean
+  // drifts by one rounding per sample. mean() = sum/count is exact
+  // when the sum is exactly representable — integer-valued samples
+  // always are (up to 2^53).
+  Accumulator acc;
+  // Five integers summing to 1481; 1481/5 = 296.2 exactly rounds to
+  // the double nearest 296.2, with no accumulated drift.
+  for (double x : {452.0, 117.0, 334.0, 289.0, 289.0}) acc.add(x);
+  EXPECT_EQ(acc.mean(), 1481.0 / 5.0);
+  // Many integer samples: mean must still be the exact quotient.
+  Accumulator big;
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = static_cast<double>((i * 37) % 1000);
+    big.add(x);
+    sum += x;
+  }
+  EXPECT_EQ(big.mean(), sum / 10000.0);
+}
+
+TEST(AccumulatorTest, VarianceStillWelfordBacked) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 32.0 / 7.0);  // sample variance
+}
+
 TEST(IntHistogramTest, EmptyHistogram) {
   IntHistogram h;
   EXPECT_EQ(h.total(), 0);

@@ -1,0 +1,160 @@
+#include "util/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace sskel {
+namespace {
+
+CpuTopology make_topology(std::vector<CpuSlot> slots, bool probed = true) {
+  CpuTopology topology;
+  topology.cpus = std::move(slots);
+  topology.probed = probed;
+  return topology;
+}
+
+TEST(Topology, ParseCpuListSingleValuesAndRanges) {
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(Topology, ParseCpuListTrimsWhitespaceAndNewline) {
+  EXPECT_EQ(parse_cpu_list("0-1\n"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(parse_cpu_list(" 2 , 4 "), (std::vector<int>{2, 4}));
+}
+
+TEST(Topology, ParseCpuListSortsAndDedupes) {
+  EXPECT_EQ(parse_cpu_list("5,1,3,1,2-3"), (std::vector<int>{1, 2, 3, 5}));
+}
+
+TEST(Topology, ParseCpuListSkipsMalformedChunks) {
+  EXPECT_EQ(parse_cpu_list(""), (std::vector<int>{}));
+  EXPECT_EQ(parse_cpu_list("abc"), (std::vector<int>{}));
+  EXPECT_EQ(parse_cpu_list("3-1"), (std::vector<int>{}));   // inverted range
+  EXPECT_EQ(parse_cpu_list("1,x,4"), (std::vector<int>{1, 4}));
+  EXPECT_EQ(parse_cpu_list("2-"), (std::vector<int>{}));
+  EXPECT_EQ(parse_cpu_list("1,,3"), (std::vector<int>{1, 3}));
+}
+
+TEST(Topology, FallbackTopologyOneCorePerCpu) {
+  CpuTopology topology = fallback_topology(4);
+  ASSERT_EQ(topology.logical_count(), 4u);
+  EXPECT_FALSE(topology.probed);
+  EXPECT_EQ(topology.physical_core_count(), 4u);
+  EXPECT_FALSE(topology.has_smt());
+  for (std::size_t cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_EQ(topology.cpus[cpu].cpu, static_cast<int>(cpu));
+    EXPECT_EQ(topology.cpus[cpu].core, static_cast<int>(cpu));
+    EXPECT_EQ(topology.cpus[cpu].package, 0);
+  }
+}
+
+TEST(Topology, FallbackTopologyZeroMeansOne) {
+  EXPECT_EQ(fallback_topology(0).logical_count(), 1u);
+}
+
+TEST(Topology, PhysicalFirstOrderFlatTopologyIsIdentity) {
+  CpuTopology topology = fallback_topology(4);
+  EXPECT_EQ(physical_first_order(topology), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Topology, PhysicalFirstOrderSplitsSmtSiblingsBlocked) {
+  // Common server numbering: CPUs 0-3 are core primaries, CPUs 4-7
+  // their SMT siblings.
+  CpuTopology topology = make_topology({
+      {0, 0, 0}, {1, 1, 0}, {2, 2, 0}, {3, 3, 0},
+      {4, 0, 0}, {5, 1, 0}, {6, 2, 0}, {7, 3, 0},
+  });
+  EXPECT_TRUE(topology.has_smt());
+  EXPECT_EQ(topology.physical_core_count(), 4u);
+  EXPECT_EQ(physical_first_order(topology),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Topology, PhysicalFirstOrderSplitsSmtSiblingsInterleaved) {
+  // Desktop numbering: siblings adjacent (0,1 share core 0; 2,3 share
+  // core 1; ...). Physical-first must pull one CPU per core before any
+  // sibling.
+  CpuTopology topology = make_topology({
+      {0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {3, 1, 0},
+      {4, 2, 0}, {5, 2, 0}, {6, 3, 0}, {7, 3, 0},
+  });
+  EXPECT_EQ(physical_first_order(topology),
+            (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(Topology, PhysicalFirstOrderOrdersPackagesBeforeSiblings) {
+  // Two packages, two SMT cores each: all four physical cores (both
+  // packages) come before any sibling.
+  CpuTopology topology = make_topology({
+      {0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {3, 1, 0},
+      {4, 0, 1}, {5, 0, 1}, {6, 1, 1}, {7, 1, 1},
+  });
+  EXPECT_EQ(physical_first_order(topology),
+            (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(Topology, PhysicalFirstOrderIsAPermutation) {
+  CpuTopology topology = make_topology({
+      {0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {3, 1, 0}, {8, 4, 1}, {9, 4, 1},
+  });
+  std::vector<int> order = physical_first_order(topology);
+  std::set<int> seen(order.begin(), order.end());
+  EXPECT_EQ(order.size(), topology.logical_count());
+  EXPECT_EQ(seen.size(), topology.logical_count());
+  for (const CpuSlot& slot : topology.cpus) {
+    EXPECT_TRUE(seen.count(slot.cpu)) << "cpu " << slot.cpu;
+  }
+}
+
+TEST(Topology, PlanTileCpusCyclesWhenTilesExceedCpus) {
+  CpuTopology topology = make_topology({
+      {0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {3, 1, 0},
+  });
+  // physical-first order is 0,2,1,3; five tiles wrap to the start.
+  EXPECT_EQ(plan_tile_cpus(topology, 5), (std::vector<int>{0, 2, 1, 3, 0}));
+}
+
+TEST(Topology, PlanTileCpusPrefersDistinctCores) {
+  CpuTopology topology = make_topology({
+      {0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {3, 1, 0},
+      {4, 2, 0}, {5, 2, 0}, {6, 3, 0}, {7, 3, 0},
+  });
+  std::vector<int> plan = plan_tile_cpus(topology, 4);
+  std::set<int> cores;
+  for (int cpu : plan) {
+    auto it = std::find_if(
+        topology.cpus.begin(), topology.cpus.end(),
+        [cpu](const CpuSlot& slot) { return slot.cpu == cpu; });
+    ASSERT_NE(it, topology.cpus.end());
+    cores.insert(it->core);
+  }
+  EXPECT_EQ(cores.size(), 4u) << "4 tiles on 4-core SMT host must land on "
+                                 "4 distinct physical cores";
+}
+
+TEST(Topology, PlanTileCpusEmptyInputs) {
+  EXPECT_TRUE(plan_tile_cpus(CpuTopology{}, 3).empty());
+  EXPECT_TRUE(plan_tile_cpus(fallback_topology(2), 0).empty());
+}
+
+TEST(Topology, ProbeNeverReturnsEmpty) {
+  CpuTopology topology = probe_cpu_topology();
+  EXPECT_GE(topology.logical_count(), 1u);
+  // Whatever the host looks like, a plan must exist for any tile count.
+  EXPECT_EQ(plan_tile_cpus(topology, 7).size(), 7u);
+}
+
+TEST(Topology, CpuListToString) {
+  EXPECT_EQ(cpu_list_to_string({}), "");
+  EXPECT_EQ(cpu_list_to_string({3}), "3");
+  EXPECT_EQ(cpu_list_to_string({0, 2, 4, 1}), "0,2,4,1");
+}
+
+}  // namespace
+}  // namespace sskel

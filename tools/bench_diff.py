@@ -17,6 +17,12 @@ on only one side are reported but never fail the diff (benches come
 and go), and timing fields below a noise floor are skipped —
 sub-microsecond rows regress by scheduling jitter alone.
 
+Mean-style statistics (mean_*) are compared with an additional
+absolute-tolerance band: a small mean moving by a fraction of a unit
+is a huge *ratio* but no regression (0.1 -> 0.3 late messages is
+noise), so the ratio check only applies when |current - baseline|
+also exceeds MEAN_ABS_TOLERANCE.
+
 The `select-baseline` subcommand picks which earlier CI run to diff
 against from a `gh run list --json databaseId,headBranch` dump
 (newest first): the latest successful run on the same branch, or —
@@ -37,6 +43,11 @@ TIMING_SUFFIXES = ("_ns", "ns_per_op")
 # Throughput rates: higher is better, so the regression direction flips.
 RATE_SUFFIXES = ("_per_sec",)
 COUNTER_PREFIXES = ("subsets_visited", "intern_", "peak_", "credit_")
+# Mean-style statistics: lower is better, but ratios lie for small
+# means — the diff additionally requires an absolute move above
+# MEAN_ABS_TOLERANCE before flagging one.
+MEAN_PREFIXES = ("mean_",)
+MEAN_ABS_TOLERANCE = 1.0
 TIMING_NOISE_FLOOR_NS = 1000.0  # ignore sub-microsecond timings
 RATE_NOISE_FLOOR = 1.0
 COUNTER_NOISE_FLOOR = 64.0
@@ -57,6 +68,15 @@ def measured_fields(record):
             yield key, float(value), RATE_NOISE_FLOOR, True
         elif any(key.startswith(p) for p in COUNTER_PREFIXES):
             yield key, float(value), COUNTER_NOISE_FLOOR, False
+        elif any(key.startswith(p) for p in MEAN_PREFIXES):
+            yield key, float(value), 0.0, False
+
+
+def abs_tolerance(field):
+    """Absolute move a field must exceed before its ratio is judged."""
+    if any(field.startswith(p) for p in MEAN_PREFIXES):
+        return MEAN_ABS_TOLERANCE
+    return 0.0
 
 
 def load_records(path):
@@ -148,6 +168,8 @@ def main_diff(argv):
                 continue
             compared += 1
             if base_val <= 0:
+                continue
+            if abs(cur_val - base_val) <= abs_tolerance(field):
                 continue
             if higher_better:
                 if cur_val * args.threshold < base_val:

@@ -111,6 +111,20 @@ class MeasuredFieldsTest(unittest.TestCase):
         self.assertEqual(fields,
                          {"credit_stall_submit", "credit_stall_result"})
 
+    def test_mean_fields_are_compared_lower_is_better(self):
+        record = {"op": "trial", "n": 64,
+                  "mean_late_messages": 296.2, "mean_rounds": 9.5}
+        directions = {name: higher for name, _, _, higher
+                      in bench_diff.measured_fields(record)}
+        self.assertEqual(set(directions),
+                         {"mean_late_messages", "mean_rounds"})
+        self.assertFalse(directions["mean_late_messages"])
+
+    def test_mean_fields_carry_an_absolute_tolerance(self):
+        self.assertEqual(bench_diff.abs_tolerance("mean_late_messages"),
+                         bench_diff.MEAN_ABS_TOLERANCE)
+        self.assertEqual(bench_diff.abs_tolerance("total_ns"), 0.0)
+
     def test_plane_distinguishes_record_identity(self):
         ring = {"op": "plane_throughput", "plane": "ring", "n": 24}
         eq = {"op": "plane_throughput", "plane": "event-queue", "n": 24}
@@ -160,6 +174,18 @@ class DiffDirectionTest(unittest.TestCase):
                  "credit_stall_submit": 100}]
         cur = [{"op": "multiplexed", "tiles": 2,
                 "credit_stall_submit": 500}]
+        self.assertEqual(self.run_diff(base, cur), 1)
+
+    def test_small_absolute_mean_move_passes_despite_large_ratio(self):
+        # 0.1 -> 0.8 is an 8x ratio but under the 1.0-unit band: float
+        # noise and single-trial jitter, not a regression.
+        base = [{"op": "trial", "n": 64, "mean_late_messages": 0.1}]
+        cur = [{"op": "trial", "n": 64, "mean_late_messages": 0.8}]
+        self.assertEqual(self.run_diff(base, cur), 0)
+
+    def test_large_mean_regression_still_fails(self):
+        base = [{"op": "trial", "n": 64, "mean_late_messages": 10.0}]
+        cur = [{"op": "trial", "n": 64, "mean_late_messages": 50.0}]
         self.assertEqual(self.run_diff(base, cur), 1)
 
     def test_missing_baseline_record_is_skipped(self):
