@@ -1,0 +1,33 @@
+// Fuzz target: the labeled approximation-graph wire codec (the bytes
+// a round message carries — the closest thing to a network-facing
+// attack surface this library has).
+//
+// Property: try_decode_graph never crashes, and accepts exactly the
+// canonical language — any accepted input re-encodes byte-identically.
+#include <cstdint>
+#include <vector>
+
+#include "skeleton/codec.hpp"
+#include "util/assert.hpp"
+
+using namespace sskel;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  DecodeResult<LabeledDigraph> g = try_decode_graph(bytes);
+  if (!g.ok()) return 0;
+  SSKEL_REQUIRE(encode_graph(g.value()) == bytes);
+  return 0;
+}
+
+extern "C" void sskel_fuzz_seed_corpus(
+    std::vector<std::vector<std::uint8_t>>* out) {
+  LabeledDigraph g(11, 4);
+  for (ProcId p = 0; p < 11; ++p) g.add_node(p);
+  g.set_edge(4, 7, 200);
+  g.set_edge(9, 1, 3);
+  g.set_edge(0, 0, 1);
+  out->push_back(encode_graph(g));
+  out->push_back(encode_graph(LabeledDigraph(3, 2)));
+}

@@ -1,0 +1,150 @@
+// Fuzz target: IncrementalScc under arbitrary deletion sequences.
+//
+// The fuzz input drives a random graph build, then a sequence of
+// batched edge/node deletions (the shrink-only regime the maintainer
+// supports). After every apply(), the patched decomposition must
+// induce the same node partition as a fresh Tarjan pass, and the two
+// root-component families must coincide — the exact invariants the
+// skeleton analytics rely on (DESIGN.md §8).
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fuzz_input.hpp"
+#include "graph/digraph.hpp"
+#include "graph/inc_scc.hpp"
+#include "graph/scc.hpp"
+#include "util/assert.hpp"
+
+using namespace sskel;
+using sskel::fuzz::FuzzInput;
+
+namespace {
+
+/// Same-partition check: component_of maps agree up to relabeling.
+void require_same_partition(const SccDecomposition& a,
+                            const SccDecomposition& b, ProcId n) {
+  SSKEL_REQUIRE(a.count() == b.count());
+  // Injective label correspondence, both directions.
+  std::vector<int> a_to_b(static_cast<std::size_t>(a.count()), -1);
+  std::vector<int> b_to_a(static_cast<std::size_t>(b.count()), -1);
+  for (ProcId p = 0; p < n; ++p) {
+    const int ca = a.component_of[static_cast<std::size_t>(p)];
+    const int cb = b.component_of[static_cast<std::size_t>(p)];
+    SSKEL_REQUIRE((ca == -1) == (cb == -1));
+    if (ca == -1) continue;
+    auto& fwd = a_to_b[static_cast<std::size_t>(ca)];
+    auto& rev = b_to_a[static_cast<std::size_t>(cb)];
+    SSKEL_REQUIRE(fwd == -1 || fwd == cb);
+    SSKEL_REQUIRE(rev == -1 || rev == ca);
+    fwd = cb;
+    rev = ca;
+  }
+}
+
+/// Root components (no in-edge from another component) as sorted
+/// member sets, independent of component numbering.
+std::vector<std::vector<ProcId>> root_members(const Digraph& g,
+                                              const SccDecomposition& scc) {
+  std::vector<bool> has_external_in(
+      static_cast<std::size_t>(scc.count()), false);
+  for (ProcId q : g.nodes()) {
+    const int cq = scc.component_of[static_cast<std::size_t>(q)];
+    for (ProcId p : g.out_neighbors(q)) {
+      const int cp = scc.component_of[static_cast<std::size_t>(p)];
+      if (cp != cq) has_external_in[static_cast<std::size_t>(cp)] = true;
+    }
+  }
+  std::vector<std::vector<ProcId>> roots;
+  for (int c = 0; c < scc.count(); ++c) {
+    if (has_external_in[static_cast<std::size_t>(c)]) continue;
+    std::vector<ProcId> members;
+    for (ProcId p : scc.components[static_cast<std::size_t>(c)]) {
+      members.push_back(p);
+    }
+    roots.push_back(std::move(members));
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+void check_against_fresh(const IncrementalScc& inc, const Digraph& g) {
+  const SccDecomposition fresh = strongly_connected_components(g);
+  require_same_partition(inc.decomposition(), fresh, g.n());
+
+  std::vector<std::vector<ProcId>> inc_roots;
+  for (int c : inc.root_indices()) {
+    std::vector<ProcId> members;
+    for (ProcId p : inc.decomposition().components[static_cast<std::size_t>(c)]) {
+      members.push_back(p);
+    }
+    inc_roots.push_back(std::move(members));
+  }
+  std::sort(inc_roots.begin(), inc_roots.end());
+  SSKEL_REQUIRE(inc_roots == root_members(g, fresh));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  FuzzInput input(data, size);
+  const ProcId n = static_cast<ProcId>(input.in_range(1, 32));
+
+  Digraph g(n);
+  const std::uint32_t edges = input.in_range(0, 96);
+  for (std::uint32_t e = 0; e < edges; ++e) {
+    const auto q = static_cast<ProcId>(
+        input.in_range(0, static_cast<std::uint32_t>(n) - 1));
+    const auto p = static_cast<ProcId>(
+        input.in_range(0, static_cast<std::uint32_t>(n) - 1));
+    g.add_edge(q, p);
+  }
+
+  IncrementalScc inc;
+  inc.seed(g);
+  check_against_fresh(inc, g);
+
+  // Deletion batches until the input runs dry.
+  while (!input.empty()) {
+    GraphDelta delta;
+    const std::uint32_t ops = input.in_range(1, 6);
+    for (std::uint32_t op = 0; op < ops; ++op) {
+      const auto target = static_cast<ProcId>(
+          input.in_range(0, static_cast<std::uint32_t>(n) - 1));
+      if (input.boolean()) {
+        // Remove one present node with its incident edges.
+        if (!g.has_node(target)) continue;
+        for (ProcId p : g.out_neighbors(target)) {
+          if (p != target) delta.removed_edges.emplace_back(target, p);
+        }
+        for (ProcId q : g.nodes()) {
+          if (q != target && g.has_edge(q, target)) {
+            delta.removed_edges.emplace_back(q, target);
+          }
+        }
+        if (g.has_edge(target, target)) {
+          delta.removed_edges.emplace_back(target, target);
+        }
+        delta.removed_nodes.push_back(target);
+        g.remove_node(target);
+      } else {
+        // Remove one existing out-edge of `target`.
+        if (!g.has_node(target) || g.out_neighbors(target).empty()) continue;
+        ProcId victim = -1;
+        std::uint32_t skip = input.in_range(0, 7);
+        for (ProcId p : g.out_neighbors(target)) {
+          victim = p;
+          if (skip-- == 0) break;
+        }
+        delta.removed_edges.emplace_back(target, victim);
+        g.remove_edge(target, victim);
+      }
+    }
+    if (delta.empty()) continue;
+    inc.apply(g, delta);
+    check_against_fresh(inc, g);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fuzz target: the graph-sequence run codec.
+//
+// Property: decode_run never crashes, and the layout is canonical —
+// any accepted input re-encodes to the identical byte string.
+#include <cstdint>
+#include <vector>
+
+#include "rounds/record.hpp"
+#include "util/assert.hpp"
+
+using namespace sskel;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  DecodeResult<std::vector<Digraph>> run = decode_run(bytes);
+  if (!run.ok()) return 0;
+  SSKEL_REQUIRE(encode_run(run.value()) == bytes);
+  return 0;
+}
+
+extern "C" void sskel_fuzz_seed_corpus(
+    std::vector<std::vector<std::uint8_t>>* out) {
+  Digraph a(9);
+  a.add_self_loops();
+  a.add_edge(0, 5);
+  a.add_edge(7, 3);
+  Digraph b = a;
+  b.remove_node(8);
+  out->push_back(encode_run({a, b, a}));
+  out->push_back(encode_run({Digraph(1)}));
+}

@@ -1,0 +1,173 @@
+// Standalone mutation driver: gives every fuzz target a main() on
+// toolchains without libFuzzer (the GCC-only container, plain CI
+// runners). Real coverage-guided runs use Clang's -fsanitize=fuzzer
+// against the same LLVMFuzzerTestOneInput entry points — this driver
+// only does blind corpus mutation, but deterministically (fixed
+// xoshiro seed), so a crash found in CI replays locally byte-for-byte
+// and the corpus files double as regression inputs.
+//
+// Usage mirrors the libFuzzer flags the CI job passes:
+//   target [-runs=N] [-seed=S] [-max_len=L] [corpus file-or-dir]...
+// Every corpus file is first replayed verbatim, then N mutated inputs
+// are generated (splice + flip + trim + insert) from the corpus plus
+// the target's structure-aware seeds.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// Targets may override this to emit valid encodings as mutation
+/// bases — structure-aware seeding without binary files in the tree.
+extern "C" __attribute__((weak)) void sskel_fuzz_seed_corpus(
+    std::vector<std::vector<std::uint8_t>>* out) {
+  (void)out;
+}
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+void load_path(const std::string& path, std::vector<Input>& corpus) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) load_path(entry.path().string(), corpus);
+    }
+    return;
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "standalone: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  corpus.emplace_back(std::istreambuf_iterator<char>(is),
+                      std::istreambuf_iterator<char>());
+}
+
+Input mutate(const std::vector<Input>& corpus, sskel::Rng& rng,
+             std::size_t max_len) {
+  Input out;
+  if (!corpus.empty()) {
+    out = corpus[static_cast<std::size_t>(rng.next_below(corpus.size()))];
+  }
+  const int mutations = 1 + static_cast<int>(rng.next_below(8));
+  for (int m = 0; m < mutations; ++m) {
+    switch (rng.next_below(6)) {
+      case 0:  // flip one bit
+        if (!out.empty()) {
+          out[static_cast<std::size_t>(rng.next_below(out.size()))] ^=
+              static_cast<std::uint8_t>(1u << rng.next_below(8));
+        }
+        break;
+      case 1:  // overwrite one byte
+        if (!out.empty()) {
+          out[static_cast<std::size_t>(rng.next_below(out.size()))] =
+              static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        break;
+      case 2:  // truncate
+        if (!out.empty()) {
+          out.resize(static_cast<std::size_t>(rng.next_below(out.size())));
+        }
+        break;
+      case 3: {  // insert a few random bytes
+        const std::size_t count = 1 + rng.next_below(8);
+        const std::size_t at =
+            out.empty() ? 0
+                        : static_cast<std::size_t>(
+                              rng.next_below(out.size() + 1));
+        Input noise(count);
+        for (auto& b : noise) {
+          b = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        out.insert(out.begin() + static_cast<long>(at), noise.begin(),
+                   noise.end());
+        break;
+      }
+      case 4: {  // splice a window from another corpus item
+        if (corpus.empty()) break;
+        const Input& other =
+            corpus[static_cast<std::size_t>(rng.next_below(corpus.size()))];
+        if (other.empty()) break;
+        const std::size_t from =
+            static_cast<std::size_t>(rng.next_below(other.size()));
+        const std::size_t len = 1 + rng.next_below(other.size() - from);
+        const std::size_t at =
+            out.empty() ? 0
+                        : static_cast<std::size_t>(
+                              rng.next_below(out.size() + 1));
+        out.insert(out.begin() + static_cast<long>(at), other.begin() +
+                       static_cast<long>(from),
+                   other.begin() + static_cast<long>(from + len));
+        break;
+      }
+      case 5: {  // duplicate a window of self (frame repetition)
+        if (out.empty()) break;
+        const std::size_t from =
+            static_cast<std::size_t>(rng.next_below(out.size()));
+        const std::size_t len = 1 + rng.next_below(out.size() - from);
+        const Input window(out.begin() + static_cast<long>(from),
+                           out.begin() + static_cast<long>(from + len));
+        out.insert(out.end(), window.begin(), window.end());
+        break;
+      }
+      default: break;
+    }
+  }
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t runs = 1000;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 14;
+  std::vector<Input> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore unknown libFuzzer-style flags so one CI invocation
+      // works against both drivers.
+    } else {
+      load_path(arg, corpus);
+    }
+  }
+
+  sskel_fuzz_seed_corpus(&corpus);
+
+  std::uint64_t executed = 0;
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  LLVMFuzzerTestOneInput(nullptr, 0);  // the empty input
+
+  sskel::Rng rng(seed);
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const Input input = mutate(corpus, rng, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  std::printf("standalone: %" PRIu64 " inputs (%zu corpus), no crashes\n",
+              executed, corpus.size());
+  return 0;
+}

@@ -27,4 +27,19 @@ struct SkeletonMessage {
   return 1 + 8 + encoded_graph_size(m.graph);
 }
 
+/// Appends the wire form — 1 tag byte, 8 little-endian value bytes,
+/// then the graph codec — to `out`. Produces exactly encoded_size(m)
+/// bytes; the trace recorder uses this as the driver's message
+/// encoder so captures carry real wire payloads.
+inline void encode_message(const SkeletonMessage& m,
+                           std::vector<std::uint8_t>& out) {
+  out.push_back(m.decide ? 1 : 0);
+  const auto v = static_cast<std::uint64_t>(m.x);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  const std::vector<std::uint8_t> graph = encode_graph(m.graph);
+  out.insert(out.end(), graph.begin(), graph.end());
+}
+
 }  // namespace sskel

@@ -228,6 +228,32 @@ class NetRoundDriver final : public RoundEngine<Msg> {
 
   [[nodiscard]] NetPlane plane() const { return config_.plane; }
 
+  /// Optional wire encoder for trace capture: writes `msg`'s encoded
+  /// bytes into the scratch vector (cleared by the driver first).
+  using TraceEncoder = std::function<void(const Msg&, std::vector<std::uint8_t>&)>;
+
+  /// Installs a capture sink for the delivery/close schedule (null
+  /// detaches). Must be called before the first step(). With a sink
+  /// installed the ring plane additionally schedules one no-op trace
+  /// event per on-time/tie message at its arrival instant — matching
+  /// the event-queue plane's per-delivery events one for one — so the
+  /// two planes' captures carry identical delivery/close orderings
+  /// and identical event-queue sequence numbers. Tracing is not the
+  /// hot path; the ring plane's zero-event delivery property holds
+  /// whenever no sink is attached. When `encoder` is provided the
+  /// sink also receives every broadcast's encoded payload.
+  void set_trace_sink(NetTraceSink* sink, TraceEncoder encoder = nullptr) {
+    SSKEL_REQUIRE(derived_rounds_ == 0);
+    sink_ = sink;
+    trace_encoder_ = std::move(encoder);
+  }
+
+  /// The TraceSource tag matching this driver's plane.
+  [[nodiscard]] TraceSource trace_source() const {
+    return config_.plane == NetPlane::kRing ? TraceSource::kNetRing
+                                            : TraceSource::kNetEventQueue;
+  }
+
   /// Rounds whose derived graph is complete (every process closed the
   /// round). Rounds complete in order because skews stay below D.
   [[nodiscard]] Round rounds_completed() const override {
@@ -407,6 +433,12 @@ class NetRoundDriver final : public RoundEngine<Msg> {
     processes_[static_cast<std::size_t>(p)]->send_into(r, dcache_[slot]);
     const Msg& msg = dcache_[slot];
 
+    if (sink_ != nullptr && trace_encoder_) {
+      encode_scratch_.clear();
+      trace_encoder_(msg, encode_scratch_);
+      sink_->on_broadcast(r, p, encode_scratch_);
+    }
+
     // Self-delivery is immediate and always on time (not counted in
     // delivered_, matching the network-accounting convention).
     RoundInboxSlot<Msg>& own = inboxes_.acquire(p, r);
@@ -426,6 +458,11 @@ class NetRoundDriver final : public RoundEngine<Msg> {
       const SimTime delay = sample_delay(links_.at(p, q), slack, rng_);
       if (delay == kLost) {
         ++lost_;
+        // Both planes learn of a drop at the send instant; record it
+        // there so captures agree across planes.
+        if (sink_ != nullptr) {
+          sink_->on_delivery(DeliveryKind::kDropped, r, p, q, send_time);
+        }
         continue;
       }
       const SimTime arrival = send_time + delay;
@@ -441,15 +478,22 @@ class NetRoundDriver final : public RoundEngine<Msg> {
         // event-queue plane's counting cutoff exactly — a late
         // arrival past the run's final event stays uncounted there
         // too.
-        queue_.schedule(arrival, [this] { ++late_; });
+        queue_.schedule(arrival, [this, p, q, r] {
+          ++late_;
+          if (sink_ != nullptr) {
+            sink_->on_delivery(DeliveryKind::kLate, r, p, q, queue_.now());
+          }
+        });
       } else if (arrival == due && close_precedes_delivery_at_tie(p, q)) {
         // The event-queue plane would run the close first and the
         // delivery into a dead inbox right after: counted and
         // byte-accounted, never consumed.
         count_delivery(arrival, r);
         account_delivery(r, msg);
+        if (sink_ != nullptr) schedule_trace_delivery(p, q, r, arrival, true);
       } else {
         publish_frag(p, q, r, arrival, slot);
+        if (sink_ != nullptr) schedule_trace_delivery(p, q, r, arrival, false);
       }
     }
 
@@ -465,17 +509,44 @@ class NetRoundDriver final : public RoundEngine<Msg> {
     }
   }
 
+  /// Ring plane, sink attached: schedules the no-op trace event that
+  /// stands in for the event-queue plane's delivery event at the same
+  /// (time, seq) slot, keeping the two planes' captures and sequence
+  /// streams aligned (see set_trace_sink).
+  void schedule_trace_delivery(ProcId from, ProcId to, Round r,
+                               SimTime arrival, bool tie_discard) {
+    queue_.schedule(arrival, [this, from, to, r, tie_discard] {
+      sink_->on_delivery(
+          tie_discard ? DeliveryKind::kTieDiscard : DeliveryKind::kOnTime, r,
+          from, to, queue_.now());
+    });
+  }
+
   /// Event-queue plane only: one scheduled event per delivery.
   void deliver(ProcId from, ProcId to, Round r) {
     if (queue_.now() > deadline(to, r)) {
       ++late_;  // communication closure: the round already ended
+      if (sink_ != nullptr) {
+        sink_->on_delivery(DeliveryKind::kLate, r, from, to, queue_.now());
+      }
       return;
     }
     ++delivered_;
+    // Arrival exactly at the deadline after the close already ran: the
+    // deposit lands in a dead inbox (counted, never consumed) — the
+    // tie the ring plane reproduces analytically.
+    if (sink_ != nullptr) {
+      const bool dead =
+          finalized_round_[static_cast<std::size_t>(to)] >= r;
+      sink_->on_delivery(
+          dead ? DeliveryKind::kTieDiscard : DeliveryKind::kOnTime, r, from,
+          to, queue_.now());
+    }
     deposit(from, to, r, dcache_[dcache_slot(from, r)]);
   }
 
   void close_round(ProcId p, Round r) {
+    if (sink_ != nullptr) sink_->on_close(r, p, queue_.now());
     // Ring plane: batch-consume everything published since the last
     // close (round-r frags, plus early round-(r+1) frags that simply
     // land in the other parity slot).
@@ -619,6 +690,10 @@ class NetRoundDriver final : public RoundEngine<Msg> {
   std::int64_t late_ = 0;
   std::int64_t lost_ = 0;
   std::int64_t delivered_ = 0;
+  /// Capture hooks (null/empty when not tracing).
+  NetTraceSink* sink_ = nullptr;
+  TraceEncoder trace_encoder_;
+  std::vector<std::uint8_t> encode_scratch_;
 };
 
 }  // namespace sskel

@@ -18,11 +18,9 @@
 
 #include "util/assert.hpp"
 #include "util/inline_callable.hpp"
+#include "util/types.hpp"
 
 namespace sskel {
-
-/// Simulated time in microseconds.
-using SimTime = std::int64_t;
 
 class EventQueue {
  public:

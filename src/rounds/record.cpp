@@ -47,22 +47,65 @@ void encode_bitmap(std::vector<std::uint8_t>& out, const ProcSet& set) {
   out.insert(out.end(), bitmap.begin(), bitmap.end());
 }
 
-ProcSet decode_bitmap(const std::vector<std::uint8_t>& in, std::size_t& pos,
-                      ProcId n) {
-  const std::size_t bytes = (static_cast<std::size_t>(n) + 7) / 8;
-  SSKEL_REQUIRE(pos + bytes <= in.size());
-  ProcSet set(n);
+/// Bytes of one ceil(n/8) bitmap.
+[[nodiscard]] std::size_t bitmap_bytes(ProcId n) {
+  return (static_cast<std::size_t>(n) + 7) / 8;
+}
+
+/// Bounds-checked bitmap read. The fixed-width layout means padding
+/// bits (indices >= n in the last byte) must be zero, or two byte
+/// strings would decode to the same set.
+[[nodiscard]] bool decode_bitmap(ByteReader& reader, ProcId n, ProcSet& set,
+                                 const char* field) {
+  const std::size_t bytes = bitmap_bytes(n);
+  // Expressed against remaining() — a `pos + bytes` sum can wrap for
+  // the huge n a hostile header smuggles in.
+  if (!reader.require_bytes(bytes, field)) return false;
+  const std::uint8_t* data = reader.cursor();
+  const unsigned tail_bits = static_cast<unsigned>(n) % 8;
+  if (tail_bits != 0 &&
+      (data[bytes - 1] & static_cast<std::uint8_t>(0xffu << tail_bits))) {
+    return reader.fail(DecodeStatus::kValueOutOfRange, field);
+  }
+  set = ProcSet(n);
   for (ProcId p = 0; p < n; ++p) {
-    if (in[pos + static_cast<std::size_t>(p) / 8] &
+    if (data[static_cast<std::size_t>(p) / 8] &
         (1u << (static_cast<unsigned>(p) % 8))) {
       set.insert(p);
     }
   }
-  pos += bytes;
-  return set;
+  reader.skip(bytes);
+  return true;
 }
 
 }  // namespace
+
+void encode_graph_body(std::vector<std::uint8_t>& out, const Digraph& g) {
+  encode_bitmap(out, g.nodes());
+  for (ProcId q = 0; q < g.n(); ++q) {
+    encode_bitmap(out, g.out_neighbors(q));
+  }
+}
+
+bool decode_graph_body(ByteReader& reader, ProcId n, Digraph& out) {
+  ProcSet nodes(n);
+  if (!decode_bitmap(reader, n, nodes, "node bitmap")) return false;
+  Digraph g(n);
+  // Restrict node presence first, then add edges; a row referencing a
+  // node outside the bitmap (Digraph::add_edge would silently re-add
+  // it) is hostile input, not a graph.
+  g = g.induced(nodes);
+  ProcSet row(n);
+  for (ProcId q = 0; q < n; ++q) {
+    if (!decode_bitmap(reader, n, row, "out-row bitmap")) return false;
+    if (!row.is_subset_of(nodes) || (!row.empty() && !nodes.contains(q))) {
+      return reader.fail(DecodeStatus::kInvalidEdge, "out-row bitmap");
+    }
+    for (ProcId p : row) g.add_edge(q, p);
+  }
+  out = std::move(g);
+  return true;
+}
 
 std::vector<std::uint8_t> encode_run(const std::vector<Digraph>& graphs) {
   SSKEL_REQUIRE(!graphs.empty());
@@ -72,34 +115,53 @@ std::vector<std::uint8_t> encode_run(const std::vector<Digraph>& graphs) {
   put_varint(out, graphs.size());
   for (const Digraph& g : graphs) {
     SSKEL_REQUIRE(g.n() == n);
-    encode_bitmap(out, g.nodes());
-    for (ProcId q = 0; q < n; ++q) {
-      encode_bitmap(out, g.out_neighbors(q));
-    }
+    encode_graph_body(out, g);
   }
   return out;
 }
 
-std::vector<Digraph> decode_run(const std::vector<std::uint8_t>& bytes) {
-  std::size_t pos = 0;
-  const ProcId n = static_cast<ProcId>(get_varint(bytes, pos));
-  SSKEL_REQUIRE(n > 0);
-  const std::uint64_t rounds = get_varint(bytes, pos);
+DecodeResult<std::vector<Digraph>> decode_run(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader reader(bytes.data(), bytes.size());
+  // Range-check before the narrowing cast: a 64-bit n >= 2^31 would
+  // silently truncate into a different, valid-looking universe, and
+  // anything past kMaxDecodeUniverse sizes allocations no capture can
+  // justify.
+  std::uint64_t n_wide = 0;
+  if (!reader.read_varint_max(n_wide, kMaxDecodeUniverse, "run n")) {
+    return reader.error();
+  }
+  if (n_wide == 0) {
+    return DecodeError{DecodeStatus::kValueOutOfRange, 0, "run n"};
+  }
+  const ProcId n = static_cast<ProcId>(n_wide);
+
+  std::uint64_t rounds = 0;
+  if (!reader.read_varint(rounds, "round count")) return reader.error();
+  if (rounds == 0) {
+    return DecodeError{DecodeStatus::kValueOutOfRange, reader.pos(),
+                       "round count"};
+  }
+  // Each recorded round occupies exactly (n + 1) bitmaps; a `rounds`
+  // the remaining bytes cannot possibly hold is rejected before the
+  // reserve — a hostile varint must not demand a multi-GB allocation.
+  const std::uint64_t per_round =
+      static_cast<std::uint64_t>(bitmap_bytes(n)) *
+      (static_cast<std::uint64_t>(n) + 1);
+  if (rounds > reader.remaining() / per_round) {
+    return DecodeError{DecodeStatus::kLimitExceeded, reader.pos(),
+                       "round count"};
+  }
   std::vector<Digraph> graphs;
   graphs.reserve(rounds);
   for (std::uint64_t i = 0; i < rounds; ++i) {
-    const ProcSet nodes = decode_bitmap(bytes, pos, n);
-    Digraph g(n);
-    // Restrict node presence first, then add edges (rows of absent
-    // nodes were recorded empty anyway).
-    g = g.induced(nodes);
-    for (ProcId q = 0; q < n; ++q) {
-      const ProcSet row = decode_bitmap(bytes, pos, n);
-      for (ProcId p : row) g.add_edge(q, p);
-    }
+    Digraph g;
+    if (!decode_graph_body(reader, n, g)) return reader.error();
     graphs.push_back(std::move(g));
   }
-  SSKEL_REQUIRE(pos == bytes.size());
+  if (!reader.at_end()) {
+    return DecodeError{DecodeStatus::kTrailingBytes, reader.pos(), "run"};
+  }
   return graphs;
 }
 

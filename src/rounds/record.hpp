@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rounds/graph_source.hpp"
+#include "util/decode.hpp"
 
 namespace sskel {
 
@@ -57,8 +58,23 @@ class ReplaySource final : public GraphSource {
 [[nodiscard]] std::vector<std::uint8_t> encode_run(
     const std::vector<Digraph>& graphs);
 
-/// Inverse of encode_run.
-[[nodiscard]] std::vector<Digraph> decode_run(
+/// Inverse of encode_run, hardened for untrusted bytes (captures are
+/// shared as files): every size field is validated against the bytes
+/// that remain before any allocation, node/edge references are checked
+/// against the recorded node bitmap, and varints are strict — so every
+/// accepted input satisfies encode_run(decode_run(x)) == x, and every
+/// other input is rejected with a DecodeError instead of an abort.
+[[nodiscard]] DecodeResult<std::vector<Digraph>> decode_run(
     const std::vector<std::uint8_t>& bytes);
+
+/// Shared with the trace codec: one graph in the run-codec layout
+/// (node bitmap + n out-row bitmaps; no leading n). `reader` must sit
+/// at the graph's first byte. Used by decode_run per round and by the
+/// trace reader per kGraph frame.
+[[nodiscard]] bool decode_graph_body(ByteReader& reader, ProcId n,
+                                     Digraph& out);
+
+/// Encoder counterpart of decode_graph_body.
+void encode_graph_body(std::vector<std::uint8_t>& out, const Digraph& g);
 
 }  // namespace sskel

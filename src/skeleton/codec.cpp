@@ -29,42 +29,108 @@ std::vector<std::uint8_t> encode_graph(const LabeledDigraph& g) {
   return out;
 }
 
-LabeledDigraph decode_graph(const std::vector<std::uint8_t>& in) {
-  std::size_t pos = 0;
-  const ProcId n = static_cast<ProcId>(get_varint(in, pos));
-  SSKEL_REQUIRE(n > 0);
+DecodeResult<LabeledDigraph> try_decode_graph(
+    const std::vector<std::uint8_t>& in) {
+  ByteReader reader(in.data(), in.size());
+  // Range-check before the narrowing cast; the n x n label matrix
+  // makes an unchecked n an allocation bomb, not just an alias bug.
+  std::uint64_t n_wide = 0;
+  if (!reader.read_varint_max(n_wide, kMaxLabeledDecodeUniverse, "graph n")) {
+    return reader.error();
+  }
+  if (n_wide == 0) {
+    return DecodeError{DecodeStatus::kValueOutOfRange, 0, "graph n"};
+  }
+  const ProcId n = static_cast<ProcId>(n_wide);
 
   const std::size_t bitmap_bytes = (static_cast<std::size_t>(n) + 7) / 8;
-  SSKEL_REQUIRE(pos + bitmap_bytes <= in.size());
-
-  // An owner node is required by the constructor; find the first
-  // present node, then add the rest.
+  if (!reader.require_bytes(bitmap_bytes, "node bitmap")) {
+    return reader.error();
+  }
+  const std::uint8_t* bitmap = reader.cursor();
+  const unsigned tail_bits = static_cast<unsigned>(n) % 8;
+  if (tail_bits != 0 &&
+      (bitmap[bitmap_bytes - 1] &
+       static_cast<std::uint8_t>(0xffu << tail_bits))) {
+    return DecodeError{DecodeStatus::kValueOutOfRange, reader.pos(),
+                       "node bitmap"};
+  }
+  // The constructor requires an owner node; an all-zero bitmap never
+  // comes out of encode_graph (a process graph always holds its owner).
   ProcId first_node = -1;
   for (ProcId p = 0; p < n && first_node == -1; ++p) {
-    if (in[pos + static_cast<std::size_t>(p) / 8] &
+    if (bitmap[static_cast<std::size_t>(p) / 8] &
         (1u << (static_cast<unsigned>(p) % 8))) {
       first_node = p;
     }
   }
-  SSKEL_REQUIRE(first_node != -1);
+  if (first_node == -1) {
+    return DecodeError{DecodeStatus::kValueOutOfRange, reader.pos(),
+                       "node bitmap"};
+  }
   LabeledDigraph g(n, first_node);
-  for (ProcId p = 0; p < n; ++p) {
-    if (in[pos + static_cast<std::size_t>(p) / 8] &
+  for (ProcId p = first_node + 1; p < n; ++p) {
+    if (bitmap[static_cast<std::size_t>(p) / 8] &
         (1u << (static_cast<unsigned>(p) % 8))) {
       g.add_node(p);
     }
   }
-  pos += bitmap_bytes;
+  reader.skip(bitmap_bytes);
 
-  const std::uint64_t edges = get_varint(in, pos);
-  for (std::uint64_t e = 0; e < edges; ++e) {
-    const ProcId q = static_cast<ProcId>(get_varint(in, pos));
-    const ProcId p = static_cast<ProcId>(get_varint(in, pos));
-    const Round l = static_cast<Round>(get_varint(in, pos));
-    g.set_edge(q, p, l);
+  std::uint64_t edges = 0;
+  if (!reader.read_varint(edges, "edge count")) return reader.error();
+  // Each edge costs at least three varint bytes; a count the remaining
+  // bytes cannot hold is rejected up front.
+  if (edges > reader.remaining() / 3) {
+    return DecodeError{DecodeStatus::kLimitExceeded, reader.pos(),
+                       "edge count"};
   }
-  SSKEL_REQUIRE(pos == in.size());
+  ProcId prev_q = -1;
+  ProcId prev_p = -1;
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    std::uint64_t q_wide = 0;
+    std::uint64_t p_wide = 0;
+    std::uint64_t label_wide = 0;
+    const std::uint64_t max_id = static_cast<std::uint64_t>(n) - 1;
+    if (!reader.read_varint_max(q_wide, max_id, "edge source") ||
+        !reader.read_varint_max(p_wide, max_id, "edge target")) {
+      return reader.error();
+    }
+    const std::size_t label_pos = reader.pos();
+    if (!reader.read_varint_max(label_wide, INT32_MAX, "edge label")) {
+      return reader.error();
+    }
+    if (label_wide == 0) {  // label 0 means "edge absent"
+      return DecodeError{DecodeStatus::kValueOutOfRange, label_pos,
+                         "edge label"};
+    }
+    const ProcId q = static_cast<ProcId>(q_wide);
+    const ProcId p = static_cast<ProcId>(p_wide);
+    // set_edge silently inserts endpoints, so an edge touching a node
+    // outside the bitmap must be caught here, not below.
+    if (!g.has_node(q) || !g.has_node(p)) {
+      return DecodeError{DecodeStatus::kInvalidEdge, label_pos, "edge"};
+    }
+    // Strictly increasing (q, p) keeps the accepted language equal to
+    // encode_graph's output: no duplicates, no reordered aliases.
+    if (q < prev_q || (q == prev_q && p <= prev_p)) {
+      return DecodeError{DecodeStatus::kValueOutOfRange, label_pos,
+                         "edge order"};
+    }
+    prev_q = q;
+    prev_p = p;
+    g.set_edge(q, p, static_cast<Round>(label_wide));
+  }
+  if (!reader.at_end()) {
+    return DecodeError{DecodeStatus::kTrailingBytes, reader.pos(), "graph"};
+  }
   return g;
+}
+
+LabeledDigraph decode_graph(const std::vector<std::uint8_t>& in) {
+  DecodeResult<LabeledDigraph> result = try_decode_graph(in);
+  SSKEL_REQUIRE(result.ok());
+  return std::move(result.value());
 }
 
 std::int64_t encoded_graph_size(const LabeledDigraph& g) {

@@ -20,4 +20,9 @@ using Value = std::int64_t;
 /// Sentinel for "no value yet".
 inline constexpr Value kNoValue = INT64_MIN;
 
+/// Simulated time in microseconds (the network substrate's clock;
+/// also stamped into run traces, which is why it lives here rather
+/// than in net/).
+using SimTime = std::int64_t;
+
 }  // namespace sskel

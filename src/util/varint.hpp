@@ -1,6 +1,16 @@
 // ULEB128 varints — shared by every binary codec in the library.
+//
+// Decoding is *strict*: exactly one byte string encodes each value.
+// Truncated input, encodings that overflow 64 bits, and overlong
+// (non-canonical) encodings whose trailing byte contributes no bits
+// are all rejected — two distinct byte strings must never decode to
+// the same value, or the codecs' round-trip identity (and everything
+// the fuzzers assert on top of it) breaks. try_get_varint reports the
+// failure for untrusted bytes; get_varint aborts, for input the caller
+// already trusts (its own encoder's output).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -8,7 +18,7 @@
 
 namespace sskel {
 
-/// Appends a ULEB128 varint.
+/// Appends a ULEB128 varint (always canonical: minimal length).
 inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
   while (value >= 0x80) {
     out.push_back(static_cast<std::uint8_t>(value) | 0x80u);
@@ -17,19 +27,54 @@ inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
   out.push_back(static_cast<std::uint8_t>(value));
 }
 
-/// Reads a ULEB128 varint, advancing `pos`. Aborts on truncation.
+/// Why a strict varint read rejected its input.
+enum class VarintStatus : std::uint8_t {
+  kOk = 0,
+  /// Input ended while a continuation bit promised more bytes.
+  kTruncated,
+  /// The encoding carries bits beyond the 64-bit range (a 10th byte
+  /// above 0x01, or any continuation past the 10th byte).
+  kOverflow,
+  /// Non-canonical: the final byte is zero yet not the only byte, so
+  /// a shorter encoding of the same value exists.
+  kOverlong,
+};
+
+/// Strict ULEB128 read over a raw byte range. On kOk advances `pos`
+/// past the encoding and sets `out`; on failure `pos` ends up at the
+/// byte where the failure was detected (ByteReader rewinds it to the
+/// varint's start so errors report the field's offset).
+[[nodiscard]] inline VarintStatus try_get_varint(const std::uint8_t* data,
+                                                 std::size_t size,
+                                                 std::size_t& pos,
+                                                 std::uint64_t& out) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  const std::size_t start = pos;
+  while (true) {
+    if (pos >= size) return VarintStatus::kTruncated;
+    const std::uint8_t byte = data[pos++];
+    // The 10th byte sits at shift 63: only its low payload bit fits in
+    // 64 bits, and any continuation would need an 11th byte.
+    if (shift == 63 && (byte & 0xfeu) != 0) return VarintStatus::kOverflow;
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (byte == 0 && pos - start > 1) return VarintStatus::kOverlong;
+      out = value;
+      return VarintStatus::kOk;
+    }
+    shift += 7;
+  }
+}
+
+/// Reads a ULEB128 varint, advancing `pos`. Aborts on truncated,
+/// overflowing, or overlong input — for bytes the caller trusts;
+/// untrusted bytes go through try_get_varint / ByteReader.
 [[nodiscard]] inline std::uint64_t get_varint(
     const std::vector<std::uint8_t>& in, std::size_t& pos) {
   std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    SSKEL_REQUIRE(pos < in.size());
-    const std::uint8_t byte = in[pos++];
-    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-    SSKEL_REQUIRE(shift < 64);
-  }
+  const VarintStatus status = try_get_varint(in.data(), in.size(), pos, value);
+  SSKEL_REQUIRE(status == VarintStatus::kOk);
   return value;
 }
 

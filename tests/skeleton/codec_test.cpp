@@ -100,5 +100,140 @@ TEST(CodecDeathTest, TruncatedInputAborts) {
   EXPECT_DEATH(decode_graph(bytes), "precondition");
 }
 
+// --- hostile-input behaviour of try_decode_graph -------------------
+
+DecodeStatus graph_status(const std::vector<std::uint8_t>& bytes) {
+  DecodeResult<LabeledDigraph> r = try_decode_graph(bytes);
+  return r.ok() ? DecodeStatus::kOk : r.error().status;
+}
+
+TEST(TryDecodeGraphTest, AcceptsExactlyTheCanonicalEncoding) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ProcId n = static_cast<ProcId>(1 + rng.next_below(24));
+    LabeledDigraph g(n, static_cast<ProcId>(rng.next_below(
+                            static_cast<std::uint64_t>(n))));
+    for (ProcId q = 0; q < n; ++q) {
+      for (ProcId p = 0; p < n; ++p) {
+        if (rng.next_bool(0.25)) {
+          g.set_edge(q, p, static_cast<Round>(1 + rng.next_below(300)));
+        }
+      }
+    }
+    const std::vector<std::uint8_t> bytes = encode_graph(g);
+    DecodeResult<LabeledDigraph> back = try_decode_graph(bytes);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), g);
+    EXPECT_EQ(encode_graph(back.value()), bytes);  // canonical
+  }
+}
+
+TEST(TryDecodeGraphTest, UniverseBeyondLabeledCapRejected) {
+  // The n x n label matrix makes a huge n an allocation bomb; 2^32 + 3
+  // additionally used to alias n = 3 through the narrowing cast.
+  for (std::uint64_t n :
+       {kMaxLabeledDecodeUniverse + 1, (std::uint64_t{1} << 32) + 3}) {
+    std::vector<std::uint8_t> bytes;
+    put_varint(bytes, n);
+    bytes.push_back(0x07);
+    EXPECT_EQ(graph_status(bytes), DecodeStatus::kValueOutOfRange);
+  }
+}
+
+TEST(TryDecodeGraphTest, EdgeBombRejectedBeforeDecodeLoop) {
+  LabeledDigraph g(4, 0);
+  std::vector<std::uint8_t> bytes;
+  put_varint(bytes, 4);
+  bytes.push_back(0x0f);                       // all nodes present
+  put_varint(bytes, std::uint64_t{1} << 50);   // edge count
+  EXPECT_EQ(graph_status(bytes), DecodeStatus::kLimitExceeded);
+}
+
+TEST(TryDecodeGraphTest, MalformedEdgesRejected) {
+  LabeledDigraph g(5, 0);
+  g.add_node(1);
+  g.set_edge(0, 1, 3);
+  const std::vector<std::uint8_t> good = encode_graph(g);
+
+  auto with_edge = [&](std::uint64_t q, std::uint64_t p, std::uint64_t label) {
+    std::vector<std::uint8_t> bytes(good.begin(), good.begin() + 2);
+    put_varint(bytes, 1);  // edge count
+    put_varint(bytes, q);
+    put_varint(bytes, p);
+    put_varint(bytes, label);
+    return bytes;
+  };
+  ASSERT_EQ(graph_status(with_edge(0, 1, 3)), DecodeStatus::kOk);
+  // Endpoint out of the universe entirely.
+  EXPECT_EQ(graph_status(with_edge(0, 9, 3)), DecodeStatus::kValueOutOfRange);
+  // Endpoint in range but absent from the node bitmap — set_edge would
+  // silently re-add it.
+  EXPECT_EQ(graph_status(with_edge(0, 4, 3)), DecodeStatus::kInvalidEdge);
+  EXPECT_EQ(graph_status(with_edge(4, 1, 3)), DecodeStatus::kInvalidEdge);
+  // Label 0 means "edge absent"; negative labels don't exist.
+  EXPECT_EQ(graph_status(with_edge(0, 1, 0)), DecodeStatus::kValueOutOfRange);
+  EXPECT_EQ(graph_status(with_edge(0, 1, std::uint64_t{1} << 33)),
+            DecodeStatus::kValueOutOfRange);
+}
+
+TEST(TryDecodeGraphTest, NonCanonicalEdgeOrderRejected) {
+  LabeledDigraph g(4, 0);
+  for (ProcId p = 1; p < 4; ++p) g.add_node(p);
+  g.set_edge(0, 1, 2);
+  g.set_edge(2, 3, 5);
+  const std::vector<std::uint8_t> good = encode_graph(g);
+  ASSERT_EQ(graph_status(good), DecodeStatus::kOk);
+
+  // Header = varint n + one bitmap byte; rebuild the edge section.
+  const std::vector<std::uint8_t> header(good.begin(), good.begin() + 2);
+
+  std::vector<std::uint8_t> swapped = header;
+  put_varint(swapped, 2);  // edge count
+  put_varint(swapped, 2);  // (2, 3) before (0, 1)
+  put_varint(swapped, 3);
+  put_varint(swapped, 5);
+  put_varint(swapped, 0);
+  put_varint(swapped, 1);
+  put_varint(swapped, 2);
+  EXPECT_EQ(graph_status(swapped), DecodeStatus::kValueOutOfRange);
+
+  std::vector<std::uint8_t> dup = header;
+  put_varint(dup, 2);  // edge count
+  put_varint(dup, 0);  // (0, 1) twice
+  put_varint(dup, 1);
+  put_varint(dup, 2);
+  put_varint(dup, 0);
+  put_varint(dup, 1);
+  put_varint(dup, 7);
+  EXPECT_EQ(graph_status(dup), DecodeStatus::kValueOutOfRange);
+}
+
+TEST(TryDecodeGraphTest, EmptyBitmapAndPaddingBitsRejected) {
+  std::vector<std::uint8_t> empty;
+  put_varint(empty, 5);
+  empty.push_back(0x00);  // no owner node
+  put_varint(empty, 0);
+  EXPECT_EQ(graph_status(empty), DecodeStatus::kValueOutOfRange);
+
+  std::vector<std::uint8_t> padded;
+  put_varint(padded, 5);
+  padded.push_back(0xe1);  // node 0 plus padding bits >= n
+  put_varint(padded, 0);
+  EXPECT_EQ(graph_status(padded), DecodeStatus::kValueOutOfRange);
+}
+
+TEST(TryDecodeGraphTest, TruncationAtEveryBoundaryIsGraceful) {
+  LabeledDigraph g(11, 4);
+  for (ProcId p = 0; p < 11; ++p) g.add_node(p);
+  g.set_edge(4, 7, 200);   // two-byte label varint
+  g.set_edge(9, 1, 3);
+  const std::vector<std::uint8_t> full = encode_graph(g);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::vector<std::uint8_t> cut(full.begin(),
+                                        full.begin() + static_cast<long>(len));
+    EXPECT_FALSE(try_decode_graph(cut).ok()) << "prefix " << len;
+  }
+}
+
 }  // namespace
 }  // namespace sskel

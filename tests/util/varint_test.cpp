@@ -1,0 +1,115 @@
+// Strict ULEB128 semantics: the decoder accepts exactly the encodings
+// put_varint produces. Overlong and overflowing byte strings are the
+// classic differential-codec bug — two inputs, one value — so every
+// rejection class is pinned here.
+#include "util/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/decode.hpp"
+
+namespace sskel {
+namespace {
+
+VarintStatus status_of(const std::vector<std::uint8_t>& bytes,
+                       std::uint64_t* out_value = nullptr,
+                       std::size_t* out_pos = nullptr) {
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  const VarintStatus s = try_get_varint(bytes.data(), bytes.size(), pos, value);
+  if (out_value != nullptr) *out_value = value;
+  if (out_pos != nullptr) *out_pos = pos;
+  return s;
+}
+
+TEST(StrictVarintTest, RoundTripIsExactInverse) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 129ull, 300ull, 16383ull, 16384ull,
+        (1ull << 32) - 1, 1ull << 32, (1ull << 63) - 1, 1ull << 63,
+        0xffffffffffffffffull}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, v);
+    std::uint64_t back = 0;
+    std::size_t pos = 0;
+    EXPECT_EQ(status_of(buf, &back, &pos), VarintStatus::kOk) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(StrictVarintTest, TruncationRejected) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1ull << 40);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    const std::vector<std::uint8_t> cut(buf.begin(),
+                                        buf.begin() + static_cast<long>(len));
+    EXPECT_EQ(status_of(cut), VarintStatus::kTruncated) << len;
+  }
+}
+
+TEST(StrictVarintTest, OverlongEncodingsRejected) {
+  // 0x83 0x00 would decode to 3 under a lax reader; the canonical
+  // form of 3 is the single byte 0x03.
+  EXPECT_EQ(status_of({0x83, 0x00}), VarintStatus::kOverlong);
+  EXPECT_EQ(status_of({0x80, 0x00}), VarintStatus::kOverlong);      // 0
+  EXPECT_EQ(status_of({0xff, 0x80, 0x00}), VarintStatus::kOverlong);
+  // A canonical multi-byte value is fine.
+  std::uint64_t v = 0;
+  EXPECT_EQ(status_of({0x80, 0x01}, &v), VarintStatus::kOk);
+  EXPECT_EQ(v, 128u);
+}
+
+TEST(StrictVarintTest, OverflowPast64BitsRejected) {
+  // Ten continuation bytes reach shift 63, where only the low bit of
+  // the final byte may be set.
+  std::vector<std::uint8_t> max_buf;
+  put_varint(max_buf, 0xffffffffffffffffull);
+  ASSERT_EQ(max_buf.size(), 10u);
+  ASSERT_EQ(max_buf.back(), 0x01);
+
+  std::vector<std::uint8_t> overflow = max_buf;
+  overflow.back() = 0x02;  // bit 64
+  EXPECT_EQ(status_of(overflow), VarintStatus::kOverflow);
+  overflow.back() = 0x7f;
+  EXPECT_EQ(status_of(overflow), VarintStatus::kOverflow);
+  // An 11th byte can't even be reached: byte 10 must terminate.
+  overflow = max_buf;
+  overflow.back() = 0x81;
+  overflow.push_back(0x00);
+  EXPECT_EQ(status_of(overflow), VarintStatus::kOverflow);
+}
+
+TEST(StrictVarintTest, ByteReaderRewindsToFieldStartOnFailure) {
+  // The reader's error offset should point at the bad field, not at
+  // the byte where the scan happened to stop.
+  const std::vector<std::uint8_t> bytes = {0x07, 0x83, 0x00};
+  ByteReader reader(bytes.data(), bytes.size());
+  std::uint64_t v = 0;
+  ASSERT_TRUE(reader.read_varint(v, "first"));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(reader.read_varint(v, "second"));
+  EXPECT_EQ(reader.error().status, DecodeStatus::kOverlongVarint);
+  EXPECT_EQ(reader.error().offset, 1u);
+  EXPECT_EQ(reader.pos(), 1u);
+}
+
+TEST(StrictVarintTest, ReadVarintMaxChecksBeforeNarrowing) {
+  std::vector<std::uint8_t> bytes;
+  put_varint(bytes, (1ull << 32) + 5);
+  ByteReader reader(bytes.data(), bytes.size());
+  std::uint64_t v = 0;
+  EXPECT_FALSE(reader.read_varint_max(v, 0xffffffffull, "field"));
+  EXPECT_EQ(reader.error().status, DecodeStatus::kValueOutOfRange);
+  EXPECT_EQ(reader.error().offset, 0u);
+}
+
+TEST(StrictVarintDeathTest, TrustedGetVarintAbortsOnMalformedBytes) {
+  const std::vector<std::uint8_t> overlong = {0x83, 0x00};
+  std::size_t pos = 0;
+  EXPECT_DEATH((void)get_varint(overlong, pos), "precondition");
+}
+
+}  // namespace
+}  // namespace sskel

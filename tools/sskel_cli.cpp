@@ -66,6 +66,16 @@ std::vector<std::uint8_t> load_file(const std::string& path) {
                                    std::istreambuf_iterator<char>());
 }
 
+std::vector<Digraph> load_run(const std::string& path) {
+  DecodeResult<std::vector<Digraph>> run = decode_run(load_file(path));
+  if (!run.ok()) {
+    std::fprintf(stderr, "sskel: %s is not a valid capture: %s\n",
+                 path.c_str(), run.error().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(run.value());
+}
+
 void print_report(const KSetRunReport& report, int k, bool quiet) {
   if (!quiet) {
     for (ProcId p = 0; p < report.n; ++p) {
@@ -142,7 +152,7 @@ int cmd_run(const CliArgs& args) {
 int cmd_replay(const CliArgs& args) {
   const std::string path = args.get_string("file", "");
   if (path.empty()) usage();
-  ReplaySource replay(decode_run(load_file(path)));
+  ReplaySource replay(load_run(path));
   const int k = static_cast<int>(args.get_int("k", 2));
   KSetRunConfig config;
   config.k = k;
@@ -154,7 +164,7 @@ int cmd_replay(const CliArgs& args) {
 int cmd_analyze(const CliArgs& args) {
   const std::string path = args.get_string("file", "");
   if (path.empty()) usage();
-  const std::vector<Digraph> run = decode_run(load_file(path));
+  const std::vector<Digraph> run = load_run(path);
 
   SkeletonTracker tracker(run.front().n());
   for (std::size_t i = 0; i < run.size(); ++i) {
