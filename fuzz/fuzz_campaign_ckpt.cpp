@@ -1,0 +1,58 @@
+// Fuzz target: the SSKC campaign-checkpoint codec (DESIGN.md §15).
+//
+// Property: decode_checkpoint never crashes on arbitrary bytes, and —
+// unlike the trace container, whose frame order is flexible — SSKC is
+// byte-canonical: there is exactly one encoding per checkpoint, so any
+// accepted input must re-encode to the identical byte string. This is
+// the law the resume path depends on (CheckpointWriter::load_latest
+// trusts that a decodable file IS the state that was written), so the
+// fuzzer asserts the strong form, not just round-trip idempotence.
+#include <cstdint>
+#include <vector>
+
+#include "adversary/partition.hpp"
+#include "campaign/checkpoint.hpp"
+#include "mc/scenario.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+using namespace sskel;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  DecodeResult<CampaignCheckpoint> decoded = decode_checkpoint(bytes);
+  if (!decoded.ok()) return 0;
+
+  SSKEL_REQUIRE(encode_checkpoint(decoded.value()) == bytes);
+  return 0;
+}
+
+extern "C" void sskel_fuzz_seed_corpus(
+    std::vector<std::vector<std::uint8_t>>* out) {
+  CampaignCheckpoint empty;
+  empty.spec_fingerprint = 0x5353'4b43;
+  out->push_back(encode_checkpoint(empty));
+
+  // A mid-sweep checkpoint folded from real trials, so accumulators,
+  // histograms and the runs == trials_folded invariant are all live.
+  PartitionParams params;
+  params.blocks = even_blocks(4, 2);
+  const PartitionScenario scenario(std::move(params));
+  KSetRunConfig config;
+  config.k = 2;
+  CampaignCheckpoint partial;
+  partial.spec_fingerprint = 0xdead'beef;
+  JobCheckpoint job;
+  job.summary.scenario = scenario.name();
+  job.summary.bytes_measured = config.measure_bytes;
+  for (std::uint64_t t = 0; t < 5; ++t) {
+    const ScenarioTrial trial = scenario.run_trial(mix_seed(7, t), config);
+    fold_scenario_trial(job.summary, trial, config);
+    ++job.trials_folded;
+  }
+  partial.jobs.push_back(job);
+  // Two-job checkpoints exercise the kJob frame count discipline.
+  partial.jobs.push_back(std::move(job));
+  out->push_back(encode_checkpoint(partial));
+}

@@ -5,6 +5,7 @@
 
 #include "graph/scc.hpp"
 #include "rounds/simulator.hpp"
+#include "rounds/trace.hpp"
 #include "skeleton/intern.hpp"
 #include "skeleton/tracker.hpp"
 
@@ -185,6 +186,18 @@ KSetRunReport run_kset(GraphSource& source, const KSetRunConfig& config) {
   Simulator<SkeletonMessage> sim(source,
                                  make_kset_processes(source.n(), config));
   return run_kset_on_engine(sim, config);
+}
+
+KSetRunReport run_kset_recorded(GraphSource& source,
+                                const KSetRunConfig& config,
+                                std::uint64_t seed, RunCapture& capture) {
+  Simulator<SkeletonMessage> sim(source,
+                                 make_kset_processes(source.n(), config));
+  TraceRecorder recorder(source.n(), TraceSource::kSimulator, seed);
+  recorder.attach(sim);
+  KSetRunReport report = run_kset_on_engine(sim, config);
+  capture = recorder.finish(sim.trace());
+  return report;
 }
 
 struct KSetTrialScratch::Impl {

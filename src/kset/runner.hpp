@@ -150,4 +150,18 @@ class KSetTrialScratch {
 /// Default distinct proposals (100*p + 7) for n processes.
 [[nodiscard]] std::vector<Value> default_proposals(ProcId n);
 
+struct RunCapture;
+
+/// run_kset with a TraceRecorder attached: the report is bit-identical
+/// to run_kset over the same source/config (the recorder only
+/// observes), and `capture` receives the full SSKT-encodable run —
+/// per-round graphs and engine accounting, stamped with `seed` in the
+/// header. This is the campaign's misbehaving-trial capture path: a
+/// flagged seed is re-run through here and the capture written as a
+/// crash artifact, so replaying the artifact reproduces the exact run.
+[[nodiscard]] KSetRunReport run_kset_recorded(GraphSource& source,
+                                              const KSetRunConfig& config,
+                                              std::uint64_t seed,
+                                              RunCapture& capture);
+
 }  // namespace sskel

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -94,6 +95,65 @@ class McTilePlane {
                               const KSetRunConfig& config,
                               const TrialCallback& per_trial = {});
 
+  // -------------------------------------------------------------------
+  // Streaming feed (DESIGN.md §15). run() is itself built on this: a
+  // batch is just a stream whose window spans every trial. The campaign
+  // engine drives the stream directly so trials flow into the submit
+  // rings from a persistent cursor — the plane never tears down between
+  // batches, and the dispatcher folds the contiguous completed prefix
+  // in trial order, which is what makes checkpoint/resume bit-exact
+  // (the folded prefix *is* the state).
+  // -------------------------------------------------------------------
+
+  /// Receives trial `index`'s result once every lower-indexed trial in
+  /// the stream has been delivered too (contiguous, in index order).
+  /// `elapsed_ns` is the tile-side wall time of run_trial — the
+  /// campaign's runtime-outlier detector feeds on it; it is the one
+  /// nondeterministic output and must not influence folded state.
+  using StreamSink = std::function<void(
+      std::uint64_t index, const ScenarioTrial& trial, std::int64_t elapsed_ns)>;
+
+  /// Opens a stream of sequentially indexed trials starting at
+  /// `first_index`, with at most `window` trials in flight. Binds the
+  /// run config for every trial of the stream (a null config.intern is
+  /// replaced by the service's persistent domain). No stream or batch
+  /// may already be active.
+  void stream_begin(const KSetRunConfig& config, std::size_t window,
+                    std::uint64_t first_index = 0);
+
+  /// Offers trial `index` (must be the next sequential index) with its
+  /// seed. Non-blocking: returns false — and consumes nothing — when
+  /// the in-flight window is full or no tile intake has credit; the
+  /// caller should collect and retry. Never spins.
+  [[nodiscard]] bool stream_offer(std::uint64_t index, std::uint64_t seed);
+
+  /// Drains completed trials and invokes `sink` for each contiguous
+  /// next-in-order trial. Returns how many trials reached the sink.
+  std::size_t stream_collect(const StreamSink& sink);
+
+  /// Blocks (yielding) until every in-flight trial has reached `sink`.
+  void stream_flush(const StreamSink& sink);
+
+  /// Waits for in-flight trials but discards their results — the
+  /// "kill" path: a campaign stopping at a checkpoint boundary drops
+  /// everything past the folded prefix, exactly what a crash would.
+  void stream_abort();
+
+  /// Closes the stream. All offered trials must have been collected
+  /// (or aborted).
+  void stream_end();
+
+  /// Trials offered but not yet collected.
+  [[nodiscard]] std::int64_t stream_in_flight() const {
+    return static_cast<std::int64_t>(next_offer_ - next_collect_);
+  }
+
+  /// Writes the service-level fields (intern stats, ProcSet memory
+  /// marks, scheduler provenance) into `summary` — the fields run()
+  /// sets after folding, exported so streaming callers can finish a
+  /// summary the same way.
+  void export_service_fields(McSummary& summary) const;
+
   [[nodiscard]] unsigned tiles() const { return plane_.tiles(); }
   [[nodiscard]] unsigned failed_pins() const { return plane_.failed_pins(); }
   [[nodiscard]] const std::vector<int>& placement() const {
@@ -113,10 +173,10 @@ class McTilePlane {
  private:
   static TileResult work_fn(void* ctx, unsigned tile, const TileWork& work);
 
-  /// One batch's shared inputs. Mutated only between batches: every
-  /// result of the previous batch is drained (acquire) before run()
-  /// returns, and the new values publish to tiles via the intake
-  /// ring's release, so tiles never observe a torn batch.
+  /// One stream's shared inputs. Mutated only between streams: every
+  /// result of the previous stream is drained (acquire) before the
+  /// stream closes, and the new values publish to tiles via the intake
+  /// ring's release, so tiles never observe a torn stream.
   struct Batch {
     const KSetRunConfig* config = nullptr;
     std::vector<ScenarioTrial>* results = nullptr;
@@ -128,11 +188,22 @@ class McTilePlane {
   InternDomain intern_;
   /// Per-tile engine/scenario scratch (index = tile).
   std::vector<std::unique_ptr<ScenarioFactory::Scratch>> scratch_;
-  /// Trial-indexed result buffer, reused across batches.
+  /// Circular in-flight result window: trial i lands in slot
+  /// i % window (unique while in flight — the window bound guarantees
+  /// no two live trials share a slot).
   std::vector<ScenarioTrial> results_;
   Batch batch_;
   std::vector<TileResult> tokens_;  // drained completion tokens
-  TilePlane plane_;                 // last: joins tiles before the rest dies
+  /// Streaming state: config copy bound for the stream's lifetime,
+  /// per-slot completion flags + tile-side wall times, and the
+  /// [next_collect_, next_offer_) in-flight cursor pair.
+  KSetRunConfig stream_config_;
+  std::vector<std::uint8_t> done_;
+  std::vector<std::int64_t> elapsed_ns_;
+  std::uint64_t next_offer_ = 0;
+  std::uint64_t next_collect_ = 0;
+  bool streaming_ = false;
+  TilePlane plane_;  // last: joins tiles before the rest dies
 };
 
 /// Scheduler-dispatching convenience: kPool calls run_scenario_trials

@@ -109,6 +109,15 @@ void fold_scenario_trials(McSummary& summary,
                           const KSetRunConfig& config,
                           const TrialCallback& per_trial = {});
 
+/// Folds one trial. fold_scenario_trials is exactly this in a loop, so
+/// folding trials one at a time in trial order — the campaign engine's
+/// streaming discipline — produces a summary bit-identical to a single
+/// batch fold of the same trials: the resume proof (DESIGN.md §15)
+/// rests on this left-fold identity. summary.bytes_measured must be
+/// set before the first fold (it gates the byte accumulators).
+void fold_scenario_trial(McSummary& summary, const ScenarioTrial& trial,
+                         const KSetRunConfig& config);
+
 /// Runs `trials` independent trials of `scenario`. Trial t uses the
 /// seed mix_seed(master_seed, t). Thread count 0 = hardware
 /// concurrency.

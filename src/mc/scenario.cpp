@@ -71,6 +71,14 @@ ScenarioTrial RandomPsrcsScenario::run_trial(std::uint64_t seed,
   return run_kset_trial(source, config, scratch);
 }
 
+std::optional<RunCapture> RandomPsrcsScenario::capture_trial(
+    std::uint64_t seed, const KSetRunConfig& config) const {
+  RandomPsrcsSource source(seed, params_);
+  RunCapture capture;
+  (void)run_kset_recorded(source, config, seed, capture);
+  return capture;
+}
+
 CrashScenario::CrashScenario(ProcId n, int crashes, Round max_crash_round)
     : n_(n), crashes_(crashes), max_crash_round_(max_crash_round) {
   SSKEL_REQUIRE(n_ > 0);
@@ -96,6 +104,15 @@ ScenarioTrial CrashScenario::run_trial(std::uint64_t seed,
   const std::unique_ptr<CrashSource> source =
       make_random_crash_source(seed, n_, crashes_, max_crash_round_);
   return run_kset_trial(*source, config, scratch);
+}
+
+std::optional<RunCapture> CrashScenario::capture_trial(
+    std::uint64_t seed, const KSetRunConfig& config) const {
+  const std::unique_ptr<CrashSource> source =
+      make_random_crash_source(seed, n_, crashes_, max_crash_round_);
+  RunCapture capture;
+  (void)run_kset_recorded(*source, config, seed, capture);
+  return capture;
 }
 
 PartitionScenario::PartitionScenario(PartitionParams params)
@@ -130,6 +147,14 @@ ScenarioTrial PartitionScenario::run_trial(std::uint64_t seed,
   return run_kset_trial(source, config, scratch);
 }
 
+std::optional<RunCapture> PartitionScenario::capture_trial(
+    std::uint64_t seed, const KSetRunConfig& config) const {
+  PartitionSource source(seed, params_);
+  RunCapture capture;
+  (void)run_kset_recorded(source, config, seed, capture);
+  return capture;
+}
+
 RotatingScenario::RotatingScenario(ProcId n, Round hold)
     : n_(n), hold_(hold) {
   SSKEL_REQUIRE(n_ > 0);
@@ -158,6 +183,17 @@ ScenarioTrial RotatingScenario::run_trial(std::uint64_t seed,
   const std::unique_ptr<GraphSource> source =
       make_rotating_star_source(n_, hold_, first_center);
   return run_kset_trial(*source, config, scratch);
+}
+
+std::optional<RunCapture> RotatingScenario::capture_trial(
+    std::uint64_t seed, const KSetRunConfig& config) const {
+  const ProcId first_center =
+      static_cast<ProcId>(seed % static_cast<std::uint64_t>(n_));
+  const std::unique_ptr<GraphSource> source =
+      make_rotating_star_source(n_, hold_, first_center);
+  RunCapture capture;
+  (void)run_kset_recorded(*source, config, seed, capture);
+  return capture;
 }
 
 NetScenario::NetScenario(LinkMatrix links, NetConfig net)

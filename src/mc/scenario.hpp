@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "adversary/partition.hpp"
@@ -19,6 +20,7 @@
 #include "net/driver.hpp"
 #include "net/kset_net.hpp"
 #include "net/link.hpp"
+#include "rounds/trace.hpp"
 
 namespace sskel {
 
@@ -80,6 +82,19 @@ class ScenarioFactory {
     return run_trial(seed, config);
   }
 
+  /// Re-runs trial `seed` with a trace recorder attached and returns
+  /// the SSKT-encodable capture — the campaign engine's crash-artifact
+  /// path for misbehaving trials. Purity makes this exact: the re-run
+  /// is the same run. Returns nullopt when the scenario cannot record
+  /// (network-backed trials — the default). Off the hot path; no
+  /// scratch reuse.
+  [[nodiscard]] virtual std::optional<RunCapture> capture_trial(
+      std::uint64_t seed, const KSetRunConfig& config) const {
+    (void)seed;
+    (void)config;
+    return std::nullopt;
+  }
+
  protected:
   ScenarioFactory() = default;
 };
@@ -99,6 +114,8 @@ class RandomPsrcsScenario final : public ScenarioFactory {
   [[nodiscard]] ScenarioTrial run_trial(std::uint64_t seed,
                                         const KSetRunConfig& config,
                                         Scratch* scratch) const override;
+  [[nodiscard]] std::optional<RunCapture> capture_trial(
+      std::uint64_t seed, const KSetRunConfig& config) const override;
 
   [[nodiscard]] const RandomPsrcsParams& params() const { return params_; }
 
@@ -120,6 +137,8 @@ class CrashScenario final : public ScenarioFactory {
   [[nodiscard]] ScenarioTrial run_trial(std::uint64_t seed,
                                         const KSetRunConfig& config,
                                         Scratch* scratch) const override;
+  [[nodiscard]] std::optional<RunCapture> capture_trial(
+      std::uint64_t seed, const KSetRunConfig& config) const override;
 
  private:
   ProcId n_;
@@ -141,6 +160,8 @@ class PartitionScenario final : public ScenarioFactory {
   [[nodiscard]] ScenarioTrial run_trial(std::uint64_t seed,
                                         const KSetRunConfig& config,
                                         Scratch* scratch) const override;
+  [[nodiscard]] std::optional<RunCapture> capture_trial(
+      std::uint64_t seed, const KSetRunConfig& config) const override;
 
  private:
   PartitionParams params_;
@@ -163,6 +184,8 @@ class RotatingScenario final : public ScenarioFactory {
   [[nodiscard]] ScenarioTrial run_trial(std::uint64_t seed,
                                         const KSetRunConfig& config,
                                         Scratch* scratch) const override;
+  [[nodiscard]] std::optional<RunCapture> capture_trial(
+      std::uint64_t seed, const KSetRunConfig& config) const override;
 
  private:
   ProcId n_;

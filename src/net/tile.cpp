@@ -166,6 +166,22 @@ unsigned TilePlane::submit(const TileWork& work) {
   return index;
 }
 
+bool TilePlane::try_submit(const TileWork& work) {
+  for (unsigned offset = 0; offset < tiles(); ++offset) {
+    const unsigned index = (next_tile_ + offset) % tiles();
+    Tile& tile = *tiles_[index];
+    if (!tile.intake_fctl.acquire(tile.intake.seq_produced())) continue;
+    const auto slot = static_cast<std::uint32_t>(tile.intake.seq_produced() %
+                                                 tile.intake.payload_slots());
+    tile.intake.payload(slot) = work;
+    tile.intake.publish(frag_sig(0, static_cast<ProcId>(index)), slot,
+                        /*round=*/0, /*tsorig=*/0);
+    next_tile_ = (index + 1) % tiles();
+    return true;
+  }
+  return false;
+}
+
 std::size_t TilePlane::drain(std::vector<TileResult>& out) {
   std::size_t drained = 0;
   if (&out != &pending_ && !pending_.empty()) {

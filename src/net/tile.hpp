@@ -118,6 +118,15 @@ class TilePlane {
   /// credit. Returns the tile index the work went to.
   unsigned submit(const TileWork& work);
 
+  /// Non-blocking submit: scans the tiles round-robin starting at the
+  /// next one and publishes to the first intake with credit. Returns
+  /// false — without spinning or draining — when every intake is full,
+  /// so a streaming dispatcher can keep ring occupancy high while
+  /// staying off the backpressure path (each refused intake still
+  /// counts one flow-control stall, which is the occupancy signal
+  /// adaptive feeders react to).
+  bool try_submit(const TileWork& work);
+
   /// Non-blocking sweep of every tile's result ring; appends drained
   /// results to `out` and returns how many arrived.
   std::size_t drain(std::vector<TileResult>& out);

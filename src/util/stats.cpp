@@ -56,6 +56,20 @@ void IntHistogram::add(std::int64_t value) {
   ++total_;
 }
 
+IntHistogram IntHistogram::from_buckets(
+    std::vector<std::pair<std::int64_t, std::int64_t>> buckets) {
+  IntHistogram h;
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    SSKEL_REQUIRE(buckets[i].second > 0);
+    SSKEL_REQUIRE(i == 0 || buckets[i - 1].first < buckets[i].first);
+    total += buckets[i].second;
+  }
+  h.buckets_ = std::move(buckets);
+  h.total_ = total;
+  return h;
+}
+
 std::int64_t IntHistogram::count(std::int64_t value) const {
   auto it = std::lower_bound(
       buckets_.begin(), buckets_.end(), value,

@@ -16,7 +16,39 @@ namespace sskel {
 /// Online mean / variance / extrema accumulator (Welford).
 class Accumulator {
  public:
+  /// The complete internal state, exposed for bit-exact serialization
+  /// (the campaign checkpoint codec): restoring from a state and
+  /// continuing to add() is indistinguishable from never having
+  /// paused. min/max keep their empty-state infinities so an empty
+  /// accumulator round-trips exactly.
+  struct State {
+    std::int64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x);
+
+  [[nodiscard]] State state() const {
+    return State{count_, mean_, m2_, sum_, min_, max_};
+  }
+
+  /// Rebuilds an accumulator mid-stream from a previously captured
+  /// state. Trusted input: callers validating hostile bytes do so
+  /// before constructing the State.
+  [[nodiscard]] static Accumulator from_state(const State& s) {
+    Accumulator a;
+    a.count_ = s.count;
+    a.mean_ = s.mean;
+    a.m2_ = s.m2;
+    a.sum_ = s.sum;
+    a.min_ = s.min;
+    a.max_ = s.max;
+    return a;
+  }
 
   [[nodiscard]] std::int64_t count() const { return count_; }
   /// sum/count, not the Welford running mean: the running mean
@@ -58,6 +90,17 @@ class IntHistogram {
  public:
   void add(std::int64_t value);
   [[nodiscard]] std::int64_t count(std::int64_t value) const;
+  /// Sorted (value, count) pairs — the histogram's full state, exposed
+  /// for bit-exact serialization.
+  [[nodiscard]] const std::vector<std::pair<std::int64_t, std::int64_t>>&
+  buckets() const {
+    return buckets_;
+  }
+  /// Rebuilds a histogram from bucket pairs. Requires strictly
+  /// ascending values and positive counts (hostile-byte decoders
+  /// validate before calling); the total is recomputed.
+  [[nodiscard]] static IntHistogram from_buckets(
+      std::vector<std::pair<std::int64_t, std::int64_t>> buckets);
   [[nodiscard]] std::int64_t total() const { return total_; }
   [[nodiscard]] std::int64_t min_value() const;
   [[nodiscard]] std::int64_t max_value() const;

@@ -12,10 +12,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <vector>
 
+#include "mc/montecarlo.hpp"
 #include "mc/parallel_for.hpp"
+#include "util/rng.hpp"
 
 namespace sskel {
 namespace {
@@ -218,6 +221,107 @@ TEST(McTilePlane, RunScenarioTrialsOnDispatchesBothSchedulers) {
   EXPECT_EQ(pool.scheduler, "pool");
   EXPECT_EQ(tiled.scheduler, "tile-plane");
   expect_summaries_equal(pool, tiled);
+}
+
+TEST(McTilePlaneStream, ManualStreamFoldMatchesBatchRun) {
+  // The streaming API is the batch API unrolled: offering the same
+  // seeds through stream_begin/offer/flush and left-folding in the
+  // sink must reproduce run()'s trial-derived fields bit-for-bit,
+  // even with a window far smaller than the trial count.
+  const PartitionScenario scenario = make_partition_scenario(8);
+  const KSetRunConfig config = base_config();
+  const int trials = 30;
+
+  McTilePlane batch_plane(scenario, McPlaneOptions{});
+  const McSummary batch = batch_plane.run(kSeed, trials, config);
+
+  McTilePlane plane(scenario, McPlaneOptions{});
+  McSummary streamed;
+  streamed.scenario = scenario.name();
+  streamed.bytes_measured = config.measure_bytes;
+  std::uint64_t delivered = 0;
+  const McTilePlane::StreamSink sink =
+      [&](std::uint64_t index, const ScenarioTrial& trial,
+          std::int64_t elapsed_ns) {
+        EXPECT_EQ(index, delivered);  // contiguous, in trial order
+        EXPECT_GE(elapsed_ns, 0);
+        fold_scenario_trial(streamed, trial, config);
+        ++delivered;
+      };
+  plane.stream_begin(config, /*window=*/4);
+  for (std::uint64_t t = 0; t < static_cast<std::uint64_t>(trials);) {
+    if (plane.stream_offer(t, mix_seed(kSeed, t))) {
+      ++t;
+    } else {
+      EXPECT_LE(plane.stream_in_flight(), 4);  // window bounds in-flight
+      (void)plane.stream_collect(sink);
+    }
+  }
+  plane.stream_flush(sink);
+  EXPECT_EQ(plane.stream_in_flight(), 0);
+  plane.stream_end();
+
+  EXPECT_EQ(delivered, static_cast<std::uint64_t>(trials));
+  expect_summaries_equal(batch, streamed);
+}
+
+TEST(McTilePlaneStream, AbortDiscardsInFlightAndPlaneStaysUsable) {
+  const PartitionScenario scenario = make_partition_scenario(8);
+  const KSetRunConfig config = base_config();
+
+  McTilePlane plane(scenario, McPlaneOptions{});
+  plane.stream_begin(config, /*window=*/8);
+  std::uint64_t offered = 0;
+  while (offered < 6 && plane.stream_offer(offered, mix_seed(kSeed, offered))) {
+    ++offered;
+  }
+  EXPECT_GT(offered, 0u);
+  plane.stream_abort();  // the crash path: drain, deliver nothing
+  EXPECT_EQ(plane.stream_in_flight(), 0);
+  plane.stream_end();
+
+  // The aborted stream leaves no residue: a batch run on the same
+  // plane still matches a fresh plane bit-for-bit.
+  const McSummary after = plane.run(kSeed, 12, config);
+  McTilePlane fresh(scenario, McPlaneOptions{});
+  expect_summaries_equal(fresh.run(kSeed, 12, config), after);
+}
+
+TEST(McTilePlaneStream, FirstIndexOffsetResumesMidSequence) {
+  // Resume semantics: a stream opened at first_index folds the same
+  // trials [first, total) that the tail of a full batch folds.
+  const PartitionScenario scenario = make_partition_scenario(8);
+  const KSetRunConfig config = base_config();
+  const std::uint64_t first = 7;
+  const std::uint64_t total = 19;
+
+  McTilePlane plane(scenario, McPlaneOptions{});
+  McSummary tail;
+  tail.scenario = scenario.name();
+  tail.bytes_measured = config.measure_bytes;
+  const McTilePlane::StreamSink sink =
+      [&](std::uint64_t, const ScenarioTrial& trial, std::int64_t) {
+        fold_scenario_trial(tail, trial, config);
+      };
+  plane.stream_begin(config, /*window=*/4, first);
+  for (std::uint64_t t = first; t < total;) {
+    if (plane.stream_offer(t, mix_seed(kSeed, t))) {
+      ++t;
+    } else {
+      (void)plane.stream_collect(sink);
+    }
+  }
+  plane.stream_flush(sink);
+  plane.stream_end();
+
+  McSummary expected;
+  expected.scenario = scenario.name();
+  expected.bytes_measured = config.measure_bytes;
+  for (std::uint64_t t = first; t < total; ++t) {
+    fold_scenario_trial(expected, scenario.run_trial(mix_seed(kSeed, t), config),
+                        config);
+  }
+  expect_summaries_equal(expected, tail);
 }
 
 TEST(McTilePlaneEnv, TilesFromEnvValuePureCases) {

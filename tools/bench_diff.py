@@ -8,8 +8,10 @@ Usage:
 
 Records are matched on their identity fields (op plus n/k/adversary/
 plane/tiles when present). For every matched pair the timing fields
-(*_ns, ns_per_op), throughput rates (*_per_sec — higher is better)
-and work counters (subsets_visited*, intern_*, credit_*) are
+(*_ns, ns_per_op), throughput rates (*_per_sec — higher is better),
+percentage overheads (*_pct — lower is better, with an absolute
+tolerance band like means) and work counters (subsets_visited*,
+intern_*, credit_*) are
 compared; a lower-is-better value that grew by more than `threshold`
 x its baseline — or a rate that fell below baseline / `threshold` —
 counts as a regression and flips the exit code to 1. Records present
@@ -42,6 +44,11 @@ IDENTITY_FIELDS = ("op", "adversary", "n", "k", "j", "rounds", "plane",
 TIMING_SUFFIXES = ("_ns", "ns_per_op")
 # Throughput rates: higher is better, so the regression direction flips.
 RATE_SUFFIXES = ("_per_sec",)
+# Percentage overheads (checkpoint_stall_pct, ...): lower is better,
+# but like means their ratios lie near zero — 0.04% -> 0.3% is a 7.5x
+# ratio and still nothing — so they carry an absolute band too.
+PCT_SUFFIXES = ("_pct",)
+PCT_ABS_TOLERANCE = 0.5
 COUNTER_PREFIXES = ("subsets_visited", "intern_", "peak_", "credit_")
 # Mean-style statistics: lower is better, but ratios lie for small
 # means — the diff additionally requires an absolute move above
@@ -66,6 +73,8 @@ def measured_fields(record):
             yield key, float(value), TIMING_NOISE_FLOOR_NS, False
         elif any(key.endswith(s) for s in RATE_SUFFIXES):
             yield key, float(value), RATE_NOISE_FLOOR, True
+        elif any(key.endswith(s) for s in PCT_SUFFIXES):
+            yield key, float(value), 0.0, False
         elif any(key.startswith(p) for p in COUNTER_PREFIXES):
             yield key, float(value), COUNTER_NOISE_FLOOR, False
         elif any(key.startswith(p) for p in MEAN_PREFIXES):
@@ -76,6 +85,8 @@ def abs_tolerance(field):
     """Absolute move a field must exceed before its ratio is judged."""
     if any(field.startswith(p) for p in MEAN_PREFIXES):
         return MEAN_ABS_TOLERANCE
+    if any(field.endswith(s) for s in PCT_SUFFIXES):
+        return PCT_ABS_TOLERANCE
     return 0.0
 
 

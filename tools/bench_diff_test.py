@@ -125,6 +125,28 @@ class MeasuredFieldsTest(unittest.TestCase):
                          bench_diff.MEAN_ABS_TOLERANCE)
         self.assertEqual(bench_diff.abs_tolerance("total_ns"), 0.0)
 
+    def test_campaign_fields_pick_the_right_directions(self):
+        # The E17 record: sustained throughput is a rate (higher is
+        # better), checkpoint stall is a percentage (lower is better),
+        # and the gate booleans/ratios are not measured at all.
+        record = {"op": "campaign_throughput",
+                  "sustained_trials_per_sec": 7.1e4,
+                  "batch_trials_per_sec": 6.0e4,
+                  "checkpoint_stall_pct": 0.04,
+                  "throughput_ratio": 1.18,
+                  "throughput_gate_pass": 1}
+        directions = {name: higher for name, _, _, higher
+                      in bench_diff.measured_fields(record)}
+        self.assertTrue(directions["sustained_trials_per_sec"])
+        self.assertTrue(directions["batch_trials_per_sec"])
+        self.assertFalse(directions["checkpoint_stall_pct"])
+        self.assertNotIn("throughput_ratio", directions)
+        self.assertNotIn("throughput_gate_pass", directions)
+
+    def test_pct_fields_carry_an_absolute_tolerance(self):
+        self.assertEqual(bench_diff.abs_tolerance("checkpoint_stall_pct"),
+                         bench_diff.PCT_ABS_TOLERANCE)
+
     def test_plane_distinguishes_record_identity(self):
         ring = {"op": "plane_throughput", "plane": "ring", "n": 24}
         eq = {"op": "plane_throughput", "plane": "event-queue", "n": 24}
@@ -186,6 +208,25 @@ class DiffDirectionTest(unittest.TestCase):
     def test_large_mean_regression_still_fails(self):
         base = [{"op": "trial", "n": 64, "mean_late_messages": 10.0}]
         cur = [{"op": "trial", "n": 64, "mean_late_messages": 50.0}]
+        self.assertEqual(self.run_diff(base, cur), 1)
+
+    def test_sustained_rate_drop_beyond_threshold_fails(self):
+        base = [{"op": "campaign_throughput",
+                 "sustained_trials_per_sec": 7.0e4}]
+        cur = [{"op": "campaign_throughput",
+                "sustained_trials_per_sec": 2.0e4}]  # 3.5x slower
+        self.assertEqual(self.run_diff(base, cur), 1)
+
+    def test_small_pct_move_passes_despite_large_ratio(self):
+        # 0.04% -> 0.3% stall is a 7.5x ratio but within the absolute
+        # band: timer jitter on a fast run, not a regression.
+        base = [{"op": "campaign_throughput", "checkpoint_stall_pct": 0.04}]
+        cur = [{"op": "campaign_throughput", "checkpoint_stall_pct": 0.3}]
+        self.assertEqual(self.run_diff(base, cur), 0)
+
+    def test_large_pct_regression_fails(self):
+        base = [{"op": "campaign_throughput", "checkpoint_stall_pct": 0.6}]
+        cur = [{"op": "campaign_throughput", "checkpoint_stall_pct": 3.0}]
         self.assertEqual(self.run_diff(base, cur), 1)
 
     def test_missing_baseline_record_is_skipped(self):
