@@ -48,7 +48,11 @@ std::uint64_t CampaignSpec::fingerprint() const {
   for (const CampaignJob& job : jobs) {
     put_spec_string(bytes, job.name);
     put_spec_string(bytes, job.scenario->name());
-    put_varint(bytes, static_cast<std::uint64_t>(job.scenario->n()));
+    // name() only separates scenario classes; append_fingerprint
+    // covers every constructor parameter (crash counts, noise, ...)
+    // so a resume under a same-class-different-distribution spec is
+    // refused instead of silently folded onto the old prefix.
+    job.scenario->append_fingerprint(bytes);
     put_varint(bytes, job.master_seed);
     put_varint(bytes, static_cast<std::uint64_t>(job.trials));
   }
@@ -87,6 +91,15 @@ McTilePlane& CampaignEngine::plane_for(const ScenarioFactory& scenario) {
 }
 
 CampaignResult CampaignEngine::run() {
+  if (!options_.state_dir.empty()) {
+    // run() ignores any existing checkpoint — delete both generations
+    // up front so a stale file from a previous spec can never shadow
+    // (or outlive) the ones this run writes.
+    std::error_code ec;
+    const std::filesystem::path dir(options_.state_dir);
+    std::filesystem::remove(dir / CheckpointWriter::kFileA, ec);
+    std::filesystem::remove(dir / CheckpointWriter::kFileB, ec);
+  }
   CampaignCheckpoint fresh;
   fresh.spec_fingerprint = spec_.fingerprint();
   return execute(std::move(fresh));
@@ -95,7 +108,8 @@ CampaignResult CampaignEngine::run() {
 CampaignResult CampaignEngine::resume() {
   std::optional<CampaignCheckpoint> loaded;
   if (!options_.state_dir.empty()) {
-    loaded = CheckpointWriter::load_latest(options_.state_dir);
+    loaded =
+        CheckpointWriter::load_latest(options_.state_dir, spec_.fingerprint());
   }
   if (!loaded.has_value()) return run();
   SSKEL_REQUIRE(loaded->spec_fingerprint == spec_.fingerprint());
@@ -195,9 +209,14 @@ CampaignResult CampaignEngine::execute(CampaignCheckpoint state) {
     ++stats.artifacts_captured;
   };
 
+  // The job the terminal progress record describes: the furthest one
+  // the loop reached (== the interrupted job when stop_after_trials
+  // halts the run early).
+  std::size_t last_job = 0;
   for (std::size_t j = 0; j < job_count && !stopped; ++j) {
     const CampaignJob& job = spec_.jobs[j];
     JobCheckpoint& job_state = state.jobs[j];
+    last_job = j;
     SSKEL_REQUIRE(job_state.trials_folded <= job.trials);
     if (job_state.trials_folded == 0) {
       // Fresh job: initialize exactly like McTilePlane::run does
@@ -281,7 +300,10 @@ CampaignResult CampaignEngine::execute(CampaignCheckpoint state) {
             burst * 2, static_cast<std::int64_t>(options_.window));
         ++stats.burst_grows;
       }
-      if (plane.stream_collect(sink) == 0 && refused) {
+      // Nothing collected and nothing submitted (ring full, or every
+      // trial is already in flight): only in-flight completions can
+      // make progress, so don't busy-spin the dispatcher core.
+      if (plane.stream_collect(sink) == 0 && submitted == 0) {
         std::this_thread::yield();
       }
     }
@@ -333,11 +355,9 @@ CampaignResult CampaignEngine::execute(CampaignCheckpoint state) {
       result.completed = false;
     }
   }
-  if (options_.progress_every > 0 && !spec_.jobs.empty()) {
+  if (options_.progress_every > 0) {
     // Final record so a consumer always sees the terminal state.
-    const std::size_t last =
-        job_count > 0 ? job_count - 1 : static_cast<std::size_t>(0);
-    emit_progress(last, state.jobs[last]);
+    emit_progress(last_job, state.jobs[last_job]);
   }
   return result;
 }

@@ -60,9 +60,11 @@ struct CampaignSpec {
   KSetRunConfig config;
 
   /// Identity hash over everything that shapes the trial sequence:
-  /// job names/seeds/trial counts, scenario identities (name + n),
-  /// and the config fields that alter per-trial results. A checkpoint
-  /// carries this; resume refuses a mismatch.
+  /// job names/seeds/trial counts, scenario identities (name plus
+  /// every constructor parameter, via
+  /// ScenarioFactory::append_fingerprint), and the config fields that
+  /// alter per-trial results. A checkpoint carries this; resume
+  /// refuses a mismatch.
   [[nodiscard]] std::uint64_t fingerprint() const;
 };
 

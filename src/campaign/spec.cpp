@@ -119,6 +119,29 @@ class Attrs {
   std::set<std::string> consumed_;
 };
 
+/// strtoll-with-endptr validation for top-level config values — the
+/// same fail-fast contract job attributes get via Attrs (atoi/atoll
+/// would fold garbage or trailing junk into a silent 0).
+[[nodiscard]] bool parse_int_value(const std::string& value,
+                                   std::int64_t& out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoll(value.c_str(), &end, 10);
+  return end != value.c_str() && *end == '\0';
+}
+
+[[nodiscard]] bool parse_bool_value(const std::string& value, bool& out) {
+  if (value == "1" || value == "true") {
+    out = true;
+    return true;
+  }
+  if (value == "0" || value == "false") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
 [[nodiscard]] bool parse_job(const std::string& value, CampaignJob& job,
                              std::string& error) {
   std::istringstream in(value);
@@ -264,12 +287,13 @@ SpecParseResult parse_campaign_spec(const std::string& text) {
       }
       spec.jobs.push_back(std::move(job));
     } else if (key == "k") {
-      spec.config.k = std::atoi(value.c_str());
-      if (spec.config.k < 1) {
-        result.error = "k must be >= 1";
+      std::int64_t k = 0;
+      if (!parse_int_value(value, k) || k < 1) {
+        result.error = "k must be an integer >= 1";
         result.line = line_no;
         return result;
       }
+      spec.config.k = static_cast<int>(k);
     } else if (key == "guard") {
       if (value == "after-round-n") {
         spec.config.guard = DecisionGuard::kAfterRoundN;
@@ -281,13 +305,33 @@ SpecParseResult parse_campaign_spec(const std::string& text) {
         return result;
       }
     } else if (key == "max_rounds") {
-      spec.config.max_rounds = static_cast<Round>(std::atoll(value.c_str()));
+      std::int64_t rounds = 0;
+      if (!parse_int_value(value, rounds) || rounds < 0) {
+        result.error = "max_rounds must be an integer >= 0 (0 = automatic)";
+        result.line = line_no;
+        return result;
+      }
+      spec.config.max_rounds = static_cast<Round>(rounds);
     } else if (key == "tail_rounds") {
-      spec.config.tail_rounds = static_cast<Round>(std::atoll(value.c_str()));
+      std::int64_t rounds = 0;
+      if (!parse_int_value(value, rounds) || rounds < 0) {
+        result.error = "tail_rounds must be an integer >= 0";
+        result.line = line_no;
+        return result;
+      }
+      spec.config.tail_rounds = static_cast<Round>(rounds);
     } else if (key == "measure_bytes") {
-      spec.config.measure_bytes = value == "1" || value == "true";
+      if (!parse_bool_value(value, spec.config.measure_bytes)) {
+        result.error = "measure_bytes must be 0/1/true/false";
+        result.line = line_no;
+        return result;
+      }
     } else if (key == "lemma_monitor") {
-      spec.config.attach_lemma_monitor = value == "1" || value == "true";
+      if (!parse_bool_value(value, spec.config.attach_lemma_monitor)) {
+        result.error = "lemma_monitor must be 0/1/true/false";
+        result.line = line_no;
+        return result;
+      }
     } else {
       result.error = "unknown config key '" + key + "'";
       result.line = line_no;

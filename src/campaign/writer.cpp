@@ -123,9 +123,17 @@ void CheckpointWriter::write_one(const CampaignCheckpoint& snapshot) {
 }
 
 std::optional<CampaignCheckpoint> CheckpointWriter::load_latest(
-    const std::filesystem::path& state_dir) {
+    const std::filesystem::path& state_dir,
+    std::optional<std::uint64_t> expected_fingerprint) {
   std::optional<CampaignCheckpoint> a = load_file(state_dir / kFileA);
   std::optional<CampaignCheckpoint> b = load_file(state_dir / kFileB);
+  if (expected_fingerprint.has_value()) {
+    const bool a_matches =
+        a.has_value() && a->spec_fingerprint == *expected_fingerprint;
+    const bool b_matches =
+        b.has_value() && b->spec_fingerprint == *expected_fingerprint;
+    if (a_matches != b_matches) return a_matches ? a : b;
+  }
   if (!a.has_value()) return b;
   if (!b.has_value()) return a;
   return folded_total(*a) >= folded_total(*b) ? a : b;

@@ -57,9 +57,16 @@ class CheckpointWriter {
   /// Reads both checkpoint generations from `state_dir` and returns
   /// the decodable one with the most folded trials (nullopt when
   /// neither exists or decodes). Corrupt or torn files are skipped,
-  /// never fatal — that is the double buffer's contract.
+  /// never fatal — that is the double buffer's contract. When
+  /// `expected_fingerprint` is given and exactly one generation
+  /// matches it, that one wins regardless of folded counts, so a
+  /// stale file from a previous spec sharing the state dir cannot
+  /// shadow the matching checkpoint; with no match the plain
+  /// newest-wins rule applies, letting callers observe (and refuse)
+  /// a genuine spec mismatch.
   [[nodiscard]] static std::optional<CampaignCheckpoint> load_latest(
-      const std::filesystem::path& state_dir);
+      const std::filesystem::path& state_dir,
+      std::optional<std::uint64_t> expected_fingerprint = std::nullopt);
 
   static constexpr const char* kFileA = "ckpt.a.sskc";
   static constexpr const char* kFileB = "ckpt.b.sskc";

@@ -1,11 +1,13 @@
 #include "mc/scenario.hpp"
 
+#include <bit>
 #include <memory>
 #include <utility>
 
 #include "adversary/crash.hpp"
 #include "adversary/rotating.hpp"
 #include "util/assert.hpp"
+#include "util/varint.hpp"
 
 namespace sskel {
 
@@ -15,6 +17,17 @@ ScenarioTrial from_report(KSetRunReport report) {
   ScenarioTrial trial;
   trial.kset = std::move(report);
   return trial;
+}
+
+/// append_fingerprint helpers: integers go through the varint (the
+/// fingerprint is hashed, only injectivity per scenario matters),
+/// doubles through their exact bit pattern.
+void fp_int(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_varint(out, static_cast<std::uint64_t>(v));
+}
+
+void fp_double(std::vector<std::uint8_t>& out, double v) {
+  put_varint(out, std::bit_cast<std::uint64_t>(v));
 }
 
 /// Scratch for the simulator-backed scenarios: one persistent
@@ -79,6 +92,18 @@ std::optional<RunCapture> RandomPsrcsScenario::capture_trial(
   return capture;
 }
 
+void RandomPsrcsScenario::append_fingerprint(
+    std::vector<std::uint8_t>& out) const {
+  fp_int(out, params_.n);
+  fp_int(out, params_.k);
+  fp_int(out, params_.root_components);
+  fp_int(out, params_.max_core_size);
+  fp_double(out, params_.noise_probability);
+  fp_int(out, params_.stabilization_round);
+  fp_int(out, params_.noise_after_stabilization ? 1 : 0);
+  fp_double(out, params_.follower_edge_probability);
+}
+
 CrashScenario::CrashScenario(ProcId n, int crashes, Round max_crash_round)
     : n_(n), crashes_(crashes), max_crash_round_(max_crash_round) {
   SSKEL_REQUIRE(n_ > 0);
@@ -113,6 +138,12 @@ std::optional<RunCapture> CrashScenario::capture_trial(
   RunCapture capture;
   (void)run_kset_recorded(*source, config, seed, capture);
   return capture;
+}
+
+void CrashScenario::append_fingerprint(std::vector<std::uint8_t>& out) const {
+  fp_int(out, n_);
+  fp_int(out, crashes_);
+  fp_int(out, max_crash_round_);
 }
 
 PartitionScenario::PartitionScenario(PartitionParams params)
@@ -153,6 +184,20 @@ std::optional<RunCapture> PartitionScenario::capture_trial(
   RunCapture capture;
   (void)run_kset_recorded(source, config, seed, capture);
   return capture;
+}
+
+void PartitionScenario::append_fingerprint(
+    std::vector<std::uint8_t>& out) const {
+  fp_int(out, n_);
+  fp_int(out, static_cast<std::int64_t>(params_.blocks.size()));
+  for (const ProcSet& block : params_.blocks) {
+    fp_int(out, block.count());
+    for (ProcId p = 0; p < n_; ++p) {
+      if (block.contains(p)) fp_int(out, p);
+    }
+  }
+  fp_double(out, params_.cross_noise_probability);
+  fp_int(out, params_.stabilization_round);
 }
 
 RotatingScenario::RotatingScenario(ProcId n, Round hold)
@@ -196,6 +241,12 @@ std::optional<RunCapture> RotatingScenario::capture_trial(
   return capture;
 }
 
+void RotatingScenario::append_fingerprint(
+    std::vector<std::uint8_t>& out) const {
+  fp_int(out, n_);
+  fp_int(out, hold_);
+}
+
 NetScenario::NetScenario(LinkMatrix links, NetConfig net)
     : links_(std::move(links)), net_(std::move(net)) {
   SSKEL_REQUIRE(links_.n() > 0);
@@ -218,6 +269,26 @@ ScenarioTrial NetScenario::run_trial(std::uint64_t seed,
   trial.credit_stalls = report.credit_stalls;
   trial.wall_clock = report.wall_clock;
   return trial;
+}
+
+void NetScenario::append_fingerprint(std::vector<std::uint8_t>& out) const {
+  const ProcId n = links_.n();
+  fp_int(out, n);
+  for (ProcId q = 0; q < n; ++q) {
+    for (ProcId p = 0; p < n; ++p) {
+      const LinkSpec& spec = links_.at(q, p);
+      fp_int(out, static_cast<std::int64_t>(spec.kind));
+      fp_int(out, spec.min_delay);
+      fp_int(out, spec.max_delay);
+      fp_double(out, spec.on_time_probability);
+    }
+  }
+  fp_int(out, net_.round_duration);
+  fp_int(out, static_cast<std::int64_t>(net_.skews.size()));
+  for (const SimTime skew : net_.skews) fp_int(out, skew);
+  // net_.seed is excluded: the trial seed overrides it per trial.
+  fp_int(out, static_cast<std::int64_t>(net_.plane));
+  fp_int(out, static_cast<std::int64_t>(net_.ring_depth));
 }
 
 }  // namespace sskel

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "adversary/partition.hpp"
 #include "adversary/random_psrcs.hpp"
@@ -51,6 +52,16 @@ class ScenarioFactory {
 
   /// Number of processes in every trial.
   [[nodiscard]] virtual ProcId n() const = 0;
+
+  /// Appends every constructor parameter that shapes trial outcomes
+  /// to `out` — an identity byte string, not a wire format. The
+  /// campaign fingerprint (CampaignSpec::fingerprint) mixes this in so
+  /// a checkpoint refuses a resume under a scenario whose parameters
+  /// drifted (same class, different crashes/noise/...). Pure virtual
+  /// on purpose: a new scenario cannot silently opt out and reopen
+  /// that hole. Two instances producing different trial distributions
+  /// must never append identical bytes.
+  virtual void append_fingerprint(std::vector<std::uint8_t>& out) const = 0;
 
   /// Runs one independent trial with the given seed.
   [[nodiscard]] virtual ScenarioTrial run_trial(
@@ -108,6 +119,7 @@ class RandomPsrcsScenario final : public ScenarioFactory {
 
   [[nodiscard]] std::string name() const override { return "random-psrcs"; }
   [[nodiscard]] ProcId n() const override { return params_.n; }
+  void append_fingerprint(std::vector<std::uint8_t>& out) const override;
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
   [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
@@ -131,6 +143,7 @@ class CrashScenario final : public ScenarioFactory {
 
   [[nodiscard]] std::string name() const override { return "crash"; }
   [[nodiscard]] ProcId n() const override { return n_; }
+  void append_fingerprint(std::vector<std::uint8_t>& out) const override;
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
   [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
@@ -154,6 +167,7 @@ class PartitionScenario final : public ScenarioFactory {
 
   [[nodiscard]] std::string name() const override { return "partition"; }
   [[nodiscard]] ProcId n() const override { return n_; }
+  void append_fingerprint(std::vector<std::uint8_t>& out) const override;
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
   [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
@@ -178,6 +192,7 @@ class RotatingScenario final : public ScenarioFactory {
 
   [[nodiscard]] std::string name() const override { return "rotating-star"; }
   [[nodiscard]] ProcId n() const override { return n_; }
+  void append_fingerprint(std::vector<std::uint8_t>& out) const override;
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
   [[nodiscard]] std::unique_ptr<Scratch> make_scratch() const override;
@@ -201,6 +216,7 @@ class NetScenario final : public ScenarioFactory {
 
   [[nodiscard]] std::string name() const override { return "net"; }
   [[nodiscard]] ProcId n() const override { return links_.n(); }
+  void append_fingerprint(std::vector<std::uint8_t>& out) const override;
   [[nodiscard]] ScenarioTrial run_trial(
       std::uint64_t seed, const KSetRunConfig& config) const override;
 

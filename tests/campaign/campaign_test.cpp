@@ -208,6 +208,77 @@ TEST(CampaignTest, CoalescingKeepsOnlyTheFreshestSnapshot) {
   EXPECT_EQ(latest->jobs[0].trials_folded, 8);
 }
 
+TEST(CampaignTest, LoadLatestPrefersTheMatchingFingerprint) {
+  ScratchDir state("campaign_test.fpmatch");
+  {
+    CheckpointWriter writer(state.path);
+    // A stale checkpoint from a previous spec with *more* folded
+    // trials, then the current spec's with fewer.
+    writer.offer(folded_prefix(0xAAAA, 20));
+    writer.flush();
+    writer.offer(folded_prefix(0xBBBB, 5));
+    writer.flush();
+  }
+
+  // No expectation: plain newest-by-folded-count wins (the stale one).
+  const auto plain = CheckpointWriter::load_latest(state.path);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->spec_fingerprint, 0xAAAAu);
+
+  // With the expected fingerprint, the matching generation wins even
+  // though it folded fewer trials.
+  const auto matched = CheckpointWriter::load_latest(state.path, 0xBBBB);
+  ASSERT_TRUE(matched.has_value());
+  EXPECT_EQ(matched->spec_fingerprint, 0xBBBBu);
+  EXPECT_EQ(matched->jobs[0].trials_folded, 5);
+
+  // No generation matches: fall back to newest-wins so the caller
+  // can observe the mismatch and refuse.
+  const auto mismatch = CheckpointWriter::load_latest(state.path, 0xCCCC);
+  ASSERT_TRUE(mismatch.has_value());
+  EXPECT_EQ(mismatch->spec_fingerprint, 0xAAAAu);
+}
+
+TEST(CampaignTest, RunClearsStaleCheckpointsFromAPreviousSpec) {
+  // Reuse one state dir across specs: an interrupted run of spec A
+  // leaves a checkpoint with many folded trials; a fresh run() of
+  // spec B must clear it, so a later resume() of B continues from
+  // B's own (smaller) checkpoint instead of tripping over A's.
+  ScratchDir state("campaign_test.stale");
+  const CampaignSpec old_spec = two_job_spec();
+  CampaignOptions options;
+  options.state_dir = state.path.string();
+  options.checkpoint_every = 7;
+  options.stop_after_trials = 90;
+  {
+    CampaignEngine old_engine(old_spec, options);
+    EXPECT_FALSE(old_engine.run().completed);
+  }
+
+  CampaignSpec new_spec = two_job_spec();
+  new_spec.jobs[1].trials = 20;  // different spec, different fingerprint
+  CampaignOptions killed_options = options;
+  killed_options.stop_after_trials = 30;
+  // Cadence off: the killed run writes exactly one generation (the
+  // kill snapshot), so without the stale-file handling the old spec's
+  // checkpoint would survive in the other slot with more folded
+  // trials and shadow it.
+  killed_options.checkpoint_every = 0;
+  {
+    CampaignEngine killed(new_spec, killed_options);
+    EXPECT_FALSE(killed.run().completed);
+  }
+
+  CampaignEngine reference_engine(new_spec, CampaignOptions{});
+  const auto reference = job_digests(reference_engine.run());
+  CampaignOptions resume_options = options;
+  resume_options.stop_after_trials = -1;
+  CampaignEngine resumer(new_spec, resume_options);
+  const CampaignResult resumed = resumer.resume();
+  ASSERT_TRUE(resumed.completed);
+  EXPECT_EQ(job_digests(resumed), reference);
+}
+
 TEST(CampaignTest, TornNewestCheckpointStillResumesBitIdentical) {
   const CampaignSpec spec = two_job_spec();
   ScratchDir state("campaign_test.torn");
@@ -261,6 +332,44 @@ TEST(CampaignTest, SpecFingerprintSeparatesCampaigns) {
   EXPECT_EQ(a.fingerprint(), two_job_spec().fingerprint());
   EXPECT_NE(a.fingerprint(), b.fingerprint());
   EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(CampaignTest, SpecFingerprintCoversScenarioParameters) {
+  // Same scenario classes (name() and n() identical) but different
+  // constructor parameters must fingerprint apart — otherwise a
+  // resume folds trials from a different distribution onto the old
+  // prefix without anyone noticing.
+  const CampaignSpec a = two_job_spec();
+
+  CampaignSpec more_crashes = two_job_spec();
+  more_crashes.jobs[1].scenario = std::make_shared<CrashScenario>(5, 2, 3);
+  EXPECT_NE(a.fingerprint(), more_crashes.fingerprint());
+
+  CampaignSpec later_crashes = two_job_spec();
+  later_crashes.jobs[1].scenario = std::make_shared<CrashScenario>(5, 1, 4);
+  EXPECT_NE(a.fingerprint(), later_crashes.fingerprint());
+
+  CampaignSpec noisy = two_job_spec();
+  {
+    PartitionParams params;
+    params.blocks = even_blocks(4, 2);
+    params.cross_noise_probability = 0.5;
+    params.stabilization_round = 1;
+    noisy.jobs[0].scenario =
+        std::make_shared<PartitionScenario>(std::move(params));
+  }
+  EXPECT_NE(a.fingerprint(), noisy.fingerprint());
+
+  CampaignSpec reblocked = two_job_spec();
+  {
+    PartitionParams params;
+    params.blocks = even_blocks(4, 1);  // one block instead of two
+    params.cross_noise_probability = 0.0;
+    params.stabilization_round = 1;
+    reblocked.jobs[0].scenario =
+        std::make_shared<PartitionScenario>(std::move(params));
+  }
+  EXPECT_NE(a.fingerprint(), reblocked.fingerprint());
 }
 
 TEST(CampaignTest, ViolatingTrialsSelfArchiveAndReplayBitExact) {
@@ -347,6 +456,28 @@ TEST(CampaignTest, ProgressRecordsTickMonotonically) {
   EXPECT_EQ(seen.back().campaign_trials_done, 25);
 }
 
+TEST(CampaignTest, TerminalProgressRecordReportsTheInterruptedJob) {
+  // A kill inside job 0 must leave the final progress record on job 0
+  // with its actual folded count — not on the last job of the spec,
+  // which was never reached.
+  const CampaignSpec spec = two_job_spec();
+  std::vector<CampaignProgress> seen;
+  CampaignOptions options;
+  options.progress_every = 1000;  // only the terminal record fires
+  options.on_progress = [&](const CampaignProgress& p) { seen.push_back(p); };
+  options.stop_after_trials = 10;
+  CampaignEngine engine(spec, options);
+  EXPECT_FALSE(engine.run().completed);
+
+  ASSERT_FALSE(seen.empty());
+  const CampaignProgress& last = seen.back();
+  EXPECT_EQ(last.job, "conv");
+  EXPECT_EQ(last.job_index, 0);
+  EXPECT_EQ(last.trials_done, 10);
+  EXPECT_EQ(last.trials_total, 60);
+  EXPECT_EQ(last.campaign_trials_done, 10);
+}
+
 TEST(CampaignSpecTest, ParsesTheDocumentedGrammar) {
   const std::string text =
       "# converged partition sweep\n"
@@ -383,6 +514,11 @@ TEST(CampaignSpecTest, RejectsBadInputWithLineNumbers) {
     int line;
   } cases[] = {
       {"k = 0\njob = partition trials=5\n", 1},       // k out of range
+      {"k = abc\njob = partition trials=5\n", 1},     // k not an integer
+      {"k = 2\nmax_rounds = soon\n", 2},              // garbage int
+      {"k = 2\nmax_rounds = -1\n", 2},                // negative rounds
+      {"k = 2\ntail_rounds = 3x\n", 2},               // trailing junk
+      {"k = 2\nmeasure_bytes = maybe\n", 2},          // bad bool
       {"k = 2\nbogus = 1\n", 2},                      // unknown config key
       {"k = 2\njob = warp trials=5\n", 2},            // unknown scenario
       {"k = 2\njob = partition n=4\n", 2},            // missing trials

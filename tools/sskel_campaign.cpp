@@ -111,8 +111,12 @@ int cmd_run(const CliArgs& args, bool resume) {
   options.plane.tiles = static_cast<unsigned>(args.get_int("tiles", 0));
 
   if (resume && !options.state_dir.empty()) {
-    // Friendly fingerprint check before the engine REQUIREs it.
-    if (const auto loaded = CheckpointWriter::load_latest(options.state_dir);
+    // Friendly fingerprint check before the engine REQUIREs it. The
+    // expected fingerprint makes load_latest prefer a matching
+    // generation, so this only trips when *no* generation matches.
+    if (const auto loaded =
+            CheckpointWriter::load_latest(options.state_dir,
+                                          spec.fingerprint());
         loaded.has_value() &&
         loaded->spec_fingerprint != spec.fingerprint()) {
       std::fprintf(stderr,
